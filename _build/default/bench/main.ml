@@ -1,0 +1,241 @@
+(* The benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Section 4) and then runs Bechamel microbenchmarks - one
+   Test.make per figure (measuring the computation that regenerates it)
+   plus microbenchmarks of the hot paths. *)
+
+module E = Dq_harness.Experiment
+module Render = Dq_harness.Render
+module Table = Dq_util.Table
+open Bechamel
+open Toolkit
+
+let section title =
+  Printf.printf "\n== %s ==\n\n" title
+
+let f2 x = Printf.sprintf "%.2f" x
+
+(* --- figure regeneration ------------------------------------------------ *)
+
+let print_fig6a () =
+  section "Figure 6(a): response time at 5% writes (ms)";
+  Table.print (Render.response_rows ~title:"protocol" (E.fig6a ()))
+
+let print_fig6b () =
+  section "Figure 6(b): mean response time vs write ratio (ms)";
+  Table.print (Render.sweep ~title:"" ~x_label:"write ratio" ~x_of:f2 (E.fig6b ()))
+
+let print_fig7a () =
+  section "Figure 7(a): response time at 5% writes, 90% locality (ms)";
+  Table.print (Render.response_rows ~title:"protocol" (E.fig7a ()))
+
+let print_fig7b () =
+  section "Figure 7(b): mean response time vs access locality (ms)";
+  Table.print (Render.sweep ~title:"" ~x_label:"locality" ~x_of:f2 (E.fig7b ()))
+
+let print_fig8a () =
+  section "Figure 8(a): unavailability vs write ratio (n=15, p=0.01)";
+  Table.print
+    (Render.series ~title:"" ~x_label:"write ratio" ~x_of:f2 ~fmt:Render.scientific
+       (E.fig8a ()))
+
+let print_fig8b () =
+  section "Figure 8(b): unavailability vs number of replicas (w=0.25, p=0.01)";
+  Table.print
+    (Render.series ~title:"" ~x_label:"replicas" ~x_of:string_of_int ~fmt:Render.scientific
+       (E.fig8b ()))
+
+let print_fig8_measured () =
+  section
+    "Figure 8 cross-check: measured unavailability under churn (p=0.1, w=0.25, redirection)";
+  let t = Table.create ~header:[ "protocol"; "measured unavail"; "model unavail (p=0.1)" ] in
+  let model =
+    match E.fig8a ~p:0.1 ~n:9 ~write_ratios:[ 0.25 ] () with
+    | [ (_, series) ] -> series
+    | _ -> []
+  in
+  List.iter
+    (fun (name, measured) ->
+      Table.add_row t
+        [
+          name;
+          Render.scientific measured;
+          (match List.assoc_opt name model with
+          | Some v -> Render.scientific v
+          | None -> "-");
+        ])
+    (E.fig8_measured ());
+  Table.print t
+
+let print_fig9a () =
+  section "Figure 9(a): messages per request vs write ratio (model)";
+  Table.print (Render.series ~title:"" ~x_label:"write ratio" ~x_of:f2 (E.fig9a ()));
+  section "Figure 9(a) cross-check: measured DQVL messages per request";
+  Table.print
+    (Render.series ~title:"" ~x_label:"write ratio" ~x_of:f2
+       (List.map (fun (w, v) -> (w, [ ("dqvl measured", v) ])) (E.fig9a_measured ())))
+
+let print_fig9b () =
+  section "Figure 9(b): messages per request vs OQS size (IQS fixed at 5, w=0.25)";
+  Table.print
+    (Render.series ~title:"" ~x_label:"OQS size" ~x_of:string_of_int (E.fig9b ()))
+
+let print_bandwidth () =
+  section "Bandwidth: measured messages and bytes per request (w=0.25)";
+  let t = Table.create ~header:[ "protocol"; "msgs/request"; "bytes/request" ] in
+  List.iter
+    (fun (name, mpr, bpr) ->
+      Table.add_row t [ name; Printf.sprintf "%.1f" mpr; Printf.sprintf "%.0f" bpr ])
+    (E.bandwidth ());
+  Table.print t
+
+let print_saturation () =
+  section
+    "Load study (beyond the paper): open-loop arrivals, 1 ms/message service time (mean ms)";
+  Table.print
+    (Render.series ~title:"" ~x_label:"req/s per client"
+       ~x_of:(Printf.sprintf "%.0f")
+       ~fmt:(Printf.sprintf "%.1f")
+       (E.saturation ()))
+
+let print_ablations () =
+  section "Ablation: DQVL vs basic dual quorum (value of volume leases)";
+  Table.print (Render.response_rows ~title:"protocol" (E.ablation_leases ()));
+  section "Ablation: volume lease length (on-demand renewal)";
+  Table.print
+    (Render.response_rows ~title:"config"
+       (List.map
+          (fun (lease, r) -> { r with E.protocol = Printf.sprintf "dqvl L=%.0fms" lease })
+          (E.ablation_lease_len ())));
+  section "Ablation: workload burstiness at 50% writes";
+  Table.print
+    (Render.response_rows ~title:"config"
+       (List.map
+          (fun (mean, r) -> { r with E.protocol = Printf.sprintf "dqvl burst=%.0f" mean })
+          (E.ablation_bursts ())));
+  section "Ablation: OQS read quorum size (paper future work)";
+  Table.print
+    (Render.response_rows ~title:"config" (List.map snd (E.ablation_orq ())));
+  section "Ablation: grid-quorum IQS availability (paper future work)";
+  Table.print
+    (Render.series ~title:"" ~x_label:"replicas" ~x_of:string_of_int ~fmt:Render.scientific
+       (E.ablation_grid ()));
+  section "Ablation: finite object leases (paper footnote 4; scattered readers, think time)";
+  let t = Table.create ~header:[ "config"; "msgs/request"; "mean write ms" ] in
+  List.iter
+    (fun (name, mpr, write_ms) ->
+      Table.add_row t [ name; Printf.sprintf "%.1f" mpr; Printf.sprintf "%.1f" write_ms ])
+    (E.ablation_object_lease ());
+  Table.print t;
+  section "Ablation: batched volume-lease renewals (6 volumes, 20 s, proactive)";
+  let t = Table.create ~header:[ "policy"; "renewal requests" ] in
+  List.iter
+    (fun (name, n) -> Table.add_row t [ name; string_of_int n ])
+    (E.ablation_batch_renewals ());
+  Table.print t;
+  section "Ablation: the cost of atomic semantics (read-imposition, paper future work)";
+  Table.print (Render.response_rows ~title:"protocol" (E.ablation_atomic ()));
+  section "Ablation: read staleness under 30% message loss (shared object, 50% writes)";
+  let t =
+    Table.create ~header:[ "protocol"; "stale reads"; "mean behind (ms)"; "max behind (ms)" ]
+  in
+  List.iter
+    (fun (r : E.staleness_row) ->
+      Table.add_row t
+        [
+          r.E.s_protocol;
+          Printf.sprintf "%.1f%%" (100. *. r.E.s_stale_fraction);
+          Printf.sprintf "%.0f" r.E.s_mean_behind_ms;
+          Printf.sprintf "%.0f" r.E.s_max_behind_ms;
+        ])
+    (E.ablation_staleness ());
+  Table.print t
+
+(* --- bechamel microbenchmarks -------------------------------------------- *)
+
+let engine_churn () =
+  let engine = Dq_sim.Engine.create () in
+  for i = 1 to 1_000 do
+    ignore (Dq_sim.Engine.schedule engine ~delay:(float_of_int (i mod 97)) (fun () -> ()))
+  done;
+  Dq_sim.Engine.run engine
+
+let dqvl_sim ~ops () =
+  let engine = Dq_sim.Engine.create ~seed:7L () in
+  let topology = E.paper_topology () in
+  let builder = Dq_harness.Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false () in
+  let instance = builder.Dq_harness.Registry.build engine topology () in
+  let spec = Dq_workload.Spec.default in
+  let config =
+    { (Dq_harness.Driver.default_config spec) with Dq_harness.Driver.ops_per_client = ops }
+  in
+  ignore (Dq_harness.Driver.run engine topology instance.Dq_harness.Registry.api config)
+
+let tests =
+  Test.make_grouped ~name:"dual-quorum" ~fmt:"%s %s"
+    [
+      (* One Test.make per figure: the cost of regenerating it. *)
+      Test.make ~name:"fig6a" (Staged.stage (fun () -> ignore (E.fig6a ~ops:30 ())));
+      Test.make ~name:"fig6b"
+        (Staged.stage (fun () -> ignore (E.fig6b ~ops:15 ~write_ratios:[ 0.05; 0.5 ] ())));
+      Test.make ~name:"fig7a" (Staged.stage (fun () -> ignore (E.fig7a ~ops:30 ())));
+      Test.make ~name:"fig7b"
+        (Staged.stage (fun () -> ignore (E.fig7b ~ops:15 ~localities:[ 0.5; 1.0 ] ())));
+      Test.make ~name:"fig8a" (Staged.stage (fun () -> ignore (E.fig8a ())));
+      Test.make ~name:"fig8b" (Staged.stage (fun () -> ignore (E.fig8b ())));
+      Test.make ~name:"fig9a" (Staged.stage (fun () -> ignore (E.fig9a ())));
+      Test.make ~name:"fig9b" (Staged.stage (fun () -> ignore (E.fig9b ())));
+      (* Hot paths. *)
+      Test.make ~name:"engine 1k events" (Staged.stage engine_churn);
+      Test.make ~name:"dqvl 60-op simulation" (Staged.stage (dqvl_sim ~ops:20));
+      Test.make ~name:"availability enum grid 4x4"
+        (Staged.stage (fun () ->
+             let qs = Dq_quorum.Quorum_system.grid ~rows:4 ~cols:4 (List.init 16 Fun.id) in
+             ignore
+               (Dq_quorum.Availability.unavailability qs ~mode:Dq_quorum.Availability.Write
+                  ~p:0.01)));
+    ]
+
+let run_benchmarks () =
+  section "Bechamel microbenchmarks (ns per run, OLS fit)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:(Some 10) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Table.create ~header:[ "benchmark"; "ns/run"; "r^2" ] in
+  let rows =
+    Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Table.add_row table [ name; estimate; r2 ])
+    rows;
+  Table.print table
+
+let () =
+  print_fig6a ();
+  print_fig6b ();
+  print_fig7a ();
+  print_fig7b ();
+  print_fig8a ();
+  print_fig8b ();
+  print_fig8_measured ();
+  print_fig9a ();
+  print_fig9b ();
+  print_bandwidth ();
+  print_saturation ();
+  print_ablations ();
+  run_benchmarks ()

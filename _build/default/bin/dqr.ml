@@ -1,0 +1,368 @@
+(* dqr - the dual-quorum replication experiment driver.
+
+   Subcommands:
+     fig <id>        regenerate one of the paper's figures (6a..9b)
+     ablation <id>   run one of the ablation studies
+     run             run a custom workload against a chosen protocol
+     avail           print the analytical availability model
+     overhead        print the analytical overhead model *)
+
+module E = Dq_harness.Experiment
+module Render = Dq_harness.Render
+module Registry = Dq_harness.Registry
+module Driver = Dq_harness.Driver
+module Checker = Dq_harness.Regular_checker
+module Spec = Dq_workload.Spec
+module Table = Dq_util.Table
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed (the whole simulation is deterministic in it)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ops_arg default =
+  let doc = "Operations per application client." in
+  Arg.(value & opt int default & info [ "ops" ] ~docv:"N" ~doc)
+
+module Csv = Dq_harness.Csv
+
+(* --- fig ---------------------------------------------------------------- *)
+
+let csv_note = function
+  | Some path -> Printf.printf "(wrote %s)\n" path
+  | None -> ()
+
+let print_fig id seed ops csv_dir =
+  let f2 x = Printf.sprintf "%.2f" x in
+  let csv_series ~name ~x_label ~x_of points =
+    csv_note
+      (Option.map (fun dir -> Csv.write_series ~dir ~name ~x_label ~x_of points) csv_dir)
+  in
+  let csv_rows ~name rows =
+    csv_note
+      (Option.map
+         (fun dir ->
+           Csv.write_rows ~dir ~name
+             ~header:[ "protocol"; "read_ms"; "write_ms"; "overall_ms"; "completed"; "failed" ]
+             (List.map
+                (fun (r : E.response_row) ->
+                  [
+                    r.E.protocol;
+                    Printf.sprintf "%.3f" r.E.read_ms;
+                    Printf.sprintf "%.3f" r.E.write_ms;
+                    Printf.sprintf "%.3f" r.E.overall_ms;
+                    string_of_int r.E.completed;
+                    string_of_int r.E.failed;
+                  ])
+                rows))
+         csv_dir)
+  in
+  match id with
+  | "6a" ->
+    let rows = E.fig6a ~seed ~ops () in
+    Table.print (Render.response_rows ~title:"fig6a: 5% writes" rows);
+    csv_rows ~name:"fig6a" rows
+  | "6b" ->
+    let sweep = E.fig6b ~seed ~ops () in
+    Table.print (Render.sweep ~title:"fig6b:" ~x_label:"write ratio" ~x_of:f2 sweep);
+    csv_series ~name:"fig6b" ~x_label:"write_ratio" ~x_of:f2
+      (List.map
+         (fun (w, rows) ->
+           (w, List.map (fun (r : E.response_row) -> (r.E.protocol, r.E.overall_ms)) rows))
+         sweep)
+  | "7a" ->
+    let rows = E.fig7a ~seed ~ops () in
+    Table.print (Render.response_rows ~title:"fig7a: 5% writes, 90% locality" rows);
+    csv_rows ~name:"fig7a" rows
+  | "7b" ->
+    let sweep = E.fig7b ~seed ~ops () in
+    Table.print (Render.sweep ~title:"fig7b:" ~x_label:"locality" ~x_of:f2 sweep);
+    csv_series ~name:"fig7b" ~x_label:"locality" ~x_of:f2
+      (List.map
+         (fun (l, rows) ->
+           (l, List.map (fun (r : E.response_row) -> (r.E.protocol, r.E.overall_ms)) rows))
+         sweep)
+  | "8a" ->
+    let sweep = E.fig8a () in
+    Table.print
+      (Render.series ~title:"fig8a: unavailability," ~x_label:"write ratio" ~x_of:f2
+         ~fmt:Render.scientific sweep);
+    csv_series ~name:"fig8a" ~x_label:"write_ratio" ~x_of:f2 sweep
+  | "8b" ->
+    let sweep = E.fig8b () in
+    Table.print
+      (Render.series ~title:"fig8b: unavailability," ~x_label:"replicas"
+         ~x_of:string_of_int ~fmt:Render.scientific sweep);
+    csv_series ~name:"fig8b" ~x_label:"replicas" ~x_of:string_of_int sweep
+  | "9a" ->
+    let sweep = E.fig9a () in
+    csv_series ~name:"fig9a" ~x_label:"write_ratio" ~x_of:f2 sweep;
+    Table.print
+      (Render.series ~title:"fig9a: msgs/request (model)," ~x_label:"write ratio"
+         ~x_of:f2 sweep);
+    let measured = E.fig9a_measured ~seed ~ops () in
+    Table.print
+      (Render.series ~title:"fig9a: msgs/request (measured dqvl)," ~x_label:"write ratio"
+         ~x_of:f2
+         (List.map (fun (w, v) -> (w, [ ("dqvl", v) ])) measured))
+  | "9b" ->
+    let sweep = E.fig9b () in
+    Table.print
+      (Render.series ~title:"fig9b: msgs/request," ~x_label:"OQS size"
+         ~x_of:string_of_int sweep);
+    csv_series ~name:"fig9b" ~x_label:"oqs_size" ~x_of:string_of_int sweep
+  | "8m" ->
+    (* simulation cross-check of figure 8 *)
+    let t = Table.create ~header:[ "protocol"; "measured unavailability (p=0.1)" ] in
+    List.iter
+      (fun (name, u) -> Table.add_row t [ name; Render.scientific u ])
+      (E.fig8_measured ~seed ~ops ());
+    Table.print t
+  | other -> Printf.eprintf "unknown figure %S (expected 6a..9b, or 8m)\n" other
+
+let fig_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc:"6a, 6b, 7a, 7b, 8a, 8b, 9a or 9b.")
+  in
+  let csv_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write the data as DIR/<figure>.csv.")
+  in
+  let run id seed ops csv = print_fig id seed ops csv in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures")
+    Term.(const run $ id $ seed_arg $ ops_arg 200 $ csv_dir)
+
+(* --- ablation ------------------------------------------------------------ *)
+
+let print_ablation id seed ops =
+  match id with
+  | "leases" ->
+    Table.print
+      (Render.response_rows ~title:"ablation: volume leases" (E.ablation_leases ~seed ~ops ()))
+  | "lease-len" ->
+    let rows = E.ablation_lease_len ~seed ~ops () in
+    Table.print
+      (Render.response_rows ~title:"ablation: lease length"
+         (List.map
+            (fun (lease, r) ->
+              { r with E.protocol = Printf.sprintf "dqvl L=%.0fms" lease })
+            rows))
+  | "bursts" ->
+    let rows = E.ablation_bursts ~seed ~ops () in
+    Table.print
+      (Render.response_rows ~title:"ablation: burst length (w=0.5)"
+         (List.map
+            (fun (mean, r) -> { r with E.protocol = Printf.sprintf "dqvl burst=%.0f" mean })
+            rows))
+  | "orq" ->
+    let rows = E.ablation_orq ~seed ~ops () in
+    Table.print
+      (Render.response_rows ~title:"ablation: OQS read quorum size"
+         (List.map (fun (_, r) -> r) rows))
+  | "grid" ->
+    Table.print
+      (Render.series ~title:"ablation: grid vs majority unavailability," ~x_label:"replicas"
+         ~x_of:string_of_int ~fmt:Render.scientific (E.ablation_grid ()))
+  | "atomic" ->
+    Table.print
+      (Render.response_rows ~title:"ablation: atomic semantics" (E.ablation_atomic ~seed ~ops ()))
+  | "object-lease" ->
+    let t = Table.create ~header:[ "config"; "msgs/request"; "mean write ms" ] in
+    List.iter
+      (fun (name, mpr, write_ms) ->
+        Table.add_row t [ name; Printf.sprintf "%.1f" mpr; Printf.sprintf "%.1f" write_ms ])
+      (E.ablation_object_lease ~seed ~ops ());
+    Table.print t
+  | "staleness" ->
+    let t = Table.create ~header:[ "protocol"; "stale"; "mean behind ms"; "max behind ms" ] in
+    List.iter
+      (fun (r : E.staleness_row) ->
+        Table.add_row t
+          [
+            r.E.s_protocol;
+            Printf.sprintf "%.1f%%" (100. *. r.E.s_stale_fraction);
+            Printf.sprintf "%.0f" r.E.s_mean_behind_ms;
+            Printf.sprintf "%.0f" r.E.s_max_behind_ms;
+          ])
+      (E.ablation_staleness ~seed ~ops ());
+    Table.print t
+  | other -> Printf.eprintf "unknown ablation %S\n" other
+
+let ablation_cmd =
+  let id =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"ABLATION"
+          ~doc:"leases, lease-len, bursts, orq, grid, atomic, object-lease or staleness.")
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run one of the ablation studies")
+    Term.(const print_ablation $ id $ seed_arg $ ops_arg 120)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let builder_of_name = function
+  | "dqvl" -> Some (Registry.dqvl ())
+  | "dqvl-paper" -> Some (Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false ())
+  | "dq-basic" -> Some Registry.dq_basic
+  | "primary-backup" -> Some Registry.primary_backup
+  | "majority" -> Some Registry.majority
+  | "rowa" -> Some Registry.rowa
+  | "rowa-async" -> Some (Registry.rowa_async ())
+  | _ -> None
+
+let run_custom protocol seed ops servers clients write_ratio locality objects verbose =
+  match builder_of_name protocol with
+  | None ->
+    Printf.eprintf
+      "unknown protocol %S (dqvl, dqvl-paper, dq-basic, primary-backup, majority, rowa, rowa-async)\n"
+      protocol
+  | Some builder ->
+    let engine = Dq_sim.Engine.create ~seed () in
+    if verbose then Dq_sim.Sim_log.setup ~level:Logs.Debug engine;
+    let topology = Dq_net.Topology.make ~n_servers:servers ~n_clients:clients () in
+    let instance = builder.Registry.build engine topology () in
+    let spec =
+      {
+        Spec.default with
+        Spec.write_ratio;
+        locality;
+        sharing =
+          (if objects = 0 then Spec.Private_object else Spec.Shared_uniform { objects });
+      }
+    in
+    let config = { (Driver.default_config spec) with Driver.ops_per_client = ops } in
+    let result = Driver.run engine topology instance.Registry.api config in
+    let report = Checker.check result.Driver.history in
+    Printf.printf "protocol            %s\n" result.Driver.protocol;
+    Printf.printf "issued/completed    %d/%d (%d failed)\n" result.Driver.issued
+      result.Driver.completed result.Driver.failed;
+    Format.printf "read latency (ms)   %a@." Dq_util.Stats.pp_summary result.Driver.read_latency;
+    Format.printf "write latency (ms)  %a@." Dq_util.Stats.pp_summary result.Driver.write_latency;
+    Printf.printf "messages/request    %.2f\n" result.Driver.messages_per_request;
+    Printf.printf "bytes/request       %.0f\n" result.Driver.bytes_per_request;
+    Printf.printf "throughput          %.1f ops/s over %.1f s\n" result.Driver.throughput_per_s
+      (result.Driver.elapsed_ms /. 1000.);
+    Format.printf "consistency         %a@." Checker.pp_report report;
+    let samples = Dq_util.Stats.to_list result.Driver.all_latency in
+    if samples <> [] then begin
+      Printf.printf "\nlatency distribution (ms):\n";
+      print_string
+        (Dq_util.Histogram.render
+           (Dq_util.Histogram.of_samples ~buckets:[ 20.; 100.; 200.; 400.; 800. ] samples))
+    end
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt string "dqvl" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"Protocol to run.")
+  in
+  let servers = Arg.(value & opt int 9 & info [ "servers" ] ~docv:"N" ~doc:"Edge servers.") in
+  let clients = Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N" ~doc:"Application clients.") in
+  let write_ratio =
+    Arg.(value & opt float 0.05 & info [ "write-ratio"; "w" ] ~docv:"W" ~doc:"Write ratio.")
+  in
+  let locality =
+    Arg.(value & opt float 1.0 & info [ "locality"; "l" ] ~docv:"L" ~doc:"Access locality.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 0
+      & info [ "objects" ] ~docv:"K" ~doc:"Shared objects (0 = one private object per client).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace protocol events (virtual-time log).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a custom workload")
+    Term.(
+      const run_custom $ protocol $ seed_arg $ ops_arg 200 $ servers $ clients $ write_ratio
+      $ locality $ objects $ verbose)
+
+(* --- avail / overhead ----------------------------------------------------- *)
+
+let avail n p w =
+  let protocols =
+    [
+      Dq_analysis.Avail_model.dqvl_default ~n;
+      Dq_analysis.Avail_model.Majority { n };
+      Dq_analysis.Avail_model.Rowa { n };
+      Dq_analysis.Avail_model.Rowa_async_stale { n };
+      Dq_analysis.Avail_model.Rowa_async_no_stale;
+      Dq_analysis.Avail_model.Primary_backup;
+    ]
+  in
+  let t = Table.create ~header:[ "protocol"; "read unavail"; "write unavail"; "overall" ] in
+  List.iter
+    (fun proto ->
+      Table.add_row t
+        [
+          Dq_analysis.Avail_model.name proto;
+          Render.scientific (Dq_analysis.Avail_model.read_unavailability proto ~p);
+          Render.scientific (Dq_analysis.Avail_model.write_unavailability proto ~p);
+          Render.scientific (Dq_analysis.Avail_model.unavailability proto ~p ~w);
+        ])
+    protocols;
+  Table.print t
+
+let avail_cmd =
+  let n = Arg.(value & opt int 15 & info [ "n" ] ~docv:"N" ~doc:"Replica count.") in
+  let p = Arg.(value & opt float 0.01 & info [ "p" ] ~docv:"P" ~doc:"Per-node failure probability.") in
+  let w = Arg.(value & opt float 0.25 & info [ "w" ] ~docv:"W" ~doc:"Write ratio.") in
+  Cmd.v (Cmd.info "avail" ~doc:"Analytical availability model") Term.(const avail $ n $ p $ w)
+
+let overhead n_iqs n_oqs w =
+  let sizes = Dq_analysis.Overhead_model.dqvl_sizes ~n_iqs ~n_oqs in
+  let t = Table.create ~header:[ "scenario"; "messages" ] in
+  let add label v = Table.add_row t [ label; Printf.sprintf "%.1f" v ] in
+  add "read hit" (Dq_analysis.Overhead_model.read_hit sizes);
+  add "read miss" (Dq_analysis.Overhead_model.read_miss sizes);
+  add "write suppress" (Dq_analysis.Overhead_model.write_suppress sizes);
+  add "write through" (Dq_analysis.Overhead_model.write_through sizes);
+  add (Printf.sprintf "dqvl expected (w=%.2f)" w) (Dq_analysis.Overhead_model.dqvl sizes ~w);
+  add "majority expected" (Dq_analysis.Overhead_model.majority ~n:n_oqs ~w);
+  Table.print t
+
+let overhead_cmd =
+  let n_iqs = Arg.(value & opt int 9 & info [ "iqs" ] ~docv:"N" ~doc:"IQS size.") in
+  let n_oqs = Arg.(value & opt int 9 & info [ "oqs" ] ~docv:"N" ~doc:"OQS size.") in
+  let w = Arg.(value & opt float 0.25 & info [ "w" ] ~docv:"W" ~doc:"Write ratio.") in
+  Cmd.v (Cmd.info "overhead" ~doc:"Analytical communication-overhead model")
+    Term.(const overhead $ n_iqs $ n_oqs $ w)
+
+(* --- load / bandwidth ------------------------------------------------------ *)
+
+let load_study seed ops service_ms =
+  Table.print
+    (Render.series ~title:"load study:" ~x_label:"req/s per client"
+       ~x_of:(Printf.sprintf "%.0f")
+       ~fmt:(Printf.sprintf "%.1f")
+       (E.saturation ~seed ~ops ~service_ms ()))
+
+let load_cmd =
+  let service_ms =
+    Arg.(value & opt float 1.0 & info [ "service-ms" ] ~docv:"MS" ~doc:"Per-message service time.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Open-loop load study with a per-message service time")
+    Term.(const load_study $ seed_arg $ ops_arg 300 $ service_ms)
+
+let bandwidth seed ops write_ratio =
+  let t = Table.create ~header:[ "protocol"; "msgs/request"; "bytes/request" ] in
+  List.iter
+    (fun (name, mpr, bpr) ->
+      Table.add_row t [ name; Printf.sprintf "%.1f" mpr; Printf.sprintf "%.0f" bpr ])
+    (E.bandwidth ~seed ~ops ~write_ratio ());
+  Table.print t
+
+let bandwidth_cmd =
+  let w = Arg.(value & opt float 0.25 & info [ "w" ] ~docv:"W" ~doc:"Write ratio.") in
+  Cmd.v
+    (Cmd.info "bandwidth" ~doc:"Measured messages and bytes per request")
+    Term.(const bandwidth $ seed_arg $ ops_arg 200 $ w)
+
+let () =
+  let doc = "dual-quorum replication for edge services - experiments" in
+  let info = Cmd.info "dqr" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig_cmd; ablation_cmd; run_cmd; avail_cmd; overhead_cmd; load_cmd; bandwidth_cmd ]))

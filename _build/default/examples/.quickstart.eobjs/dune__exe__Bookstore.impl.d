@@ -1,0 +1,1 @@
+examples/bookstore.ml: Dq_core Dq_intf Dq_net Dq_proto Dq_sim Dq_storage Dq_util Key List Printf

@@ -1,0 +1,1 @@
+examples/failover_partition.ml: Dq_core Dq_intf Dq_net Dq_sim Dq_storage Key Printf

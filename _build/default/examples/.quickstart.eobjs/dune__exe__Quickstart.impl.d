@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dq_core Dq_intf Dq_net Dq_sim Dq_storage Format Key Lc Printf Versioned

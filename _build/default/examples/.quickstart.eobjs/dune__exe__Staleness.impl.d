@@ -1,0 +1,1 @@
+examples/staleness.ml: Dq_harness Dq_net Dq_sim Dq_util Dq_workload List Printf

@@ -1,0 +1,84 @@
+(* Quickstart: a five-server DQVL cluster inside the simulator.
+
+   Shows the public API end to end: build a topology, create a cluster,
+   submit reads and writes from an application client, and watch the
+   volume-lease machinery at work (read miss -> read hit -> write
+   invalidation -> read miss again).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Cluster = Dq_core.Cluster
+module Config = Dq_core.Config
+module R = Dq_intf.Replication
+open Dq_storage
+
+let () =
+  (* Virtual time is milliseconds; everything is deterministic in the
+     seed. *)
+  let engine = Engine.create ~seed:1L () in
+
+  (* Five edge servers, one application client. The client is node 5
+     and its closest edge server is node 0 (8 ms away); other servers
+     are 86 ms away; servers are 80 ms apart. *)
+  let topology = Topology.make ~n_servers:5 ~n_clients:1 () in
+  let servers = Topology.servers topology in
+
+  (* The paper's default configuration: majority input quorum system
+     (writes), read-one/write-all output quorum system (reads), 5 s
+     volume leases kept fresh proactively. *)
+  let config = Config.dqvl ~servers () in
+  let cluster = Cluster.create engine topology config in
+  let api = Cluster.api cluster in
+
+  let client = 5 and home = 0 in
+  let profile = Key.make ~volume:0 ~index:42 in
+
+  let log fmt =
+    Printf.ksprintf (fun s -> Printf.printf "[%8.1f ms] %s\n" (Engine.now engine) s) fmt
+  in
+
+  let step4 () =
+    (* The write invalidated the cached copy, so this read misses,
+       revalidates from the IQS, and returns the new value. *)
+    api.R.submit_read ~client ~server:home profile (fun r ->
+        log "read 3 (miss after invalidation) -> %S lc=%s" r.R.read_value
+          (Format.asprintf "%a" Lc.pp r.R.read_lc))
+  in
+  let step3 () =
+    api.R.submit_write ~client ~server:home profile "address=9 Rue du Port, Lyon" (fun w ->
+        log "write 2 acknowledged by an IQS write quorum, lc=%s"
+          (Format.asprintf "%a" Lc.pp w.R.write_lc);
+        step4 ())
+  in
+  let step2 () =
+    (* The object and volume leases acquired by the first read make
+       this one a local read hit: ~16 ms instead of ~176 ms. *)
+    let start = Engine.now engine in
+    api.R.submit_read ~client ~server:home profile (fun r ->
+        log "read 2 (hit, %.1f ms) -> %S" (Engine.now engine -. start) r.R.read_value;
+        step3 ())
+  in
+  let step1 () =
+    let start = Engine.now engine in
+    api.R.submit_read ~client ~server:home profile (fun r ->
+        log "read 1 (miss, %.1f ms) -> %S (initial value)"
+          (Engine.now engine -. start) r.R.read_value;
+        step2 ())
+  in
+  api.R.submit_write ~client ~server:home profile "address=12 High St, Austin" (fun w ->
+      log "write 1 acknowledged, lc=%s" (Format.asprintf "%a" Lc.pp w.R.write_lc);
+      step1 ());
+
+  Engine.run ~until:60_000. engine;
+  api.R.quiesce ();
+
+  (* Peek inside: the home OQS node holds a valid cached copy. *)
+  (match Cluster.oqs_server cluster home with
+  | Some oqs ->
+    Printf.printf "\nhome OQS cache: %s (condition C %s)\n"
+      (Format.asprintf "%a" Versioned.pp (Dq_core.Oqs_server.cached oqs profile))
+      (if Dq_core.Oqs_server.is_locally_valid oqs profile then "holds" else "does not hold")
+  | None -> ());
+  print_endline "quickstart: done"

@@ -1,0 +1,1 @@
+lib/analysis/avail_model.ml: Dq_quorum Float Fun List

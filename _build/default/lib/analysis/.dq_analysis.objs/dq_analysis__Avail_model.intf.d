@@ -1,0 +1,1 @@
+lib/analysis/avail_model.mli: Dq_quorum

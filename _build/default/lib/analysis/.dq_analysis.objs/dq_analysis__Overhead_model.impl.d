@@ -1,0 +1,1 @@
+lib/analysis/overhead_model.ml:

@@ -1,0 +1,64 @@
+module Qs = Dq_quorum.Quorum_system
+module Av = Dq_quorum.Availability
+
+type protocol =
+  | Dqvl of { iqs : Qs.t; oqs : Qs.t }
+  | Majority of { n : int }
+  | Rowa of { n : int }
+  | Rowa_async_stale of { n : int }
+  | Rowa_async_no_stale
+  | Primary_backup
+  | Custom of { read : Qs.t; write : Qs.t }
+
+let dqvl_default ~n =
+  let members = List.init n Fun.id in
+  Dqvl { iqs = Qs.majority members; oqs = Qs.rowa members }
+
+let name = function
+  | Dqvl _ -> "dqvl"
+  | Majority _ -> "majority"
+  | Rowa _ -> "rowa"
+  | Rowa_async_stale _ -> "rowa-async"
+  | Rowa_async_no_stale -> "rowa-async-nostale"
+  | Primary_backup -> "primary-backup"
+  | Custom { read; _ } -> Qs.name read
+
+(* P(all n nodes fail) computed in probability space. *)
+let all_fail ~n ~p = p ** float_of_int n
+
+(* P(at least one of n nodes fails) = 1 - (1-p)^n, via expm1 to keep
+   precision for small p. *)
+let any_fail ~n ~p = -.Float.expm1 (float_of_int n *. Float.log1p (-.p))
+
+let members_of n = List.init n Fun.id
+
+let read_unavailability protocol ~p =
+  match protocol with
+  | Dqvl { iqs; oqs } ->
+    (* min(av_orq, av_irq) = 1 - max(unav_orq, unav_irq). *)
+    Float.max (Av.unavailability oqs ~mode:Av.Read ~p) (Av.unavailability iqs ~mode:Av.Read ~p)
+  | Majority { n } -> Av.unavailability (Qs.majority (members_of n)) ~mode:Av.Read ~p
+  | Rowa { n } -> all_fail ~n ~p
+  | Rowa_async_stale { n } -> all_fail ~n ~p
+  | Rowa_async_no_stale -> p
+  | Primary_backup -> p
+  | Custom { read; _ } -> Av.unavailability read ~mode:Av.Read ~p
+
+let write_unavailability protocol ~p =
+  match protocol with
+  | Dqvl { iqs; _ } ->
+    (* min(av_iwq, av_irq): both quorums live in the IQS. *)
+    Float.max
+      (Av.unavailability iqs ~mode:Av.Write ~p)
+      (Av.unavailability iqs ~mode:Av.Read ~p)
+  | Majority { n } -> Av.unavailability (Qs.majority (members_of n)) ~mode:Av.Write ~p
+  | Rowa { n } -> any_fail ~n ~p
+  | Rowa_async_stale { n } -> all_fail ~n ~p
+  | Rowa_async_no_stale -> p
+  | Primary_backup -> p
+  | Custom { write; _ } -> Av.unavailability write ~mode:Av.Write ~p
+
+let unavailability protocol ~p ~w =
+  ((1. -. w) *. read_unavailability protocol ~p) +. (w *. write_unavailability protocol ~p)
+
+let availability protocol ~p ~w = 1. -. unavailability protocol ~p ~w

@@ -1,0 +1,46 @@
+(** The availability models of Section 4.2 (Figure 8).
+
+    Availability is the fraction of client requests the system can
+    process while still guaranteeing regular semantics; nodes fail
+    independently with probability [p]. With write ratio [w]:
+
+    - {b DQVL}: av = (1-w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
+      (the paper's formula; reads need an OQS read quorum and, in the
+      pessimistic model, an IQS read quorum for renewals; writes need an
+      IQS write quorum and an IQS read quorum for the timestamp read).
+    - {b Majority quorum}: both operations need a majority.
+    - {b ROWA}: reads need one replica, writes all.
+    - {b ROWA-Async (stale reads allowed)}: any replica serves anything
+      — but reads may be arbitrarily stale.
+    - {b ROWA-Async (no stale reads)}: to guarantee a read reflects the
+      latest completed write, the replica holding that write must be
+      reachable; unavailability is dominated by a single-node failure
+      ([p]) and is insensitive to the replica count.
+    - {b Primary/backup}: every request needs the primary.
+
+    Unavailabilities are computed in probability space, so the 1e-9
+    and smaller values plotted by the paper keep full precision. *)
+
+type protocol =
+  | Dqvl of { iqs : Dq_quorum.Quorum_system.t; oqs : Dq_quorum.Quorum_system.t }
+  | Majority of { n : int }
+  | Rowa of { n : int }
+  | Rowa_async_stale of { n : int }
+  | Rowa_async_no_stale
+  | Primary_backup
+  | Custom of { read : Dq_quorum.Quorum_system.t; write : Dq_quorum.Quorum_system.t }
+      (** e.g. a grid quorum system *)
+
+val dqvl_default : n:int -> protocol
+(** Majority IQS and read-one/write-all OQS over [n] replicas. *)
+
+val read_unavailability : protocol -> p:float -> float
+
+val write_unavailability : protocol -> p:float -> float
+
+val unavailability : protocol -> p:float -> w:float -> float
+(** Request-weighted: [(1-w) * read + w * write] unavailability. *)
+
+val availability : protocol -> p:float -> w:float -> float
+
+val name : protocol -> string

@@ -1,0 +1,51 @@
+type sizes = { orq : int; owq : int; irq : int; iwq : int }
+
+let dqvl_sizes ~n_iqs ~n_oqs =
+  let q = (n_iqs / 2) + 1 in
+  { orq = 1; owq = n_oqs; irq = q; iwq = q }
+
+let f = float_of_int
+
+let read_hit s = 2. *. f s.orq
+
+let read_miss s = (2. *. f s.orq) +. (2. *. f s.orq *. f s.irq)
+
+let write_suppress s = (2. *. f s.irq) +. (2. *. f s.iwq)
+
+let write_through s = write_suppress s +. (2. *. f s.iwq *. f s.owq)
+
+let dqvl_with_hit_rates s ~w ~p_miss ~p_through =
+  let read_cost = ((1. -. p_miss) *. read_hit s) +. (p_miss *. read_miss s) in
+  let write_cost =
+    ((1. -. p_through) *. write_suppress s) +. (p_through *. write_through s)
+  in
+  ((1. -. w) *. read_cost) +. (w *. write_cost)
+
+let dqvl s ~w =
+  (* Independent draws: a read misses iff the previous operation on the
+     object was a write (probability w); a write must invalidate (write
+     through) iff the previous operation was a read (probability 1-w). *)
+  dqvl_with_hit_rates s ~w ~p_miss:w ~p_through:(1. -. w)
+
+let majority ~n ~w =
+  let q = f ((n / 2) + 1) in
+  let read_cost = 2. *. q in
+  let write_cost = (2. *. q) +. (2. *. q) in
+  ((1. -. w) *. read_cost) +. (w *. write_cost)
+
+let rowa ~n ~w =
+  let read_cost = 2. in
+  let write_cost = 2. *. f n in
+  ((1. -. w) *. read_cost) +. (w *. write_cost)
+
+let rowa_async ~n ~w =
+  let read_cost = 2. in
+  (* Local write acknowledged immediately, then one asynchronous
+     propagation message to each other replica. *)
+  let write_cost = 2. +. f (n - 1) in
+  ((1. -. w) *. read_cost) +. (w *. write_cost)
+
+let primary_backup ~n ~w =
+  let read_cost = 2. in
+  let write_cost = 2. +. f (n - 1) in
+  ((1. -. w) *. read_cost) +. (w *. write_cost)

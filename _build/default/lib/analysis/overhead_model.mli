@@ -1,0 +1,50 @@
+(** The communication-overhead model of Section 4.3 (Figure 9).
+
+    Expected number of message exchanges per client request, counting
+    every request and reply as one message with equal weight (the
+    paper's simplification). For DQVL the per-request cost depends on
+    whether the previous operation on the object was a read or a write;
+    with operations drawn independently at write ratio [w], steady
+    state gives P(read miss) = w and P(write through) = 1 - w:
+
+    - read hit: one exchange with an OQS read quorum, [2 |orq|];
+    - read miss: the hit cost plus each OQS read-quorum node renewing
+      from an IQS read quorum, [2 |orq| |irq|];
+    - write suppress: the timestamp read from an IQS read quorum plus
+      the write round to an IQS write quorum, [2 |irq| + 2 |iwq|];
+    - write through: the suppress cost plus each IQS write-quorum node
+      invalidating an OQS write quorum, [2 |iwq| |owq|].
+
+    Background volume-lease renewals are amortized over many objects
+    and excluded, as in the paper. *)
+
+type sizes = {
+  orq : int;  (** OQS read quorum size *)
+  owq : int;  (** OQS write quorum size *)
+  irq : int;  (** IQS read quorum size *)
+  iwq : int;  (** IQS write quorum size *)
+}
+
+val dqvl_sizes : n_iqs:int -> n_oqs:int -> sizes
+(** Majority IQS, read-one/write-all OQS. *)
+
+(** {2 Per-scenario DQVL costs} *)
+
+val read_hit : sizes -> float
+val read_miss : sizes -> float
+val write_suppress : sizes -> float
+val write_through : sizes -> float
+
+val dqvl : sizes -> w:float -> float
+(** Steady-state expected messages per request at write ratio [w]. *)
+
+val dqvl_with_hit_rates : sizes -> w:float -> p_miss:float -> p_through:float -> float
+(** Same, but with explicit miss/through probabilities (for bursty
+    workloads where consecutive same-kind operations dominate). *)
+
+(** {2 Baselines} *)
+
+val majority : n:int -> w:float -> float
+val rowa : n:int -> w:float -> float
+val rowa_async : n:int -> w:float -> float
+val primary_backup : n:int -> w:float -> float

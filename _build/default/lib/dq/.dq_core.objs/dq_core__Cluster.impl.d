@@ -1,0 +1,1 @@
+lib/dq/cluster.ml: Config Dq_intf Dq_net Dq_quorum Dq_sim Frontend Hashtbl Iqs_server List Message Option Oqs_server Printf

@@ -1,0 +1,1 @@
+lib/dq/cluster.mli: Config Dq_intf Dq_net Dq_sim Frontend Iqs_server Message Oqs_server

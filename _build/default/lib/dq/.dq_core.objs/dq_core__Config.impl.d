@@ -1,0 +1,1 @@
+lib/dq/config.ml: Dq_quorum Float

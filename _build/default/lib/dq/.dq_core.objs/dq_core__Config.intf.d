@@ -1,0 +1,1 @@
+lib/dq/config.mli: Dq_quorum

@@ -1,0 +1,1 @@
+lib/dq/frontend.ml: Config Dq_net Dq_rpc Dq_sim Dq_storage Dq_util Hashtbl Key Lc List Logs Message

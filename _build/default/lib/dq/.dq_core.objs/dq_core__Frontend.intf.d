@@ -1,0 +1,1 @@
+lib/dq/frontend.mli: Config Dq_net Dq_storage Dq_util Key Lc Message

@@ -1,0 +1,1 @@
+lib/dq/iqs_server.ml: Config Dq_net Dq_quorum Dq_rpc Dq_sim Dq_storage Hashtbl Key Lc List Logs Message Obj_map Option Versioned

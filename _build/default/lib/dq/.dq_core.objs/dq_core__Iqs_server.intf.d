@@ -1,0 +1,1 @@
+lib/dq/iqs_server.mli: Config Dq_net Dq_sim Dq_storage Key Lc Message Versioned

@@ -1,0 +1,1 @@
+lib/dq/message.ml: Dq_storage Format Key Lc List String

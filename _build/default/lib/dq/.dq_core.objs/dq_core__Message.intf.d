@@ -1,0 +1,1 @@
+lib/dq/message.mli: Dq_storage Format Key Lc

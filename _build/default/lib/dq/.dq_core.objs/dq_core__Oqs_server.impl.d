@@ -1,0 +1,1 @@
+lib/dq/oqs_server.ml: Config Dq_net Dq_quorum Dq_rpc Dq_sim Dq_storage Dq_util Float Hashtbl Key Lc List Logs Message Obj_map Option Stdlib Versioned

@@ -1,0 +1,1 @@
+lib/dq/oqs_server.mli: Config Dq_net Dq_sim Dq_storage Dq_util Key Message Versioned

@@ -1,0 +1,28 @@
+(** Wiring of a complete dual-quorum deployment inside the simulator.
+
+    Every server node of the topology hosts a front end; nodes listed in
+    the configuration's quorum systems additionally host an IQS and/or
+    OQS role. Application-client nodes get a thin stub that routes
+    replies back to submitted operations. Crashing a server wipes its
+    volatile state (OQS cache, front-end pending operations, in-flight
+    IQS loops) while IQS object state survives, per the paper's
+    fail-stop model. *)
+
+type t
+
+val create :
+  Dq_sim.Engine.t -> Dq_net.Topology.t -> ?faults:Dq_net.Net.fault_model -> Config.t -> t
+
+val api : t -> Dq_intf.Replication.api
+(** The protocol-independent interface used by the experiment harness. *)
+
+val net : t -> Message.t Dq_net.Net.t
+
+val config : t -> Config.t
+
+val iqs_server : t -> int -> Iqs_server.t option
+(** The IQS role of a node, for tests and examples. *)
+
+val oqs_server : t -> int -> Oqs_server.t option
+
+val frontend : t -> int -> Frontend.t option

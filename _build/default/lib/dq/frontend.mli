@@ -1,0 +1,38 @@
+(** The service client (front-end) role.
+
+    A front end runs on an edge server, receives application-client
+    requests, and executes the dual-quorum client protocol:
+
+    - a {b read} is a standard quorum read on the OQS (read quorum
+      size 1 in the common configuration, i.e. the co-located replica);
+      the reply with the highest logical clock wins;
+    - a {b write} first obtains the highest logical clock of any
+      completed write from an IQS read quorum, advances it, then sends
+      the write to an IQS write quorum and waits for its
+      acknowledgments.
+
+    Writes issued by this front end get strictly increasing timestamps
+    even when concurrent, by folding the front end's own last issued
+    timestamp into the advance. *)
+
+open Dq_storage
+
+type t
+
+val create :
+  net:Message.t Dq_net.Net.t -> config:Config.t -> rng:Dq_util.Rng.t -> me:int -> t
+
+val read : t -> key:Key.t -> on_done:(value:string -> lc:Lc.t -> unit) -> unit
+
+val write : t -> key:Key.t -> value:string -> on_done:(lc:Lc.t -> unit) -> unit
+
+val handle : t -> src:int -> Message.t -> unit
+(** Route [Oqs_read_reply], [Lc_read_reply] and [Iqs_write_ack] to the
+    matching pending operation; handle [Client_read_req] and
+    [Client_write_req] by running the operation and replying to the
+    application client. Other messages are ignored. *)
+
+val on_recover : t -> unit
+(** Drop all pending operations (their callbacks never fire). *)
+
+val pending_operations : t -> int

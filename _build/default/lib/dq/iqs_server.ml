@@ -1,0 +1,368 @@
+open Dq_storage
+module Qs = Dq_quorum.Quorum_system
+module Net = Dq_net.Net
+module Clock = Dq_sim.Clock
+
+(* Per-object durable state: the stored version, the logical clock of
+   the last write at the time of the last lease grant (lastReadLC), and
+   the highest acknowledged invalidation per OQS node (lastAckLC). *)
+type obj_state = {
+  mutable value : Versioned.t;
+  mutable last_read : Lc.t;
+  acks : (int, Lc.t) Hashtbl.t;
+  grants : (int, float) Hashtbl.t;
+      (* per OQS node: local-clock expiry of the last object lease
+         granted to it; only consulted when object leases are finite *)
+}
+
+(* Per (volume, OQS node) lease state. [barrier] records the highest
+   logical clock discarded by an epoch advance: the epoch bump makes the
+   peer treat all objects of the volume as invalid, so any invalidation
+   at or below [barrier] counts as delivered. *)
+type vol_peer = {
+  mutable expires : float;
+  mutable epoch : int;
+  mutable barrier : Lc.t;
+  delayed : (Key.t, Lc.t) Hashtbl.t;
+}
+
+type durable = {
+  mutable global_lc : Lc.t;
+  objects : (Key.t, obj_state) Obj_map.t;
+  vol_peers : (int * int, vol_peer) Obj_map.t; (* (volume, oqs node id) *)
+}
+
+type t = {
+  net : Message.t Net.t;
+  clock : Clock.t;
+  config : Config.t;
+  me : int;
+  durable : durable;
+  mutable loops : (Key.t, Dq_rpc.Retry.t list ref) Hashtbl.t;
+}
+
+let log_src = Logs.Src.create "dq.iqs" ~doc:"DQVL input-quorum-system servers"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let fresh_obj _key =
+  {
+    value = Versioned.initial;
+    last_read = Lc.zero;
+    acks = Hashtbl.create 8;
+    grants = Hashtbl.create 8;
+  }
+
+let fresh_vol_peer _ =
+  { expires = neg_infinity; epoch = 0; barrier = Lc.zero; delayed = Hashtbl.create 8 }
+
+let create ~net ~clock ~config ~me =
+  {
+    net;
+    clock;
+    config;
+    me;
+    durable =
+      {
+        global_lc = Lc.zero;
+        objects = Obj_map.of_key_default ~default:fresh_obj;
+        vol_peers =
+          Obj_map.create
+            ~hash:(fun (v, j) -> (v * 65599) + j)
+            ~equal:(fun (a, b) (c, d) -> a = c && b = d)
+            ~default:fresh_vol_peer;
+      };
+    loops = Hashtbl.create 16;
+  }
+
+let obj t key = Obj_map.get t.durable.objects key
+
+let vol_peer t ~volume ~oqs = Obj_map.get t.durable.vol_peers (volume, oqs)
+
+let ack_of o j = Option.value (Hashtbl.find_opt o.acks j) ~default:Lc.zero
+
+let record_ack t key j lc =
+  let o = obj t key in
+  Hashtbl.replace o.acks j (Lc.max (ack_of o j) lc)
+
+let send t dst msg = Net.send t.net ~src:t.me ~dst msg
+
+let now t = Clock.now t.clock
+
+(* --- delayed invalidations ------------------------------------------- *)
+
+(* True when the queued (or epoch-subsumed) invalidations for [key] at
+   peer [j] cover logical clock [wlc]. *)
+let delayed_covers vp key wlc =
+  Lc.(vp.barrier >= wlc)
+  || match Hashtbl.find_opt vp.delayed key with
+     | Some lc -> Lc.(lc >= wlc)
+     | None -> false
+
+let enqueue_delayed t vp key wlc =
+  let lc =
+    match Hashtbl.find_opt vp.delayed key with
+    | Some old -> Lc.max old wlc
+    | None -> wlc
+  in
+  Hashtbl.replace vp.delayed key lc;
+  Log.debug (fun m -> m "node %d: delayed invalidation %a lc=%a queued" t.me Key.pp key Lc.pp lc);
+  if Hashtbl.length vp.delayed > t.config.max_delayed then begin
+    (* Bound the queue with an epoch advance (paper: garbage collection
+       of delayed invalidations): the peer's next renewal carries a new
+       epoch, invalidating every object lease of the volume at once. *)
+    Hashtbl.iter (fun _ lc -> vp.barrier <- Lc.max vp.barrier lc) vp.delayed;
+    Hashtbl.reset vp.delayed;
+    vp.epoch <- vp.epoch + 1;
+    Log.debug (fun m -> m "node %d: delayed queue overflow, epoch -> %d" t.me vp.epoch)
+  end
+
+(* --- write processing ------------------------------------------------ *)
+
+(* Is peer [j] unable to read any version of [key] older than [wlc]?
+   May enqueue a delayed invalidation as a side effect (case "delay"). *)
+(* With finite object leases, a peer whose lease on [key] has lapsed
+   (or was never granted) cannot serve the object at all - no
+   invalidation of any kind is needed (paper footnote 4). *)
+let object_lease_lapsed t o j =
+  match t.config.object_lease_ms with
+  | None -> false
+  | Some _ -> (
+    match Hashtbl.find_opt o.grants j with
+    | None -> true
+    | Some expiry -> now t > expiry)
+
+let peer_settled t ~key ~wlc j =
+  let o = obj t key in
+  let ack = ack_of o j in
+  Lc.(ack > o.last_read) (* suppress: no valid callback at j *)
+  || Lc.(ack >= wlc) (* j acknowledged this (or a newer) invalidation *)
+  || object_lease_lapsed t o j
+  || t.config.use_volume_leases
+     &&
+     let vp = vol_peer t ~volume:(Key.volume key) ~oqs:j in
+     now t > vp.expires
+     && begin
+          if not (delayed_covers vp key wlc) then enqueue_delayed t vp key wlc;
+          delayed_covers vp key wlc
+        end
+
+let owq_invalid t ~key ~wlc =
+  Qs.is_write_quorum t.config.oqs ~present:(peer_settled t ~key ~wlc)
+
+let register_loop t key loop =
+  match Hashtbl.find_opt t.loops key with
+  | Some loops -> loops := loop :: !loops
+  | None -> Hashtbl.add t.loops key (ref [ loop ])
+
+let unregister_loop t key loop =
+  match Hashtbl.find_opt t.loops key with
+  | Some loops ->
+    loops := List.filter (fun l -> l != loop) !loops;
+    if !loops = [] then Hashtbl.remove t.loops key
+  | None -> ()
+
+let poke_loops t key =
+  match Hashtbl.find_opt t.loops key with
+  | Some loops -> List.iter Dq_rpc.Retry.poke !loops
+  | None -> ()
+
+(* Drive the OQS write quorum to a state where it cannot serve any
+   version of [key] older than [wlc], then call [on_done]. *)
+let ensure_owq_invalid t ~key ~wlc ~on_done =
+  let loop_cell = ref None in
+  let poke_self () =
+    match !loop_cell with Some loop -> Dq_rpc.Retry.poke loop | None -> ()
+  in
+  let attempt ~round:_ =
+    let inval_lc = Lc.max wlc (obj t key).value.lc in
+    let visit j =
+      if not (peer_settled t ~key ~wlc j) then begin
+        send t j (Message.Inval { key; lc = inval_lc });
+        (* If j's lease expires before it acknowledges (e.g. j crashed),
+           re-evaluate right after expiry so the write blocks for at
+           most the lease duration. *)
+        if t.config.use_volume_leases then begin
+          let vp = vol_peer t ~volume:(Key.volume key) ~oqs:j in
+          if vp.expires > now t then begin
+            let delay_ms = Clock.delay_until t.clock vp.expires +. 1. in
+            ignore (Net.timer t.net ~node:t.me ~delay_ms poke_self)
+          end
+        end
+      end
+    in
+    List.iter visit (Qs.members t.config.oqs)
+  in
+  let complete () = owq_invalid t ~key ~wlc in
+  let finish whom () =
+    (match !loop_cell with Some loop -> unregister_loop t key loop | None -> ());
+    whom ()
+  in
+  let loop =
+    Dq_rpc.Retry.start
+      ~timer:(fun ~delay_ms action -> Net.timer t.net ~node:t.me ~delay_ms action)
+      ~attempt ~complete
+      ~on_complete:(finish on_done)
+      ~timeout_ms:t.config.retry_timeout_ms ~backoff:t.config.retry_backoff ()
+  in
+  if not (Dq_rpc.Retry.is_done loop) then begin
+    loop_cell := Some loop;
+    register_loop t key loop
+  end
+
+let handle_write t ~src ~op ~key ~value ~lc =
+  let o = obj t key in
+  if Lc.(lc > o.value.lc) then begin
+    o.value <- Versioned.make ~value ~lc;
+    t.durable.global_lc <- Lc.max t.durable.global_lc lc
+  end;
+  let suppressed = owq_invalid t ~key ~wlc:lc in
+  Log.debug (fun m ->
+      m "node %d: write %a lc=%a from %d (%s)" t.me Key.pp key Lc.pp lc src
+        (if suppressed then "write suppress" else "write through"));
+  ensure_owq_invalid t ~key ~wlc:lc ~on_done:(fun () ->
+      send t src (Message.Iqs_write_ack { op; key; lc }))
+
+(* --- lease grants ----------------------------------------------------- *)
+
+let obj_grant t ~key ~requester ~t0 =
+  let o = obj t key in
+  o.last_read <- Lc.max o.last_read o.value.lc;
+  let epoch =
+    if t.config.use_volume_leases then
+      (vol_peer t ~volume:(Key.volume key) ~oqs:requester).epoch
+    else 0
+  in
+  let lease_ms =
+    match t.config.object_lease_ms with
+    | Some lease ->
+      Hashtbl.replace o.grants requester (now t +. lease);
+      lease
+    | None -> infinity
+  in
+  {
+    Message.g_key = key;
+    g_epoch = epoch;
+    g_lc = o.value.lc;
+    g_value = o.value.value;
+    g_lease_ms = lease_ms;
+    g_t0 = t0;
+  }
+
+let handle_obj_renew t ~src ~key ~t0 =
+  let grant = obj_grant t ~key ~requester:src ~t0 in
+  send t src (Message.Obj_renew_reply { grant })
+
+(* Grant one volume's lease and collect its delayed invalidations
+   (shared by the single and batched renewal paths). *)
+let grant_volume t ~src volume =
+  let vp = vol_peer t ~volume ~oqs:src in
+  vp.expires <- now t +. t.config.volume_lease_ms;
+  let delayed = Hashtbl.fold (fun k lc acc -> (k, lc) :: acc) vp.delayed [] in
+  (vp.epoch, delayed)
+
+let handle_vols_renew t ~src ~volumes ~t0 =
+  let grants =
+    List.map
+      (fun volume ->
+        let epoch, delayed = grant_volume t ~src volume in
+        (volume, epoch, delayed))
+      volumes
+  in
+  send t src
+    (Message.Vols_renew_reply { t0; lease_ms = t.config.volume_lease_ms; grants })
+
+let handle_vol_renew t ~src ~volume ~t0 ~want =
+  let vp = vol_peer t ~volume ~oqs:src in
+  Log.debug (fun m ->
+      m "node %d: volume %d lease granted to %d (epoch %d, %d delayed)" t.me volume src
+        vp.epoch (Hashtbl.length vp.delayed));
+  vp.expires <- now t +. t.config.volume_lease_ms;
+  let delayed = Hashtbl.fold (fun k lc acc -> (k, lc) :: acc) vp.delayed [] in
+  let grant = Option.map (fun key -> obj_grant t ~key ~requester:src ~t0) want in
+  send t src
+    (Message.Vol_renew_reply
+       { volume; lease_ms = t.config.volume_lease_ms; epoch = vp.epoch; t0; delayed; grant })
+
+let handle_vol_renew_ack t ~src ~volume ~upto =
+  let vp = vol_peer t ~volume ~oqs:src in
+  let cleared =
+    Hashtbl.fold
+      (fun key lc acc -> if Lc.(lc <= upto) then (key, lc) :: acc else acc)
+      vp.delayed []
+  in
+  List.iter
+    (fun (key, lc) ->
+      Hashtbl.remove vp.delayed key;
+      (* The peer has applied these invalidations (it acknowledged the
+         renewal reply that carried them), so they count as acked. *)
+      record_ack t key src lc;
+      poke_loops t key)
+    cleared
+
+let handle_inval_ack t ~src ~key ~lc =
+  record_ack t key src lc;
+  poke_loops t key
+
+let handle t ~src msg =
+  match msg with
+  | Message.Lc_read_req { op } ->
+    send t src (Message.Lc_read_reply { op; lc = t.durable.global_lc })
+  | Message.Iqs_write_req { op; key; value; lc } -> handle_write t ~src ~op ~key ~value ~lc
+  | Message.Obj_renew_req { key; t0 } -> handle_obj_renew t ~src ~key ~t0
+  | Message.Vol_renew_req { volume; t0; want } -> handle_vol_renew t ~src ~volume ~t0 ~want
+  | Message.Vol_renew_ack { volume; upto } -> handle_vol_renew_ack t ~src ~volume ~upto
+  | Message.Vols_renew_req { volumes; t0 } -> handle_vols_renew t ~src ~volumes ~t0
+  | Message.Inval_ack { key; lc } -> handle_inval_ack t ~src ~key ~lc
+  | Message.Client_read_req _ | Message.Client_read_reply _ | Message.Client_write_req _
+  | Message.Client_write_reply _ | Message.Oqs_read_req _ | Message.Oqs_read_reply _
+  | Message.Lc_read_reply _ | Message.Iqs_write_ack _ | Message.Obj_renew_reply _
+  | Message.Vol_renew_reply _ | Message.Vols_renew_reply _ | Message.Inval _ ->
+    ()
+
+let on_recover t = t.loops <- Hashtbl.create 16
+
+(* --- introspection ---------------------------------------------------- *)
+
+let logical_clock t = t.durable.global_lc
+
+let stored t key = (obj t key).value
+
+let last_read_lc t key = (obj t key).last_read
+
+let last_ack_lc t key ~oqs = ack_of (obj t key) oqs
+
+let lease_expires t ~volume ~oqs =
+  match Obj_map.find_opt t.durable.vol_peers (volume, oqs) with
+  | Some vp -> vp.expires
+  | None -> neg_infinity
+
+let epoch t ~volume ~oqs =
+  match Obj_map.find_opt t.durable.vol_peers (volume, oqs) with
+  | Some vp -> vp.epoch
+  | None -> 0
+
+let delayed_count t ~volume ~oqs =
+  match Obj_map.find_opt t.durable.vol_peers (volume, oqs) with
+  | Some vp -> Hashtbl.length vp.delayed
+  | None -> 0
+
+let local_time t = now t
+
+let lease_valid_for t ~volume ~oqs =
+  (not t.config.use_volume_leases)
+  ||
+  match Obj_map.find_opt t.durable.vol_peers (volume, oqs) with
+  | Some vp -> vp.expires > now t
+  | None -> false
+
+(* Could this IQS node believe that [oqs] holds a valid callback on
+   [key]? False only when the node has positive proof of invalidity
+   (acknowledged invalidation newer than any grant, or a lapsed finite
+   object lease). *)
+let callback_possible t key ~oqs =
+  let o = obj t key in
+  (not Lc.(ack_of o oqs > o.last_read)) && not (object_lease_lapsed t o oqs)
+
+let active_write_loops t =
+  Hashtbl.fold (fun _ loops acc -> acc + List.length !loops) t.loops 0

@@ -1,0 +1,137 @@
+open Dq_storage
+
+type obj_grant = {
+  g_key : Key.t;
+  g_epoch : int;
+  g_lc : Lc.t;
+  g_value : string;
+  g_lease_ms : float;  (** object lease duration; [infinity] = callback *)
+  g_t0 : float;        (** echo of the requestor's local send time *)
+}
+
+type t =
+  | Client_read_req of { op : int; key : Key.t }
+  | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Client_write_req of { op : int; key : Key.t; value : string }
+  | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Oqs_read_req of { op : int; key : Key.t }
+  | Oqs_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Lc_read_req of { op : int }
+  | Lc_read_reply of { op : int; lc : Lc.t }
+  | Iqs_write_req of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Iqs_write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Obj_renew_req of { key : Key.t; t0 : float }
+  | Obj_renew_reply of { grant : obj_grant }
+  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option }
+  | Vol_renew_reply of {
+      volume : int;
+      lease_ms : float;
+      epoch : int;
+      t0 : float;
+      delayed : (Key.t * Lc.t) list;
+      grant : obj_grant option;
+    }
+  | Vol_renew_ack of { volume : int; upto : Lc.t }
+  | Vols_renew_req of { volumes : int list; t0 : float }
+  | Vols_renew_reply of {
+      t0 : float;
+      lease_ms : float;
+      grants : (int * int * (Key.t * Lc.t) list) list;
+    }
+  | Inval of { key : Key.t; lc : Lc.t }
+  | Inval_ack of { key : Key.t; lc : Lc.t }
+
+let classify = function
+  | Client_read_req _ -> "client_read_req"
+  | Client_read_reply _ -> "client_read_reply"
+  | Client_write_req _ -> "client_write_req"
+  | Client_write_reply _ -> "client_write_reply"
+  | Oqs_read_req _ -> "oqs_read_req"
+  | Oqs_read_reply _ -> "oqs_read_reply"
+  | Lc_read_req _ -> "lc_read_req"
+  | Lc_read_reply _ -> "lc_read_reply"
+  | Iqs_write_req _ -> "iqs_write_req"
+  | Iqs_write_ack _ -> "iqs_write_ack"
+  | Obj_renew_req _ -> "obj_renew_req"
+  | Obj_renew_reply _ -> "obj_renew_reply"
+  | Vol_renew_req _ -> "vol_renew_req"
+  | Vol_renew_reply _ -> "vol_renew_reply"
+  | Vol_renew_ack _ -> "vol_renew_ack"
+  | Vols_renew_req _ -> "vols_renew_req"
+  | Vols_renew_reply _ -> "vols_renew_reply"
+  | Inval _ -> "inval"
+  | Inval_ack _ -> "inval_ack"
+
+(* Wire-size model: 48-byte header (addressing, type, checksums), 8 B
+   per identifier/clock/number field, payloads at their length. *)
+let header = 48
+
+let key_sz = 8
+
+let lc_sz = 12
+
+let grant_size (g : obj_grant) = key_sz + 8 + lc_sz + String.length g.g_value + 8 + 8
+
+let size_of = function
+  | Client_read_req _ -> header + 8 + key_sz
+  | Client_read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Client_write_req { value; _ } -> header + 8 + key_sz + String.length value
+  | Client_write_reply _ -> header + 8 + key_sz + lc_sz
+  | Oqs_read_req _ -> header + 8 + key_sz
+  | Oqs_read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Lc_read_req _ -> header + 8
+  | Lc_read_reply _ -> header + 8 + lc_sz
+  | Iqs_write_req { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Iqs_write_ack _ -> header + 8 + key_sz + lc_sz
+  | Obj_renew_req _ -> header + key_sz + 8
+  | Obj_renew_reply { grant } -> header + grant_size grant
+  | Vol_renew_req _ -> header + 8 + 8 + key_sz
+  | Vol_renew_reply { delayed; grant; _ } ->
+    header + 8 + 8 + 8 + 8
+    + (List.length delayed * (key_sz + lc_sz))
+    + (match grant with Some g -> grant_size g | None -> 0)
+  | Vol_renew_ack _ -> header + 8 + lc_sz
+  | Vols_renew_req { volumes; _ } -> header + 8 + (8 * List.length volumes)
+  | Vols_renew_reply { grants; _ } ->
+    header + 8 + 8
+    + List.fold_left
+        (fun acc (_, _, delayed) -> acc + 16 + (List.length delayed * (key_sz + lc_sz)))
+        0 grants
+  | Inval _ -> header + key_sz + lc_sz
+  | Inval_ack _ -> header + key_sz + lc_sz
+
+let pp ppf t =
+  match t with
+  | Client_read_req { op; key } -> Format.fprintf ppf "Client_read_req(op=%d,%a)" op Key.pp key
+  | Client_read_reply { op; key; lc; _ } ->
+    Format.fprintf ppf "Client_read_reply(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Client_write_req { op; key; _ } ->
+    Format.fprintf ppf "Client_write_req(op=%d,%a)" op Key.pp key
+  | Client_write_reply { op; key; lc } ->
+    Format.fprintf ppf "Client_write_reply(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Oqs_read_req { op; key } -> Format.fprintf ppf "Oqs_read_req(op=%d,%a)" op Key.pp key
+  | Oqs_read_reply { op; key; lc; _ } ->
+    Format.fprintf ppf "Oqs_read_reply(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Lc_read_req { op } -> Format.fprintf ppf "Lc_read_req(op=%d)" op
+  | Lc_read_reply { op; lc } -> Format.fprintf ppf "Lc_read_reply(op=%d,lc=%a)" op Lc.pp lc
+  | Iqs_write_req { op; key; lc; _ } ->
+    Format.fprintf ppf "Iqs_write_req(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Iqs_write_ack { op; key; lc } ->
+    Format.fprintf ppf "Iqs_write_ack(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Obj_renew_req { key; _ } -> Format.fprintf ppf "Obj_renew_req(%a)" Key.pp key
+  | Obj_renew_reply { grant } ->
+    Format.fprintf ppf "Obj_renew_reply(%a,e=%d,lc=%a)" Key.pp grant.g_key grant.g_epoch
+      Lc.pp grant.g_lc
+  | Vol_renew_req { volume; want; _ } ->
+    Format.fprintf ppf "Vol_renew_req(v%d%s)" volume
+      (match want with Some k -> "+" ^ Key.to_string k | None -> "")
+  | Vol_renew_reply { volume; epoch; delayed; _ } ->
+    Format.fprintf ppf "Vol_renew_reply(v%d,e=%d,|di|=%d)" volume epoch (List.length delayed)
+  | Vol_renew_ack { volume; upto } ->
+    Format.fprintf ppf "Vol_renew_ack(v%d,upto=%a)" volume Lc.pp upto
+  | Vols_renew_req { volumes; _ } ->
+    Format.fprintf ppf "Vols_renew_req(%d volumes)" (List.length volumes)
+  | Vols_renew_reply { grants; _ } ->
+    Format.fprintf ppf "Vols_renew_reply(%d volumes)" (List.length grants)
+  | Inval { key; lc } -> Format.fprintf ppf "Inval(%a,lc=%a)" Key.pp key Lc.pp lc
+  | Inval_ack { key; lc } -> Format.fprintf ppf "Inval_ack(%a,lc=%a)" Key.pp key Lc.pp lc

@@ -1,0 +1,76 @@
+(** The wire protocol of the dual-quorum system.
+
+    One variant covers all four conversations:
+    - application client <-> front end ([Client_*]),
+    - front end (service client) <-> OQS ([Oqs_read_*]),
+    - front end (service client) <-> IQS ([Lc_read_*], [Iqs_write_*]),
+    - OQS <-> IQS lease traffic ([*_renew_*], [Inval], [Inval_ack]).
+
+    [op] identifiers are unique per issuing node and route replies back
+    to the matching pending operation. Lease-protocol messages carry no
+    such identifier: their effects on receiver state are monotone, so
+    they are applied idempotently and pending work is re-evaluated. *)
+
+open Dq_storage
+
+type obj_grant = {
+  g_key : Key.t;
+  g_epoch : int;
+  g_lc : Lc.t;
+  g_value : string;
+  g_lease_ms : float;  (** object lease duration; [infinity] = callback *)
+  g_t0 : float;        (** echo of the requestor's local send time *)
+}
+(** The payload of an object lease grant (renewal reply). *)
+
+type t =
+  | Client_read_req of { op : int; key : Key.t }
+  | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Client_write_req of { op : int; key : Key.t; value : string }
+  | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Oqs_read_req of { op : int; key : Key.t }
+  | Oqs_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Lc_read_req of { op : int }
+  | Lc_read_reply of { op : int; lc : Lc.t }
+  | Iqs_write_req of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Iqs_write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Obj_renew_req of { key : Key.t; t0 : float }
+  | Obj_renew_reply of { grant : obj_grant }
+  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option }
+      (** [t0] is the requestor's local send time, echoed in the reply
+          for drift-compensated expiry. [want] piggybacks an object
+          renewal (the paper's "combined volume renewal and object
+          read"). *)
+  | Vol_renew_reply of {
+      volume : int;
+      lease_ms : float;
+      epoch : int;
+      t0 : float;
+      delayed : (Key.t * Lc.t) list;
+      grant : obj_grant option;
+    }
+  | Vol_renew_ack of { volume : int; upto : Lc.t }
+      (** Acknowledges application of the delayed invalidations up to
+          logical clock [upto]. *)
+  | Vols_renew_req of { volumes : int list; t0 : float }
+      (** Batched renewal (see {!Config.batch_renewals}): one message
+          renews every listed volume's lease. *)
+  | Vols_renew_reply of {
+      t0 : float;
+      lease_ms : float;
+      grants : (int * int * (Key.t * Lc.t) list) list;
+          (** per volume: (volume, epoch, delayed invalidations) *)
+    }
+  | Inval of { key : Key.t; lc : Lc.t }
+  | Inval_ack of { key : Key.t; lc : Lc.t }
+
+val classify : t -> string
+(** Short label for message accounting (Figure 9). *)
+
+val size_of : t -> int
+(** Estimated wire size in bytes, for bandwidth accounting: a fixed
+    header plus per-field costs (8 B per key/clock/number, plus value
+    payload lengths). The paper weighs all messages equally; this model
+    refines Figure 9 into bytes per request. *)
+
+val pp : Format.formatter -> t -> unit

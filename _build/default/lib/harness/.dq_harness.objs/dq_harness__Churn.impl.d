@@ -1,0 +1,1 @@
+lib/harness/churn.ml: Dq_sim Dq_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/harness/churn.mli: Dq_sim

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Dq_intf Dq_net Dq_sim Dq_util Dq_workload History List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Dq_intf Dq_net Dq_sim Dq_util Dq_workload History

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Churn Dq_analysis Dq_core Dq_intf Dq_net Dq_quorum Dq_sim Dq_storage Dq_util Dq_workload Driver Float Fun List Option Printf Registry Regular_checker Staleness

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Dq_net Dq_workload Registry

@@ -1,0 +1,1 @@
+lib/harness/explore.ml: Dq_core Dq_intf Dq_net Dq_sim Dq_storage Dq_util Hashtbl History Int64 Key List Queue Regular_checker

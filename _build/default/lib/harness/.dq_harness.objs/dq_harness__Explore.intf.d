@@ -1,0 +1,1 @@
+lib/harness/explore.mli: Dq_core History

@@ -1,0 +1,1 @@
+lib/harness/fuzz.ml: Dq_net Dq_sim Dq_storage Dq_util Dq_workload Driver Format Invariant Key List Printf Registry Regular_checker

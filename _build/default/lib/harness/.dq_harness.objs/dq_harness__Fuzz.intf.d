@@ -1,0 +1,1 @@
+lib/harness/fuzz.mli: Format Registry

@@ -1,0 +1,1 @@
+lib/harness/history.ml: Dq_storage Hashtbl Int Key Lc List

@@ -1,0 +1,1 @@
+lib/harness/invariant.ml: Dq_core Dq_quorum Dq_sim Dq_storage Format Key List

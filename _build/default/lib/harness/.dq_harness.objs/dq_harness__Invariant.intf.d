@@ -1,0 +1,1 @@
+lib/harness/invariant.mli: Dq_core Dq_sim Dq_storage Format

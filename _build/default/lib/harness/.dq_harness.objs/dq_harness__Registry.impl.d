@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Dq_core Dq_intf Dq_net Dq_proto Dq_quorum Dq_sim List Printf

@@ -1,0 +1,1 @@
+lib/harness/registry.mli: Dq_core Dq_intf Dq_net Dq_sim

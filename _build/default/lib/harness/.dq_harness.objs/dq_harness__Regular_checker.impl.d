@@ -1,0 +1,1 @@
+lib/harness/regular_checker.ml: Dq_storage Format Hashtbl History Int Key Lc List Option

@@ -1,0 +1,1 @@
+lib/harness/regular_checker.mli: Dq_storage Format History

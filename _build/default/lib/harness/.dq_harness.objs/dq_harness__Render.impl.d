@@ -1,0 +1,1 @@
+lib/harness/render.ml: Dq_util Experiment List Printf

@@ -1,0 +1,1 @@
+lib/harness/staleness.ml: Dq_storage Float Format Hashtbl History Key Lc List Option Stdlib

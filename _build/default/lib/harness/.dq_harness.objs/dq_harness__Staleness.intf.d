@@ -1,0 +1,1 @@
+lib/harness/staleness.mli: Format History

@@ -1,0 +1,86 @@
+module Engine = Dq_sim.Engine
+module Rng = Dq_util.Rng
+
+type node_churn = {
+  id : int;
+  mutable down_since : float option;
+  mutable total_down : float;
+  mutable started : float;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  crash : int -> unit;
+  recover : int -> unit;
+  mttf_ms : float;
+  mttr_ms : float;
+  nodes : (int, node_churn) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let periods_for ~p ~cycle_ms =
+  if p <= 0. || p >= 1. then invalid_arg "Churn.periods_for: p must be in (0, 1)";
+  (cycle_ms *. (1. -. p), cycle_ms *. p)
+
+let rec schedule_crash t node =
+  let delay = Rng.exponential t.rng ~mean:t.mttf_ms in
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         if not t.stopped then begin
+           t.crash node.id;
+           node.down_since <- Some (Engine.now t.engine);
+           schedule_recover t node
+         end))
+
+and schedule_recover t node =
+  let delay = Rng.exponential t.rng ~mean:t.mttr_ms in
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         if not t.stopped then begin
+           t.recover node.id;
+           (match node.down_since with
+           | Some since -> node.total_down <- node.total_down +. (Engine.now t.engine -. since)
+           | None -> ());
+           node.down_since <- None;
+           schedule_crash t node
+         end))
+
+let install engine ~crash ~recover ~servers ~mttf_ms ~mttr_ms =
+  if mttf_ms <= 0. || mttr_ms <= 0. then invalid_arg "Churn.install: periods must be positive";
+  let t =
+    {
+      engine;
+      rng = Engine.split_rng engine;
+      crash;
+      recover;
+      mttf_ms;
+      mttr_ms;
+      nodes = Hashtbl.create 16;
+      stopped = false;
+    }
+  in
+  List.iter
+    (fun id ->
+      let node = { id; down_since = None; total_down = 0.; started = Engine.now engine } in
+      Hashtbl.replace t.nodes id node;
+      schedule_crash t node)
+    servers;
+  t
+
+let stop t = t.stopped <- true
+
+let downtime_fraction t ~node =
+  match Hashtbl.find_opt t.nodes node with
+  | None -> 0.
+  | Some n ->
+    let elapsed = Dq_sim.Engine.now t.engine -. n.started in
+    if elapsed <= 0. then 0.
+    else
+      let down =
+        n.total_down
+        +. (match n.down_since with
+           | Some since -> Dq_sim.Engine.now t.engine -. since
+           | None -> 0.)
+      in
+      down /. elapsed

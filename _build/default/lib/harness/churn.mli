@@ -1,0 +1,30 @@
+(** Continuous crash/recovery churn for availability experiments.
+
+    Each server alternates between up-periods drawn from an exponential
+    distribution with mean [mttf_ms] and down-periods with mean
+    [mttr_ms], independently of the others — the paper's model of
+    independent node failures. The steady-state probability of finding
+    a node down is [p = mttr / (mttf + mttr)]; use {!periods_for} to
+    derive periods from a target [p]. *)
+
+type t
+
+val install :
+  Dq_sim.Engine.t ->
+  crash:(int -> unit) ->
+  recover:(int -> unit) ->
+  servers:int list ->
+  mttf_ms:float ->
+  mttr_ms:float ->
+  t
+(** Starts every server up; the first crash of each server fires after
+    an exponential up-period. Runs until {!stop}. *)
+
+val stop : t -> unit
+
+val periods_for : p:float -> cycle_ms:float -> float * float
+(** [periods_for ~p ~cycle_ms] is [(mttf_ms, mttr_ms)] with
+    [mttf + mttr = cycle_ms] and steady-state unavailability [p]. *)
+
+val downtime_fraction : t -> node:int -> float
+(** Observed fraction of elapsed time the node has spent down. *)

@@ -1,0 +1,64 @@
+(** The closed-loop experiment driver.
+
+    Reproduces the paper's measurement methodology: each application
+    client sends its next request only after receiving the response to
+    the current one (Section 4.1). Requests are routed to the client's
+    closest edge server or, with probability [1 - locality], to a
+    random distant one. Per-operation latencies, message counts and the
+    full operation history (for the consistency checker) are recorded.
+
+    Operations that receive no response within [timeout_ms] are counted
+    as failed and the client moves on — this is how availability is
+    measured under crash/partition scenarios. *)
+
+type config = {
+  spec : Dq_workload.Spec.t;
+  ops_per_client : int;
+  warmup_ops : int;  (** initial per-client operations excluded from latency stats *)
+  timeout_ms : float;
+  horizon_ms : float;  (** hard stop for the simulation *)
+  redirect_to_up : bool;
+      (** model the paper's request-redirection architecture: when the
+          front end chosen by the locality draw is down, route to a
+          random live one instead (used by availability experiments) *)
+}
+
+val default_config : Dq_workload.Spec.t -> config
+(** 200 operations per client, 10 warm-up operations, 30 s timeout,
+    1 h horizon, no redirection. *)
+
+type result = {
+  protocol : string;
+  read_latency : Dq_util.Stats.t;   (** ms, completed reads after warm-up *)
+  write_latency : Dq_util.Stats.t;
+  all_latency : Dq_util.Stats.t;
+  issued : int;
+  completed : int;
+  failed : int;  (** timed-out operations *)
+  history : History.op list;
+  remote_messages : int;  (** network messages sent during the run *)
+  messages_per_request : float;
+  remote_bytes : int;  (** estimated wire bytes (protocol size model) *)
+  bytes_per_request : float;
+  elapsed_ms : float;  (** virtual time from start to the last settlement *)
+  throughput_per_s : float;  (** completed operations per virtual second *)
+}
+
+val run :
+  Dq_sim.Engine.t -> Dq_net.Topology.t -> Dq_intf.Replication.api -> config -> result
+
+(** {2 Fault injection during a run} *)
+
+type event = { at_ms : float; action : [ `Crash of int | `Recover of int | `Partition of int list list | `Heal ] }
+
+val run_with_events :
+  Dq_sim.Engine.t ->
+  Dq_net.Topology.t ->
+  Dq_intf.Replication.api ->
+  config ->
+  events:event list ->
+  on_net_event:([ `Partition of int list list | `Heal ] -> unit) ->
+  result
+(** Like {!run}, with crashes/recoveries/partitions scheduled at
+    absolute virtual times. Partitions are applied through
+    [on_net_event] because the network handle is protocol-specific. *)

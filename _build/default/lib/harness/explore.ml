@@ -1,0 +1,222 @@
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Cluster = Dq_core.Cluster
+module R = Dq_intf.Replication
+open Dq_storage
+
+type op_spec = { client : int; server : int; kind : [ `Read | `Write of string ] }
+
+type scenario = {
+  n_servers : int;
+  n_clients : int;
+  ops : op_spec list;
+  max_decisions : int;
+  max_crashes : int;
+}
+
+let default_scenario =
+  {
+    n_servers = 3;
+    n_clients = 2;
+    ops =
+      [
+        { client = 3; server = 0; kind = `Write "a" };
+        { client = 4; server = 1; kind = `Write "b" };
+        { client = 4; server = 1; kind = `Read };
+        { client = 3; server = 0; kind = `Read };
+      ];
+    max_decisions = 400;
+    max_crashes = 0;
+  }
+
+type violation = { choices : int list; detail : string }
+
+type outcome = {
+  runs : int;
+  complete_runs : int;
+  violations : violation list;
+  distinct_outcomes : int;
+}
+
+let the_key = Key.make ~volume:0 ~index:0
+
+(* Execute one run. [next_choice ~width] supplies each decision (width =
+   number of alternatives: one per pending message, plus one for
+   advancing time when the engine has events). Returns the history and
+   whether every operation completed. *)
+let execute ~config scenario ~next_choice =
+  let engine = Engine.create ~seed:1L () in
+  let topology = Topology.make ~n_servers:scenario.n_servers ~n_clients:scenario.n_clients () in
+  let cluster = Cluster.create engine topology (config (Topology.servers topology)) in
+  let api = Cluster.api cluster in
+  let net = Cluster.net cluster in
+  Net.set_manual net true;
+  let history = History.create () in
+  let outstanding = ref 0 in
+  (* Virtual time barely advances under manual delivery (whole causal
+     chains run at one instant), so the checker's real-time order would
+     collapse. The decision counter is the run's logical real time: an
+     operation completes at the decision that delivered its last
+     message, and operations submitted together are concurrent. *)
+  let decisions = ref 0 in
+  let logical_now () = float_of_int !decisions in
+  List.iter
+    (fun op ->
+      incr outstanding;
+      match op.kind with
+      | `Write value ->
+        let id =
+          History.begin_op history ~client:op.client ~key:the_key ~kind:History.Write ~value
+            ~now:(logical_now ())
+        in
+        api.R.submit_write ~client:op.client ~server:op.server the_key value (fun w ->
+            History.complete_op history ~id ~value ~lc:w.R.write_lc ~now:(logical_now ());
+            decr outstanding)
+      | `Read ->
+        let id =
+          History.begin_op history ~client:op.client ~key:the_key ~kind:History.Read ~value:""
+            ~now:(logical_now ())
+        in
+        api.R.submit_read ~client:op.client ~server:op.server the_key (fun r ->
+            History.complete_op history ~id ~value:r.R.read_value ~lc:r.R.read_lc
+              ~now:(logical_now ());
+            decr outstanding))
+    scenario.ops;
+  (* Alternatives at each decision: deliver one of the pending
+     messages, advance time to the next timer, or (while the crash
+     budget lasts) crash one of the still-up servers - recovery follows
+     two timer steps later via a scheduled event. Choice indices:
+     [0, n_pending) deliveries, then the step, then crashes. *)
+  let crashes_left = ref scenario.max_crashes in
+  (* Crashing a front end would silently lose its in-flight client
+     operations (application clients do not retransmit; the timed
+     driver handles that with timeouts) - only other servers are fair
+     game, so every run can still complete. *)
+  let front_ends = List.map (fun op -> op.server) scenario.ops in
+  let rec loop () =
+    if !outstanding > 0 && !decisions < scenario.max_decisions then begin
+      let n_pending = List.length (Net.pending net) in
+      let can_step = Engine.pending_events engine > 0 in
+      let crashable =
+        if !crashes_left > 0 then
+          List.filter
+            (fun s -> Net.is_up net s && not (List.mem s front_ends))
+            (Topology.servers topology)
+        else []
+      in
+      let n_step = if can_step then 1 else 0 in
+      let width = n_pending + n_step + List.length crashable in
+      if width > 0 then begin
+        incr decisions;
+        let choice = next_choice ~width in
+        if choice < n_pending then Net.deliver_pending net choice
+        else if can_step && choice = n_pending then ignore (Engine.step engine)
+        else begin
+          let victim = List.nth crashable (choice - n_pending - n_step) in
+          decr crashes_left;
+          api.R.crash_server victim;
+          (* Recover after a while of virtual time so the run can finish. *)
+          ignore (Engine.schedule engine ~delay:5_000. (fun () -> api.R.recover_server victim))
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (History.ops history, !outstanding = 0)
+
+(* Follow [forced] choices, then always 0; report the width seen at the
+   first free decision (the DFS frontier). *)
+let run_prefix ~config scenario forced =
+  let remaining = ref forced in
+  let depth = ref 0 in
+  let frontier_width = ref 0 in
+  let next_choice ~width =
+    incr depth;
+    match !remaining with
+    | c :: rest ->
+      remaining := rest;
+      if c < width then c else width - 1
+    | [] ->
+      if !frontier_width = 0 then frontier_width := width;
+      0
+  in
+  let history, complete = execute ~config scenario ~next_choice in
+  (history, complete, !frontier_width)
+
+let run_choices ~config scenario choices =
+  let history, _, _ = run_prefix ~config scenario choices in
+  history
+
+let default_config servers =
+  Dq_core.Config.dqvl ~servers ~volume_lease_ms:5_000. ~proactive_renew:false ()
+
+let check_history ~choices history =
+  let report = Regular_checker.check history in
+  List.map
+    (fun v -> { choices; detail = v.Regular_checker.reason })
+    report.Regular_checker.violations
+
+(* Fingerprint of what the run's reads observed, to measure how many
+   genuinely different outcomes the explored schedules produce. *)
+let outcome_fingerprint history =
+  List.filter_map
+    (fun (op : History.op) ->
+      match op.kind, op.responded with
+      | History.Read, Some _ -> Some (op.client, op.value)
+      | _ -> None)
+    history
+  |> List.sort compare
+
+let explore ?(config = default_config) ?(budget = 2000) scenario =
+  let queue = Queue.create () in
+  Queue.add [] queue;
+  let runs = ref 0 in
+  let complete_runs = ref 0 in
+  let violations = ref [] in
+  let fingerprints = Hashtbl.create 64 in
+  while (not (Queue.is_empty queue)) && !runs < budget do
+    let prefix = Queue.pop queue in
+    incr runs;
+    let history, complete, frontier_width = run_prefix ~config scenario prefix in
+    if complete then incr complete_runs;
+    Hashtbl.replace fingerprints (outcome_fingerprint history) ();
+    violations := check_history ~choices:prefix history @ !violations;
+    (* Enqueue every child of the first free decision: alternatives
+       explore sibling schedules, and the 0-child advances the frontier
+       so deeper decisions of this path get expanded too. *)
+    for alternative = 0 to frontier_width - 1 do
+      Queue.add (prefix @ [ alternative ]) queue
+    done
+  done;
+  {
+    runs = !runs;
+    complete_runs = !complete_runs;
+    violations = List.rev !violations;
+    distinct_outcomes = Hashtbl.length fingerprints;
+  }
+
+let explore_random ?(config = default_config) ?(runs = 200) ~seed scenario =
+  let complete_runs = ref 0 in
+  let violations = ref [] in
+  let fingerprints = Hashtbl.create 64 in
+  for i = 0 to runs - 1 do
+    let rng = Dq_util.Rng.create (Int64.add seed (Int64.of_int i)) in
+    let recorded = ref [] in
+    let next_choice ~width =
+      let c = Dq_util.Rng.int rng width in
+      recorded := c :: !recorded;
+      c
+    in
+    let history, complete = execute ~config scenario ~next_choice in
+    if complete then incr complete_runs;
+    Hashtbl.replace fingerprints (outcome_fingerprint history) ();
+    violations := check_history ~choices:(List.rev !recorded) history @ !violations
+  done;
+  {
+    runs;
+    complete_runs = !complete_runs;
+    violations = List.rev !violations;
+    distinct_outcomes = Hashtbl.length fingerprints;
+  }

@@ -1,0 +1,130 @@
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Spec = Dq_workload.Spec
+module Rng = Dq_util.Rng
+open Dq_storage
+
+type scenario = {
+  seed : int64;
+  n_servers : int;
+  write_ratio : float;
+  objects : int;
+  loss : float;
+  duplicate : float;
+  jitter_ms : float;
+  crashes : bool;
+  partition : bool;
+}
+
+let scenario_of_seed seed =
+  let rng = Rng.create seed in
+  {
+    seed;
+    n_servers = 3 + Rng.int rng 5;
+    write_ratio = 0.1 +. Rng.float rng 0.5;
+    objects = 1 + Rng.int rng 3;
+    loss = Rng.float rng 0.15;
+    duplicate = Rng.float rng 0.15;
+    jitter_ms = Rng.float rng 40.;
+    crashes = Rng.bool rng;
+    partition = Rng.bool rng;
+  }
+
+let pp_scenario ppf s =
+  Format.fprintf ppf
+    "{seed=%Ld n=%d w=%.2f objs=%d loss=%.2f dup=%.2f jitter=%.0f crash=%b part=%b}" s.seed
+    s.n_servers s.write_ratio s.objects s.loss s.duplicate s.jitter_ms s.crashes s.partition
+
+type outcome = {
+  scenario : scenario;
+  completed : int;
+  failed : int;
+  violations : string list;
+}
+
+let fault_events s =
+  let minority = (s.n_servers - 1) / 2 in
+  let crash_events =
+    if s.crashes && minority >= 1 then
+      List.concat
+        (List.init minority (fun i ->
+             [
+               { Driver.at_ms = 2_000. +. (500. *. float_of_int i); action = `Crash i };
+               { Driver.at_ms = 20_000. +. (500. *. float_of_int i); action = `Recover i };
+             ]))
+    else []
+  in
+  let partition_events =
+    if s.partition then
+      [
+        { Driver.at_ms = 8_000.; action = `Partition [ [ s.n_servers - 1 ] ] };
+        { Driver.at_ms = 25_000.; action = `Heal };
+      ]
+    else []
+  in
+  crash_events @ partition_events
+
+let run ?(check_invariant = true) (builder : Registry.builder) s =
+  let engine = Engine.create ~seed:s.seed () in
+  let topology = Topology.make ~n_servers:s.n_servers ~n_clients:3 () in
+  let faults = { Net.loss = s.loss; duplicate = s.duplicate; jitter_ms = s.jitter_ms } in
+  let instance = builder.Registry.build engine topology ~faults () in
+  let keys = List.init s.objects (fun i -> Key.make ~volume:0 ~index:i) in
+  let invariant_violations =
+    match instance.Registry.dq_cluster with
+    | Some cluster when check_invariant ->
+      Some (Invariant.install_periodic engine cluster ~keys ~every_ms:100. ~until_ms:2e5)
+    | Some _ | None -> None
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = s.write_ratio;
+      sharing = Spec.Shared_uniform { objects = s.objects };
+    }
+  in
+  let config =
+    {
+      (Driver.default_config spec) with
+      Driver.ops_per_client = 40;
+      timeout_ms = 8_000.;
+      horizon_ms = 1.2e6;
+    }
+  in
+  let result =
+    Driver.run_with_events engine topology instance.Registry.api config
+      ~events:(fault_events s)
+      ~on_net_event:(function
+        | `Partition groups -> instance.Registry.partition groups
+        | `Heal -> instance.Registry.heal ())
+  in
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt in
+  let report = Regular_checker.check result.Driver.history in
+  List.iteri
+    (fun i v ->
+      if i < 3 then note "regular-semantics violation: %s" v.Regular_checker.reason)
+    report.Regular_checker.violations;
+  if result.Driver.completed = 0 then note "no operation ever completed";
+  (match invariant_violations with
+  | Some cell ->
+    List.iteri
+      (fun i v -> if i < 3 then note "safety invariant: %a" (fun () -> Format.asprintf "%a" Invariant.pp) v)
+      !cell
+  | None -> ());
+  {
+    scenario = s;
+    completed = result.Driver.completed;
+    failed = result.Driver.failed;
+    violations = List.rev !violations;
+  }
+
+let campaign ?(on_progress = fun _ _ -> ()) builder ~seeds =
+  List.concat
+    (List.mapi
+       (fun i seed ->
+         let outcome = run builder (scenario_of_seed seed) in
+         on_progress i outcome;
+         if outcome.violations = [] then [] else [ outcome ])
+       seeds)

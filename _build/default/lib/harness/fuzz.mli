@@ -1,0 +1,51 @@
+(** Randomized fault-scenario fuzzing.
+
+    Each scenario draws a topology size, workload mix, fault model
+    (loss/duplication/jitter), an IQS-minority crash schedule and an
+    optional transient partition from a seed, runs a protocol under it,
+    and checks:
+
+    - regular semantics over the full history (quorum protocols),
+    - liveness (some operations complete),
+    - for DQVL clusters additionally the cross-node safety invariant,
+      sampled every 100 ms of virtual time.
+
+    The whole run is a pure function of the seed: a reported
+    counterexample seed replays exactly. Used by [bin/fuzz.exe] and the
+    property-based test suites. *)
+
+type scenario = {
+  seed : int64;
+  n_servers : int;
+  write_ratio : float;
+  objects : int;
+  loss : float;
+  duplicate : float;
+  jitter_ms : float;
+  crashes : bool;
+  partition : bool;
+}
+
+val scenario_of_seed : int64 -> scenario
+(** Deterministically derive a scenario from a seed. *)
+
+val pp_scenario : Format.formatter -> scenario -> unit
+
+type outcome = {
+  scenario : scenario;
+  completed : int;
+  failed : int;
+  violations : string list;  (** empty = scenario passed *)
+}
+
+val run : ?check_invariant:bool -> Registry.builder -> scenario -> outcome
+(** [check_invariant] (default true) applies only to dual-quorum
+    builders (it is skipped for protocols without the introspection). *)
+
+val campaign :
+  ?on_progress:(int -> outcome -> unit) ->
+  Registry.builder ->
+  seeds:int64 list ->
+  outcome list
+(** Run many scenarios; returns the failing outcomes (empty = all
+    passed). *)

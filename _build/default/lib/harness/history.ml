@@ -1,0 +1,41 @@
+open Dq_storage
+
+type kind = Read | Write
+
+type op = {
+  id : int;
+  client : int;
+  key : Key.t;
+  kind : kind;
+  value : string;
+  lc : Lc.t option;
+  invoked : float;
+  responded : float option;
+}
+
+type t = { mutable next_id : int; table : (int, op) Hashtbl.t }
+
+let create () = { next_id = 0; table = Hashtbl.create 1024 }
+
+let begin_op t ~client ~key ~kind ~value ~now =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.table id
+    { id; client; key; kind; value; lc = None; invoked = now; responded = None };
+  id
+
+let complete_op t ~id ~value ~lc ~now =
+  match Hashtbl.find_opt t.table id with
+  | Some op ->
+    let value = match op.kind with Write -> op.value | Read -> value in
+    Hashtbl.replace t.table id { op with value; lc = Some lc; responded = Some now }
+  | None -> invalid_arg "History.complete_op: unknown operation id"
+
+let ops t =
+  Hashtbl.fold (fun _ op acc -> op :: acc) t.table []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let completed_count t =
+  Hashtbl.fold (fun _ op acc -> if op.responded <> None then acc + 1 else acc) t.table 0
+
+let size t = Hashtbl.length t.table

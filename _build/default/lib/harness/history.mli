@@ -1,0 +1,38 @@
+(** A record of every operation an experiment issued, with real-time
+    invocation/response intervals — the input to the consistency
+    checker. *)
+
+open Dq_storage
+
+type kind = Read | Write
+
+type op = {
+  id : int;
+  client : int;
+  key : Key.t;
+  kind : kind;
+  value : string;
+      (** for writes, the (unique) value written; for reads, the value
+          returned *)
+  lc : Lc.t option;
+      (** logical clock: assigned (writes) or observed (reads); [None]
+          for operations that never completed *)
+  invoked : float;
+  responded : float option;  (** [None]: no response (timed out / node down) *)
+}
+
+type t
+
+val create : unit -> t
+
+val begin_op : t -> client:int -> key:Key.t -> kind:kind -> value:string -> now:float -> int
+(** Returns the operation id. For reads, [value] is [""] until completion. *)
+
+val complete_op : t -> id:int -> value:string -> lc:Lc.t -> now:float -> unit
+
+val ops : t -> op list
+(** All operations, in id order. *)
+
+val completed_count : t -> int
+
+val size : t -> int

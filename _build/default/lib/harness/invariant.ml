@@ -1,0 +1,54 @@
+module Cluster = Dq_core.Cluster
+module Iqs = Dq_core.Iqs_server
+module Oqs = Dq_core.Oqs_server
+module Qs = Dq_quorum.Quorum_system
+open Dq_storage
+
+type violation = { iqs : int; oqs : int; key : Key.t; detail : string }
+
+let check cluster ~keys =
+  let config = Cluster.config cluster in
+  let iqs_members = Qs.members config.Dq_core.Config.iqs in
+  let oqs_members = Qs.members config.Dq_core.Config.oqs in
+  let violations = ref [] in
+  let note iqs oqs key detail = violations := { iqs; oqs; key; detail } :: !violations in
+  List.iter
+    (fun j ->
+      match Cluster.oqs_server cluster j with
+      | None -> ()
+      | Some oqs_node ->
+        List.iter
+          (fun i ->
+            match Cluster.iqs_server cluster i with
+            | None -> ()
+            | Some iqs_node ->
+              List.iter
+                (fun key ->
+                  let volume = Key.volume key in
+                  let holds_volume = Oqs.volume_valid_from oqs_node ~volume ~iqs:i in
+                  let holds_object = Oqs.object_valid_from oqs_node key ~iqs:i in
+                  if holds_volume && holds_object then begin
+                    (* i must not have concluded the opposite. *)
+                    if not (Iqs.lease_valid_for iqs_node ~volume ~oqs:j) then
+                      note i j key "OQS holds a volume lease the IQS considers expired";
+                    if not (Iqs.callback_possible iqs_node key ~oqs:j) then
+                      note i j key "OQS holds an object lease the IQS considers revoked"
+                  end)
+                keys)
+          iqs_members)
+    oqs_members;
+  !violations
+
+let install_periodic engine cluster ~keys ~every_ms ~until_ms =
+  let acc = ref [] in
+  let rec tick () =
+    if Dq_sim.Engine.now engine < until_ms then begin
+      acc := check cluster ~keys @ !acc;
+      ignore (Dq_sim.Engine.schedule engine ~delay:every_ms tick)
+    end
+  in
+  ignore (Dq_sim.Engine.schedule engine ~delay:every_ms tick);
+  acc
+
+let pp ppf v =
+  Format.fprintf ppf "iqs=%d oqs=%d key=%a: %s" v.iqs v.oqs Key.pp v.key v.detail

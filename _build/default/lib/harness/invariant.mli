@@ -1,0 +1,36 @@
+(** Live cross-node checks of the DQVL safety invariant.
+
+    The paper (Sections 3.1/3.2) builds correctness on: {e if OQS node j
+    holds from IQS node i a valid volume lease and a valid object lease
+    on o, then i knows it} — i still considers j's volume lease
+    unexpired and cannot have concluded that j's callback is invalid.
+    Violating it would let a write complete while a reader can still
+    serve the overwritten version.
+
+    {!check} inspects the actual state of every (IQS node, OQS node,
+    object) triple of a running cluster — each side judged by its own
+    clock, exactly as the protocol does — and reports violations.
+    Tests call it repeatedly while fault-injected workloads run. *)
+
+type violation = {
+  iqs : int;
+  oqs : int;
+  key : Dq_storage.Key.t;
+  detail : string;
+}
+
+val check : Dq_core.Cluster.t -> keys:Dq_storage.Key.t list -> violation list
+(** Check the invariant for the given objects across all node pairs of
+    a dual-quorum cluster. Empty list = invariant holds. *)
+
+val install_periodic :
+  Dq_sim.Engine.t ->
+  Dq_core.Cluster.t ->
+  keys:Dq_storage.Key.t list ->
+  every_ms:float ->
+  until_ms:float ->
+  violation list ref
+(** Schedule {!check} every [every_ms] of virtual time until
+    [until_ms]; violations accumulate in the returned cell. *)
+
+val pp : Format.formatter -> violation -> unit

@@ -1,0 +1,53 @@
+(** Builders for every protocol under evaluation, so experiments can
+    iterate over protocols uniformly. *)
+
+type instance = {
+  api : Dq_intf.Replication.api;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  set_service_time : float -> unit;
+      (** per-message processing cost at every node (queueing model) *)
+  dq_cluster : Dq_core.Cluster.t option;
+      (** the underlying dual-quorum cluster, for introspection
+          (invariant checks); [None] for baseline protocols *)
+}
+
+type builder = {
+  name : string;
+  build :
+    Dq_sim.Engine.t -> Dq_net.Topology.t -> ?faults:Dq_net.Net.fault_model -> unit -> instance;
+}
+
+val dqvl :
+  ?volume_lease_ms:float -> ?proactive_renew:bool -> ?object_lease_ms:float -> unit -> builder
+
+val dqvl_custom : name:string -> (int list -> Dq_core.Config.t) -> builder
+(** Full control over the dual-quorum configuration; the function
+    receives the topology's server ids. *)
+
+val dq_basic : builder
+(** The basic dual-quorum protocol (no volume leases, Section 3.1). *)
+
+val primary_backup : builder
+(** Primary is server 0. *)
+
+val majority : builder
+
+val atomic_majority : builder
+(** Majority quorum with ABD read-impose: atomic semantics. *)
+
+val dqvl_atomic : ?volume_lease_ms:float -> ?proactive_renew:bool -> unit -> builder
+(** DQVL with atomic reads (paper future work, Section 6): every read
+    pushes the value it returns through an IQS write quorum. *)
+
+val rowa : builder
+
+val rowa_async : ?anti_entropy_ms:float -> unit -> builder
+
+val grid : rows:int -> cols:int -> builder
+(** A grid quorum system over the first [rows * cols] servers, driven
+    by the standard two-phase quorum protocol (paper future work). *)
+
+val paper_five : builder list
+(** The five protocols of the paper's evaluation, in its order:
+    DQVL, primary/backup, majority quorum, ROWA, ROWA-Async. *)

@@ -1,0 +1,186 @@
+open Dq_storage
+
+type violation = {
+  read : History.op;
+  returned_write : History.op option;
+  expected_lc : Lc.t;
+  reason : string;
+}
+
+type report = { reads : int; checked : int; violations : violation list }
+
+(* Does write [w] overlap read [r] in real time? A write without a
+   response is concurrent with everything after its invocation. *)
+let concurrent (w : History.op) (r : History.op) =
+  match r.responded with
+  | None -> false (* incomplete reads are not checked *)
+  | Some r_end -> (
+    w.invoked < r_end
+    && match w.responded with None -> true | Some w_end -> w_end > r.invoked)
+
+(* The completed write with the highest logical clock among those that
+   responded before the read began. *)
+let freshest_completed_before (writes : History.op list) (r : History.op) =
+  List.fold_left
+    (fun best (w : History.op) ->
+      match w.responded, w.lc with
+      | Some w_end, Some w_lc when w_end <= r.invoked -> (
+        match best with
+        | Some (_, best_lc) when Lc.(best_lc >= w_lc) -> best
+        | Some _ | None -> Some (w, w_lc))
+      | _ -> best)
+    None writes
+
+let check_read ~writes ~by_value (r : History.op) =
+  let freshest = freshest_completed_before writes r in
+  let expected_lc = match freshest with Some (_, lc) -> lc | None -> Lc.zero in
+  let fail ?returned_write reason = Some { read = r; returned_write; expected_lc; reason } in
+  if r.value = "" then
+    (* The initial value: legal iff no write had completed before the
+       read began (a concurrent write's pre-state is the initial value
+       only in that case too). *)
+    match freshest with
+    | None -> None
+    | Some (w, lc) ->
+      fail ~returned_write:w
+        (Format.asprintf "read returned the initial value after write lc=%a completed" Lc.pp lc)
+  else
+    match Hashtbl.find_opt by_value r.value with
+    | None -> fail "read returned a value never written to this key"
+    | Some (w : History.op) ->
+      let is_freshest =
+        match freshest, w.lc with
+        | Some (fw, _), _ -> fw.id = w.id
+        | None, _ -> false
+      in
+      if is_freshest || concurrent w r then None
+      else
+        fail ~returned_write:w
+          (Format.asprintf
+             "stale read: returned write lc=%s but the freshest completed write has lc=%a"
+             (match w.lc with Some lc -> Format.asprintf "%a" Lc.pp lc | None -> "?")
+             Lc.pp expected_lc)
+
+let check ops =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (op : History.op) ->
+      match op.kind with
+      | History.Write ->
+        let writes =
+          match Hashtbl.find_opt by_key op.key with
+          | Some w -> w
+          | None ->
+            let w = (ref [], Hashtbl.create 64) in
+            Hashtbl.add by_key op.key w;
+            w
+        in
+        let list, by_value = writes in
+        list := op :: !list;
+        Hashtbl.replace by_value op.value op
+      | History.Read -> ())
+    ops;
+  let reads = List.filter (fun (op : History.op) -> op.kind = History.Read) ops in
+  let completed = List.filter (fun (op : History.op) -> op.responded <> None) reads in
+  let violations =
+    List.filter_map
+      (fun r ->
+        let writes, by_value =
+          match Hashtbl.find_opt by_key r.History.key with
+          | Some (list, by_value) -> (!list, by_value)
+          | None -> ([], Hashtbl.create 1)
+        in
+        check_read ~writes ~by_value r)
+      completed
+  in
+  { reads = List.length reads; checked = List.length completed; violations }
+
+let is_regular ops = (check ops).violations = []
+
+type inversion = {
+  first_read : History.op;
+  second_read : History.op;
+  first_lc : Lc.t;
+  second_lc : Lc.t;
+}
+
+let new_old_inversions ops =
+  (* Group completed reads by key, sort by response time, and flag any
+     later (non-overlapping) read that observed an older logical clock. *)
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (op : History.op) ->
+      match op.kind, op.responded, op.lc with
+      | History.Read, Some _, Some _ ->
+        let reads =
+          match Hashtbl.find_opt by_key op.key with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add by_key op.key r;
+            r
+        in
+        reads := op :: !reads
+      | _ -> ())
+    ops;
+  Hashtbl.fold
+    (fun _ reads acc ->
+      let sorted =
+        List.sort
+          (fun (a : History.op) (b : History.op) -> compare a.responded b.responded)
+          !reads
+      in
+      (* Quadratic pairwise scan; histories are experiment-sized. *)
+      let acc = ref acc in
+      List.iteri
+        (fun i (second : History.op) ->
+          List.iteri
+            (fun j (first : History.op) ->
+              if j < i then
+                match first.responded, first.lc, second.lc with
+                | Some first_end, Some first_lc, Some second_lc
+                  when first_end <= second.invoked && Lc.(second_lc < first_lc) ->
+                  acc := { first_read = first; second_read = second; first_lc; second_lc } :: !acc
+                | _ -> ())
+            sorted)
+        sorted;
+      !acc)
+    by_key []
+
+let is_atomic ops = is_regular ops && new_old_inversions ops = []
+
+let pp_report ppf report =
+  Format.fprintf ppf "reads=%d checked=%d violations=%d" report.reads report.checked
+    (List.length report.violations);
+  List.iteri
+    (fun i v ->
+      if i < 5 then
+        Format.fprintf ppf "@,  [%d] op%d on %a at %.1f: %s" i v.read.History.id Key.pp
+          v.read.History.key v.read.History.invoked v.reason)
+    report.violations
+
+type session_report = { ryw_violations : int; monotonic_violations : int }
+
+let check_sessions ops =
+  (* Closed-loop clients issue operations sequentially, so id order is
+     session order within a client. *)
+  let floors = Hashtbl.create 32 in
+  (* (client, key) -> (max own completed write lc, max own read lc) *)
+  let ryw = ref 0 and monotonic = ref 0 in
+  List.iter
+    (fun (op : History.op) ->
+      match op.responded, op.lc with
+      | Some _, Some lc -> (
+        let slot = (op.client, op.key) in
+        let write_floor, read_floor =
+          Option.value (Hashtbl.find_opt floors slot) ~default:(Lc.zero, Lc.zero)
+        in
+        match op.kind with
+        | History.Write -> Hashtbl.replace floors slot (Lc.max write_floor lc, read_floor)
+        | History.Read ->
+          if Lc.(lc < write_floor) then incr ryw;
+          if Lc.(lc < read_floor) then incr monotonic;
+          Hashtbl.replace floors slot (write_floor, Lc.max read_floor lc))
+      | _ -> ())
+    (List.sort (fun (a : History.op) b -> Int.compare a.id b.id) ops);
+  { ryw_violations = !ryw; monotonic_violations = !monotonic }

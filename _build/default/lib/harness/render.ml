@@ -1,0 +1,60 @@
+module Table = Dq_util.Table
+
+let scientific v = Printf.sprintf "%.2e" v
+
+let response_rows ~title rows =
+  let t =
+    Table.create
+      ~header:[ title; "read ms"; "write ms"; "overall ms"; "completed"; "failed"; "violations" ]
+  in
+  List.iter
+    (fun (r : Experiment.response_row) ->
+      Table.add_row t
+        [
+          r.Experiment.protocol;
+          Printf.sprintf "%.1f" r.Experiment.read_ms;
+          Printf.sprintf "%.1f" r.Experiment.write_ms;
+          Printf.sprintf "%.1f" r.Experiment.overall_ms;
+          string_of_int r.Experiment.completed;
+          string_of_int r.Experiment.failed;
+          string_of_int r.Experiment.violations;
+        ])
+    rows;
+  t
+
+let protocol_columns first_rows =
+  List.map (fun (r : Experiment.response_row) -> r.Experiment.protocol) first_rows
+
+let sweep ~title ~x_label ~x_of points =
+  match points with
+  | [] -> Table.create ~header:[ title ]
+  | (_, first) :: _ ->
+    let protocols = protocol_columns first in
+    let t = Table.create ~header:((title ^ " " ^ x_label) :: protocols) in
+    List.iter
+      (fun (x, rows) ->
+        let cell name =
+          match
+            List.find_opt (fun (r : Experiment.response_row) -> r.Experiment.protocol = name) rows
+          with
+          | Some r -> Printf.sprintf "%.1f" r.Experiment.overall_ms
+          | None -> "-"
+        in
+        Table.add_row t (x_of x :: List.map cell protocols))
+      points;
+    t
+
+let series ~title ~x_label ~x_of ?(fmt = fun v -> Printf.sprintf "%.2f" v) points =
+  match points with
+  | [] -> Table.create ~header:[ title ]
+  | (_, first) :: _ ->
+    let protocols = List.map fst first in
+    let t = Table.create ~header:((title ^ " " ^ x_label) :: protocols) in
+    List.iter
+      (fun (x, values) ->
+        let cell name =
+          match List.assoc_opt name values with Some v -> fmt v | None -> "-"
+        in
+        Table.add_row t (x_of x :: List.map cell protocols))
+      points;
+    t

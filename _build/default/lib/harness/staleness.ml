@@ -1,0 +1,84 @@
+open Dq_storage
+
+type stale_read = { read : History.op; behind_ms : float; versions_behind : int }
+
+type report = {
+  checked : int;
+  stale : stale_read list;
+  max_behind_ms : float;
+  mean_behind_ms : float;
+  max_versions_behind : int;
+}
+
+(* Completed writes on one key, sorted by logical clock. *)
+let completed_writes ops key =
+  List.filter_map
+    (fun (op : History.op) ->
+      match op.kind, op.responded, op.lc with
+      | History.Write, Some ended, Some lc when Key.equal op.key key -> Some (lc, ended)
+      | _ -> None)
+    ops
+  |> List.sort (fun (a, _) (b, _) -> Lc.compare a b)
+
+let examine ~writes (r : History.op) =
+  match r.responded, r.lc with
+  | Some r_end, Some r_lc ->
+    (* Writes that completed before the read finished and supersede the
+       value it returned. *)
+    let missed =
+      List.filter (fun (w_lc, w_end) -> Lc.(w_lc > r_lc) && w_end <= r.invoked) writes
+    in
+    (match missed with
+    | [] -> None
+    | _ ->
+      let latest_end =
+        List.fold_left (fun acc (_, w_end) -> Float.max acc w_end) neg_infinity missed
+      in
+      Some
+        {
+          read = r;
+          behind_ms = r_end -. latest_end;
+          versions_behind = List.length missed;
+        })
+  | _ -> None
+
+let measure ops =
+  let keys = Hashtbl.create 16 in
+  List.iter
+    (fun (op : History.op) ->
+      if not (Hashtbl.mem keys op.key) then Hashtbl.add keys op.key (completed_writes ops op.key))
+    ops;
+  let reads =
+    List.filter
+      (fun (op : History.op) -> op.kind = History.Read && op.responded <> None)
+      ops
+  in
+  let stale =
+    List.filter_map
+      (fun r ->
+        let writes = Option.value (Hashtbl.find_opt keys r.History.key) ~default:[] in
+        examine ~writes r)
+      reads
+  in
+  let max_behind_ms = List.fold_left (fun acc s -> Float.max acc s.behind_ms) 0. stale in
+  let mean_behind_ms =
+    match stale with
+    | [] -> 0.
+    | _ ->
+      List.fold_left (fun acc s -> acc +. s.behind_ms) 0. stale
+      /. float_of_int (List.length stale)
+  in
+  let max_versions_behind =
+    List.fold_left (fun acc s -> Stdlib.max acc s.versions_behind) 0 stale
+  in
+  { checked = List.length reads; stale; max_behind_ms; mean_behind_ms; max_versions_behind }
+
+let stale_fraction report =
+  if report.checked = 0 then 0.
+  else float_of_int (List.length report.stale) /. float_of_int report.checked
+
+let pp ppf report =
+  Format.fprintf ppf "checked=%d stale=%d (%.1f%%) behind mean=%.0fms max=%.0fms versions<=%d"
+    report.checked (List.length report.stale)
+    (100. *. stale_fraction report)
+    report.mean_behind_ms report.max_behind_ms report.max_versions_behind

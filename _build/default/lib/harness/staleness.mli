@@ -1,0 +1,34 @@
+(** Staleness metrics over a recorded history.
+
+    The paper's case against ROWA-Async is that local reads have {e no
+    worst-case staleness bound}: a read may return data arbitrarily
+    long after it was overwritten. This module makes that concrete: for
+    every completed read that returned a superseded value it reports
+
+    - {b time staleness}: how long before the read's response the
+      freshest overwriting write had already completed, and
+    - {b version staleness}: how many completed writes the read lagged
+      behind.
+
+    For protocols with regular semantics both are always zero. *)
+
+type stale_read = {
+  read : History.op;
+  behind_ms : float;      (** time since the freshest missed write completed *)
+  versions_behind : int;  (** completed writes between returned and freshest *)
+}
+
+type report = {
+  checked : int;          (** completed reads examined *)
+  stale : stale_read list;
+  max_behind_ms : float;  (** 0 when nothing is stale *)
+  mean_behind_ms : float; (** over stale reads only; 0 when none *)
+  max_versions_behind : int;
+}
+
+val measure : History.op list -> report
+
+val stale_fraction : report -> float
+(** Stale reads over checked reads; [0.] when no reads completed. *)
+
+val pp : Format.formatter -> report -> unit

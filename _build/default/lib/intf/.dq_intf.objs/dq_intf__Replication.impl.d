@@ -1,0 +1,1 @@
+lib/intf/replication.ml: Dq_net Dq_storage

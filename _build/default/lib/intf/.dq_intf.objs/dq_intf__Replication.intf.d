@@ -1,0 +1,1 @@
+lib/intf/replication.mli: Dq_net Dq_storage

@@ -1,0 +1,1 @@
+lib/net/msg_stats.ml: Format Hashtbl List String

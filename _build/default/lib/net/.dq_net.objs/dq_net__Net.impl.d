@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Dq_sim Dq_util Float List Msg_stats Printf Topology

@@ -1,0 +1,1 @@
+lib/net/net.mli: Dq_sim Msg_stats Topology

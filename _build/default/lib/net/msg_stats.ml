@@ -1,0 +1,58 @@
+type t = {
+  mutable remote : int;
+  mutable local : int;
+  mutable bytes : int;
+  labels : (string, int ref) Hashtbl.t;
+  label_bytes : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    remote = 0;
+    local = 0;
+    bytes = 0;
+    labels = Hashtbl.create 16;
+    label_bytes = Hashtbl.create 16;
+  }
+
+let bump table key amount =
+  match Hashtbl.find_opt table key with
+  | Some r -> r := !r + amount
+  | None -> Hashtbl.add table key (ref amount)
+
+let record t ~label ~local ?(bytes = 0) () =
+  if local then t.local <- t.local + 1
+  else begin
+    t.remote <- t.remote + 1;
+    t.bytes <- t.bytes + bytes;
+    bump t.labels label 1;
+    bump t.label_bytes label bytes
+  end
+
+let total t = t.remote + t.local
+
+let remote_total t = t.remote
+
+let local_total t = t.local
+
+let by_label t =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.labels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let remote_bytes t = t.bytes
+
+let bytes_by_label t =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.label_bytes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  t.remote <- 0;
+  t.local <- 0;
+  t.bytes <- 0;
+  Hashtbl.reset t.labels;
+  Hashtbl.reset t.label_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>remote=%d local=%d" t.remote t.local;
+  List.iter (fun (label, n) -> Format.fprintf ppf "@,  %s: %d" label n) (by_label t);
+  Format.fprintf ppf "@]"

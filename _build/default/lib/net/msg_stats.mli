@@ -1,0 +1,35 @@
+(** Message accounting for the communication-overhead evaluation
+    (Figure 9 of the paper).
+
+    Every message accepted by the network is counted, keyed by a
+    protocol-supplied label (e.g. ["read_req"], ["inval"]). Local
+    deliveries (src = dst) are counted separately so overhead models can
+    include or exclude them. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> label:string -> local:bool -> ?bytes:int -> unit -> unit
+(** [bytes] defaults to 0 (callers without a size model). *)
+
+val total : t -> int
+(** All messages, including local ones. *)
+
+val remote_total : t -> int
+(** Messages that crossed the network (src <> dst). *)
+
+val local_total : t -> int
+
+val by_label : t -> (string * int) list
+(** Remote counts per label, sorted by label. *)
+
+val remote_bytes : t -> int
+(** Total payload bytes of remote messages (per the protocol's size
+    model; 0 if the protocol does not provide one). *)
+
+val bytes_by_label : t -> (string * int) list
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type fault_model = { loss : float; duplicate : float; jitter_ms : float }
+
+let no_faults = { loss = 0.; duplicate = 0.; jitter_ms = 0. }
+
+type 'msg node_state = {
+  mutable handler : (src:int -> 'msg -> unit) option;
+  mutable up : bool;
+  mutable incarnation : int;
+  mutable watchers : (up:bool -> unit) list;
+  mutable busy_until : float; (* FIFO service queue tail *)
+}
+
+type 'msg t = {
+  engine : Dq_sim.Engine.t;
+  topology : Topology.t;
+  rng : Dq_util.Rng.t;
+  classify : 'msg -> string;
+  size_of : 'msg -> int;
+  stats : Msg_stats.t;
+  nodes : 'msg node_state array;
+  mutable faults : fault_model;
+  mutable group_of : int array option; (* partition group per node *)
+  mutable manual : bool;
+  mutable pending_pool : (int * int * 'msg) list; (* newest first *)
+  mutable service_time_ms : float;
+}
+
+let create engine topology ?(faults = no_faults) ~classify ?(size_of = fun _ -> 0) () =
+  let n = Topology.n_nodes topology in
+  let fresh_node _ =
+    { handler = None; up = true; incarnation = 0; watchers = []; busy_until = 0. }
+  in
+  {
+    engine;
+    topology;
+    rng = Dq_sim.Engine.split_rng engine;
+    classify;
+    size_of;
+    stats = Msg_stats.create ();
+    nodes = Array.init n fresh_node;
+    faults;
+    group_of = None;
+    manual = false;
+    pending_pool = [];
+    service_time_ms = 0.;
+  }
+
+let set_service_time t ~ms =
+  if ms < 0. then invalid_arg "Net.set_service_time: negative";
+  t.service_time_ms <- ms
+
+let engine t = t.engine
+let topology t = t.topology
+let stats t = t.stats
+let set_faults t faults = t.faults <- faults
+
+let check_id t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Net: bad node id %d" id)
+
+let register t ~node handler =
+  check_id t node;
+  t.nodes.(node).handler <- Some handler
+
+let is_up t id =
+  check_id t id;
+  t.nodes.(id).up
+
+let reachable t ~src ~dst =
+  match t.group_of with
+  | None -> true
+  | Some groups -> groups.(src) = groups.(dst)
+
+let deliver t ~src ~dst msg =
+  let node = t.nodes.(dst) in
+  if node.up then
+    match node.handler with
+    | Some handler -> handler ~src msg
+    | None -> ()
+
+(* Message arrival: with a service-time model, the destination works
+   through its queue FIFO; otherwise deliver immediately. *)
+let arrive t ~src ~dst msg =
+  if t.service_time_ms <= 0. then deliver t ~src ~dst msg
+  else begin
+    let node = t.nodes.(dst) in
+    let now = Dq_sim.Engine.now t.engine in
+    let start = Float.max now node.busy_until in
+    let done_at = start +. t.service_time_ms in
+    node.busy_until <- done_at;
+    ignore
+      (Dq_sim.Engine.schedule t.engine ~delay:(done_at -. now) (fun () ->
+           deliver t ~src ~dst msg))
+  end
+
+let send t ~src ~dst msg =
+  check_id t src;
+  check_id t dst;
+  if t.nodes.(src).up then begin
+    let local = src = dst in
+    Msg_stats.record t.stats ~label:(t.classify msg) ~local ~bytes:(t.size_of msg) ();
+    if t.manual then t.pending_pool <- (src, dst, msg) :: t.pending_pool
+    else if reachable t ~src ~dst && not (Dq_util.Rng.bernoulli t.rng t.faults.loss) then begin
+      let schedule_delivery () =
+        let jitter =
+          if t.faults.jitter_ms > 0. then Dq_util.Rng.float t.rng t.faults.jitter_ms else 0.
+        in
+        let delay = Topology.delay t.topology ~src ~dst +. jitter in
+        ignore (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
+      in
+      schedule_delivery ();
+      if Dq_util.Rng.bernoulli t.rng t.faults.duplicate then schedule_delivery ()
+    end
+  end
+
+let notify_watchers node ~up =
+  List.iter (fun watch -> watch ~up) (List.rev node.watchers)
+
+let crash t id =
+  check_id t id;
+  let node = t.nodes.(id) in
+  if node.up then begin
+    node.up <- false;
+    node.incarnation <- node.incarnation + 1;
+    notify_watchers node ~up:false
+  end
+
+let recover t id =
+  check_id t id;
+  let node = t.nodes.(id) in
+  if not node.up then begin
+    node.up <- true;
+    notify_watchers node ~up:true
+  end
+
+let on_status_change t ~node watch =
+  check_id t node;
+  let state = t.nodes.(node) in
+  state.watchers <- watch :: state.watchers
+
+let timer t ~node ~delay_ms action =
+  check_id t node;
+  let state = t.nodes.(node) in
+  let incarnation = state.incarnation in
+  Dq_sim.Engine.schedule t.engine ~delay:delay_ms (fun () ->
+      if state.up && state.incarnation = incarnation then action ())
+
+let set_manual t on = t.manual <- on
+
+let pending t = List.rev t.pending_pool
+
+let take_pending t i =
+  let ordered = pending t in
+  if i < 0 || i >= List.length ordered then invalid_arg "Net: pending index out of range";
+  let entry = List.nth ordered i in
+  t.pending_pool <- List.rev (List.filteri (fun j _ -> j <> i) ordered);
+  entry
+
+let deliver_pending t i =
+  let src, dst, msg = take_pending t i in
+  if reachable t ~src ~dst then deliver t ~src ~dst msg
+
+let drop_pending t i = ignore (take_pending t i)
+
+let partition t groups =
+  let n = Array.length t.nodes in
+  let group_of = Array.make n (-1) in
+  List.iteri
+    (fun g members ->
+      List.iter
+        (fun id ->
+          check_id t id;
+          group_of.(id) <- g)
+        members)
+    groups;
+  (* Unlisted nodes form an implicit final group. *)
+  let implicit = List.length groups in
+  Array.iteri (fun i g -> if g = -1 then group_of.(i) <- implicit) group_of;
+  t.group_of <- Some group_of
+
+let heal t = t.group_of <- None

@@ -1,0 +1,122 @@
+(** The simulated message network.
+
+    Delivers typed messages between nodes with per-link one-way delays
+    from a {!Topology.t}, under an adjustable fault model:
+
+    - message {b loss} (per-send Bernoulli),
+    - message {b duplication} (a second copy with fresh jitter),
+    - {b reordering} (uniform jitter added to each delivery),
+    - {b partitions} (node groups that cannot exchange messages),
+    - fail-stop {b crashes} (a crashed node neither sends nor receives,
+      and its pending timers are invalidated).
+
+    The paper assumes corrupted messages are discarded by checksums, so
+    corruption is modelled as loss. All protocol messages must carry any
+    identification the protocol needs (the network never invents
+    metadata beyond the sender id). *)
+
+type 'msg t
+
+type fault_model = {
+  loss : float;        (** per-message drop probability *)
+  duplicate : float;   (** probability a message is delivered twice *)
+  jitter_ms : float;   (** extra delay uniform in [0, jitter_ms] *)
+}
+
+val no_faults : fault_model
+
+val create :
+  Dq_sim.Engine.t ->
+  Topology.t ->
+  ?faults:fault_model ->
+  classify:('msg -> string) ->
+  ?size_of:('msg -> int) ->
+  unit ->
+  'msg t
+(** [classify] labels each message for {!Msg_stats} accounting;
+    [size_of] (optional) estimates its wire size in bytes for
+    bandwidth accounting. *)
+
+val engine : 'msg t -> Dq_sim.Engine.t
+
+val topology : 'msg t -> Topology.t
+
+val stats : 'msg t -> Msg_stats.t
+
+val set_faults : 'msg t -> fault_model -> unit
+
+val set_service_time : 'msg t -> ms:float -> unit
+(** Per-message processing time at every node (default 0): a delivered
+    message occupies its destination for [ms] of virtual time, FIFO, so
+    nodes saturate under load. Response-time experiments in the paper
+    assume constant processing delay; the queueing model supports load
+    studies beyond it. *)
+
+val register : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the message handler for [node]. At most one handler per
+    node; registering again replaces it (used by recovery). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget. Counted in {!stats} even if subsequently lost
+    (the sender did transmit it); dropped silently if the sender is
+    crashed, the destination is crashed at delivery time, the link is
+    partitioned, or the fault model loses it. *)
+
+(** {2 Fail-stop crashes} *)
+
+val crash : 'msg t -> int -> unit
+(** Take a node down. Idempotent. Pending timers created with
+    {!timer} are invalidated. *)
+
+val recover : 'msg t -> int -> unit
+(** Bring a node back up (a fresh incarnation). Idempotent. *)
+
+val is_up : 'msg t -> int -> bool
+
+val on_status_change : 'msg t -> node:int -> (up:bool -> unit) -> unit
+(** Register a callback invoked after each crash/recovery of [node]
+    (protocols use it to reset volatile state on recovery). *)
+
+(** {2 Node-scoped timers} *)
+
+val timer : 'msg t -> node:int -> delay_ms:float -> (unit -> unit) -> Dq_sim.Engine.handle
+(** Like {!Dq_sim.Engine.schedule}, but the action is skipped if [node]
+    is down at expiry or has crashed (even transiently) since the timer
+    was created. *)
+
+(** {2 Manual delivery (schedule exploration)} *)
+
+val set_manual : 'msg t -> bool -> unit
+(** In manual mode, sent messages are not scheduled for timed delivery:
+    they accumulate in a pending pool, and a test controller decides
+    the delivery order with {!pending} / {!deliver_pending} /
+    {!drop_pending}. Loss/duplication/jitter do not apply (the
+    controller owns the nondeterminism); partitions and crashes do.
+    Timers are unaffected. Used by {i schedule exploration}, which
+    checks protocol correctness under message orderings the delay
+    matrix could never produce. *)
+
+val pending : 'msg t -> (int * int * 'msg) list
+(** The undelivered sends, oldest first, as (src, dst, msg). *)
+
+val deliver_pending : 'msg t -> int -> unit
+(** Deliver the i-th pending message now (synchronously). Out-of-range
+    indices raise [Invalid_argument]. Crashed destinations and
+    partitioned pairs drop the message instead. *)
+
+val drop_pending : 'msg t -> int -> unit
+(** Remove the i-th pending message without delivering it. *)
+
+(** {2 Partitions} *)
+
+val partition : 'msg t -> int list list -> unit
+(** [partition net groups] splits the network: messages flow only
+    between nodes of the same group. Nodes absent from every group form
+    an implicit final group. Replaces any previous partition. *)
+
+val heal : 'msg t -> unit
+(** Remove the partition. *)
+
+val reachable : 'msg t -> src:int -> dst:int -> bool
+(** Whether a message sent now from [src] would cross the partition
+    (ignores crashes and probabilistic faults). *)

@@ -1,0 +1,48 @@
+type role = Server | Client
+
+type t = {
+  n_servers : int;
+  n_clients : int;
+  delay_fn : src:int -> dst:int -> float;
+  closest_fn : int -> int;
+}
+
+let n_nodes t = t.n_servers + t.n_clients
+
+let nodes t = List.init (n_nodes t) Fun.id
+
+let role t id =
+  if id < 0 || id >= n_nodes t then invalid_arg "Topology.role: bad node id";
+  if id < t.n_servers then Server else Client
+
+let servers t = List.init t.n_servers Fun.id
+
+let clients t = List.init t.n_clients (fun i -> t.n_servers + i)
+
+let delay t ~src ~dst = t.delay_fn ~src ~dst
+
+let closest_server t id =
+  if id < t.n_servers then id else t.closest_fn id
+
+let make ~n_servers ~n_clients ?(lan_ms = 8.) ?(wan_ms = 86.) ?(server_ms = 80.)
+    ?(local_ms = 0.05) ?closest () =
+  if n_servers <= 0 then invalid_arg "Topology.make: need at least one server";
+  let closest_fn =
+    match closest with
+    | Some f -> f
+    | None -> fun c -> (c - n_servers) mod n_servers
+  in
+  let is_server id = id < n_servers in
+  let delay_fn ~src ~dst =
+    if src = dst then local_ms
+    else
+      match is_server src, is_server dst with
+      | true, true -> server_ms
+      | false, false -> wan_ms (* client-to-client traffic: treat as WAN *)
+      | true, false -> if closest_fn dst = src then lan_ms else wan_ms
+      | false, true -> if closest_fn src = dst then lan_ms else wan_ms
+  in
+  { n_servers; n_clients; delay_fn; closest_fn }
+
+let custom ~n_servers ~n_clients ~delay ~closest =
+  { n_servers; n_clients; delay_fn = delay; closest_fn = closest }

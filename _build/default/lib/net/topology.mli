@@ -1,0 +1,56 @@
+(** Network topologies: who the nodes are and the one-way delay between
+    them.
+
+    Time unit: throughout this repository virtual time is measured in
+    {b milliseconds}. The paper's evaluation testbed injects constant
+    one-way delays — 8 ms between an application client and its closest
+    edge server, 86 ms between a client and any other edge server, and
+    80 ms between edge servers — and we reproduce exactly that model. *)
+
+type role = Server | Client
+
+type t
+
+val n_nodes : t -> int
+
+val nodes : t -> int list
+(** All node ids, [0 .. n_nodes - 1]. *)
+
+val role : t -> int -> role
+
+val servers : t -> int list
+
+val clients : t -> int list
+
+val delay : t -> src:int -> dst:int -> float
+(** One-way message delay in milliseconds. [delay ~src ~dst] with
+    [src = dst] is the local-delivery delay (small but non-zero, so that
+    a message to self is still asynchronous). *)
+
+val closest_server : t -> int -> int
+(** The edge server co-located with the given client (for a server,
+    the node itself). *)
+
+val make :
+  n_servers:int ->
+  n_clients:int ->
+  ?lan_ms:float ->
+  ?wan_ms:float ->
+  ?server_ms:float ->
+  ?local_ms:float ->
+  ?closest:(int -> int) ->
+  unit ->
+  t
+(** The paper's edge-service topology. Servers get ids
+    [0 .. n_servers-1], clients [n_servers .. n_servers+n_clients-1].
+    Client [c] is closest to server [closest c]
+    (default: [(c - n_servers) mod n_servers]). Defaults:
+    [lan_ms = 8.], [wan_ms = 86.], [server_ms = 80.], [local_ms = 0.05]. *)
+
+val custom :
+  n_servers:int ->
+  n_clients:int ->
+  delay:(src:int -> dst:int -> float) ->
+  closest:(int -> int) ->
+  t
+(** Fully custom delay function (used in tests). *)

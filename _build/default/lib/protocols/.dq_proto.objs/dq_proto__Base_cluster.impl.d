@@ -1,0 +1,1 @@
+lib/protocols/base_cluster.ml: Base_frontend Base_msg Dq_intf Dq_net Dq_quorum Dq_sim Dq_storage Hashtbl List Option Printf Replica

@@ -1,0 +1,1 @@
+lib/protocols/base_cluster.mli: Base_msg Dq_intf Dq_net Dq_quorum Dq_sim Replica

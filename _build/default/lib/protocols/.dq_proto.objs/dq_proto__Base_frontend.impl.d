@@ -1,0 +1,1 @@
+lib/protocols/base_frontend.ml: Base_msg Dq_net Dq_quorum Dq_rpc Dq_storage Dq_util Hashtbl Lc List

@@ -1,0 +1,1 @@
+lib/protocols/base_frontend.mli: Base_msg Dq_net Dq_quorum Dq_storage Dq_util Key Lc

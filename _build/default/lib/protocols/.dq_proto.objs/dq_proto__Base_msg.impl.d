@@ -1,0 +1,1 @@
+lib/protocols/base_msg.ml: Dq_storage Key Lc List String

@@ -1,0 +1,1 @@
+lib/protocols/base_msg.mli: Dq_storage Key Lc

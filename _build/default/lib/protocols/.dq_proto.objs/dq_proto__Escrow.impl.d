@@ -1,0 +1,1 @@
+lib/protocols/escrow.ml: Dq_net Dq_sim Dq_storage Dq_util Float Hashtbl Key List Obj_map Option Stdlib

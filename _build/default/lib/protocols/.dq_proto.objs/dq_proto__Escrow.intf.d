@@ -1,0 +1,1 @@
+lib/protocols/escrow.mli: Dq_net Dq_sim Dq_storage Key

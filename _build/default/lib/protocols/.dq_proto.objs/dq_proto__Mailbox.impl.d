@@ -1,0 +1,1 @@
+lib/protocols/mailbox.ml: Dq_net Dq_sim Hashtbl List

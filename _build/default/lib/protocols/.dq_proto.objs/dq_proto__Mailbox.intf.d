@@ -1,0 +1,1 @@
+lib/protocols/mailbox.mli: Dq_net Dq_sim

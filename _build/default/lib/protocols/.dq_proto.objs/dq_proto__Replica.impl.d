@@ -1,0 +1,1 @@
+lib/protocols/replica.ml: Base_msg Dq_net Dq_storage Dq_util Hashtbl Key Lc List Obj_map Versioned

@@ -1,0 +1,1 @@
+lib/protocols/replica.mli: Base_msg Dq_net Dq_storage Dq_util Key Lc Versioned

@@ -1,0 +1,170 @@
+module Net = Dq_net.Net
+module Topology = Dq_net.Topology
+module Qs = Dq_quorum.Quorum_system
+module Engine = Dq_sim.Engine
+module R = Dq_intf.Replication
+
+type protocol =
+  | Primary_backup of { primary : int }
+  | Majority_quorum
+  | Atomic_majority
+  | Rowa
+  | Rowa_async of { anti_entropy_ms : float }
+  | Rowa_async_session of { anti_entropy_ms : float }
+  | Custom_quorum of Qs.t
+
+let protocol_name = function
+  | Primary_backup _ -> "primary-backup"
+  | Majority_quorum -> "majority"
+  | Atomic_majority -> "atomic-majority"
+  | Rowa -> "rowa"
+  | Rowa_async _ -> "rowa-async"
+  | Rowa_async_session _ -> "rowa-async-session"
+  | Custom_quorum qs -> Qs.name qs
+
+type client_stub = {
+  mutable next_op : int;
+  pending : (int, [ `Read of R.read_result -> unit | `Write of R.write_result -> unit ]) Hashtbl.t;
+  floors : (Dq_storage.Key.t, Dq_storage.Lc.t) Hashtbl.t;
+      (* per-key session floor (highest timestamp this client has read
+         or written), carried on session-guaranteed reads *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : Base_msg.t Net.t;
+  protocol : protocol;
+  replicas : (int, Replica.t) Hashtbl.t;
+  frontends : (int, Base_frontend.t) Hashtbl.t;
+  clients : (int, client_stub) Hashtbl.t;
+}
+
+let net t = t.net
+
+let replica t id = Hashtbl.find_opt t.replicas id
+
+let replica_mode protocol ~servers ~me =
+  match protocol with
+  | Primary_backup { primary } ->
+    if me = primary then Replica.Primary { backups = servers } else Replica.Plain
+  | Majority_quorum | Atomic_majority | Rowa | Custom_quorum _ -> Replica.Plain
+  | Rowa_async { anti_entropy_ms } | Rowa_async_session { anti_entropy_ms } ->
+    Replica.Async_member { peers = servers; anti_entropy_ms }
+
+let frontend_style protocol ~servers ~me =
+  match protocol with
+  | Primary_backup { primary } -> Base_frontend.Forward { primary }
+  | Majority_quorum ->
+    Base_frontend.Two_phase { system = Qs.majority servers; atomic_reads = false }
+  | Atomic_majority ->
+    Base_frontend.Two_phase { system = Qs.majority servers; atomic_reads = true }
+  | Rowa -> Base_frontend.Two_phase { system = Qs.rowa servers; atomic_reads = false }
+  | Rowa_async _ ->
+    Base_frontend.Two_phase
+      { system = Qs.threshold ~name:"local" ~members:[ me ] ~read:1 ~write:1;
+        atomic_reads = false }
+  | Rowa_async_session _ -> Base_frontend.Local_session { replica = me }
+  | Custom_quorum system -> Base_frontend.Two_phase { system; atomic_reads = false }
+
+let install_server t ~servers ~retry_timeout_ms id =
+  let replica =
+    Replica.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
+      ~mode:(replica_mode t.protocol ~servers ~me:id)
+  in
+  let frontend =
+    Base_frontend.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
+      ~style:(frontend_style t.protocol ~servers ~me:id)
+      ~retry_timeout_ms
+  in
+  Hashtbl.replace t.replicas id replica;
+  Hashtbl.replace t.frontends id frontend;
+  Net.register t.net ~node:id (fun ~src msg ->
+      Replica.handle replica ~src msg;
+      Base_frontend.handle frontend ~src msg);
+  Net.on_status_change t.net ~node:id (fun ~up ->
+      if up then begin
+        Replica.on_recover replica;
+        Base_frontend.on_recover frontend
+      end);
+  Replica.start replica
+
+let bump_floor stub key lc =
+  let current =
+    Option.value (Hashtbl.find_opt stub.floors key) ~default:Dq_storage.Lc.zero
+  in
+  Hashtbl.replace stub.floors key (Dq_storage.Lc.max current lc)
+
+let install_client t id =
+  let stub = { next_op = 0; pending = Hashtbl.create 8; floors = Hashtbl.create 8 } in
+  Hashtbl.replace t.clients id stub;
+  Net.register t.net ~node:id (fun ~src:_ msg ->
+      match msg with
+      | Base_msg.Client_read_reply { op; key; value; lc } -> (
+        match Hashtbl.find_opt stub.pending op with
+        | Some (`Read callback) ->
+          Hashtbl.remove stub.pending op;
+          bump_floor stub key lc;
+          callback { R.read_key = key; read_value = value; read_lc = lc }
+        | Some (`Write _) | None -> ())
+      | Base_msg.Client_write_reply { op; key; lc } -> (
+        match Hashtbl.find_opt stub.pending op with
+        | Some (`Write callback) ->
+          Hashtbl.remove stub.pending op;
+          bump_floor stub key lc;
+          callback { R.write_key = key; write_lc = lc }
+        | Some (`Read _) | None -> ())
+      | _ -> ())
+
+let create engine topology ?faults ?(retry_timeout_ms = 400.) protocol =
+  let net = Net.create engine topology ?faults ~classify:Base_msg.classify ~size_of:Base_msg.size_of () in
+  let t =
+    {
+      engine;
+      net;
+      protocol;
+      replicas = Hashtbl.create 16;
+      frontends = Hashtbl.create 16;
+      clients = Hashtbl.create 8;
+    }
+  in
+  let servers = Topology.servers topology in
+  List.iter (install_server t ~servers ~retry_timeout_ms) servers;
+  List.iter (install_client t) (Topology.clients topology);
+  t
+
+let client_stub t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some stub -> stub
+  | None -> invalid_arg (Printf.sprintf "Base_cluster: node %d is not a client" id)
+
+let api t =
+  let submit_read ~client ~server key callback =
+    let stub = client_stub t client in
+    let op = stub.next_op in
+    stub.next_op <- op + 1;
+    Hashtbl.replace stub.pending op (`Read callback);
+    let floor =
+      match t.protocol with
+      | Rowa_async_session _ ->
+        Option.value (Hashtbl.find_opt stub.floors key) ~default:Dq_storage.Lc.zero
+      | _ -> Dq_storage.Lc.zero
+    in
+    Net.send t.net ~src:client ~dst:server (Base_msg.Client_read_req { op; key; floor })
+  in
+  let submit_write ~client ~server key value callback =
+    let stub = client_stub t client in
+    let op = stub.next_op in
+    stub.next_op <- op + 1;
+    Hashtbl.replace stub.pending op (`Write callback);
+    Net.send t.net ~src:client ~dst:server (Base_msg.Client_write_req { op; key; value })
+  in
+  {
+    R.protocol_name = protocol_name t.protocol;
+    submit_read;
+    submit_write;
+    crash_server = (fun id -> Net.crash t.net id);
+    recover_server = (fun id -> Net.recover t.net id);
+    server_up = (fun id -> Net.is_up t.net id);
+    message_stats = (fun () -> Net.stats t.net);
+    quiesce = (fun () -> Hashtbl.iter (fun _ r -> Replica.quiesce r) t.replicas);
+  }

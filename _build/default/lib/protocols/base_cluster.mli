@@ -1,0 +1,44 @@
+(** Deployments of the baseline protocols, behind the same
+    {!Dq_intf.Replication.api} as the dual-quorum cluster. *)
+
+type protocol =
+  | Primary_backup of { primary : int }
+      (** reads and writes forwarded to [primary]; asynchronous
+          propagation to the other servers *)
+  | Majority_quorum
+  | Atomic_majority
+      (** majority quorum whose reads write back the value they return
+          (ABD read-impose), providing atomic instead of regular
+          semantics (paper future work, Section 6) *)
+  | Rowa  (** read-one / write-all, synchronous writes *)
+  | Rowa_async of { anti_entropy_ms : float }
+      (** local reads and writes; epidemic propagation *)
+  | Rowa_async_session of { anti_entropy_ms : float }
+      (** ROWA-Async with Bayou-style session guarantees: each client
+          carries a per-key floor, and a read waits until the local
+          replica has caught up to the client's own prior reads and
+          writes (read-your-writes + monotonic reads, still not
+          regular) *)
+  | Custom_quorum of Dq_quorum.Quorum_system.t
+      (** any quorum system over the servers (e.g. a grid) with the
+          standard two-phase quorum read/write protocol *)
+
+val protocol_name : protocol -> string
+
+type t
+
+val create :
+  Dq_sim.Engine.t ->
+  Dq_net.Topology.t ->
+  ?faults:Dq_net.Net.fault_model ->
+  ?retry_timeout_ms:float ->
+  protocol ->
+  t
+(** Servers are the topology's server nodes; [Custom_quorum] may name a
+    subset of them. *)
+
+val api : t -> Dq_intf.Replication.api
+
+val replica : t -> int -> Replica.t option
+
+val net : t -> Base_msg.t Dq_net.Net.t

@@ -1,0 +1,48 @@
+(** The service-client logic of the baseline protocols.
+
+    All four baselines fit two completion styles:
+
+    - {b Forward}: send the operation to a distinguished node (the
+      primary) which orders it — primary/backup;
+    - {b Two_phase}: quorum operations — a read collects a read quorum
+      of replies and keeps the highest-timestamped one; a write first
+      reads the highest timestamp from a read quorum, advances it, then
+      writes to a write quorum. Majority quorum uses majorities, ROWA
+      uses read-one/write-all, and ROWA-Async degenerates to a
+      singleton "quorum" at the local replica (with asynchronous
+      epidemic propagation done by the replica itself). *)
+
+open Dq_storage
+
+type style =
+  | Forward of { primary : int }
+  | Two_phase of { system : Dq_quorum.Quorum_system.t; atomic_reads : bool }
+      (** with [atomic_reads], a read writes the value it is about to
+          return back to a write quorum before returning (the classic
+          ABD read-impose phase), upgrading regular to atomic
+          semantics at the cost of a second round trip *)
+  | Local_session of { replica : int }
+      (** ROWA-Async with Bayou-style session guarantees: reads carry a
+          client-session floor and are answered from the local replica
+          only once it has caught up to it (read-your-writes and
+          monotonic reads, but not regular semantics) *)
+
+type t
+
+val create :
+  net:Base_msg.t Dq_net.Net.t ->
+  rng:Dq_util.Rng.t ->
+  me:int ->
+  style:style ->
+  retry_timeout_ms:float ->
+  t
+
+val read : ?floor:Lc.t -> t -> key:Key.t -> on_done:(value:string -> lc:Lc.t -> unit) -> unit
+(** [floor] (default {!Lc.zero}) is honoured by [Local_session]
+    front ends only. *)
+
+val write : t -> key:Key.t -> value:string -> on_done:(lc:Lc.t -> unit) -> unit
+
+val handle : t -> src:int -> Base_msg.t -> unit
+
+val on_recover : t -> unit

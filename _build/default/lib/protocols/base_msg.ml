@@ -1,0 +1,60 @@
+open Dq_storage
+
+type t =
+  | Client_read_req of { op : int; key : Key.t; floor : Lc.t }
+  | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Client_write_req of { op : int; key : Key.t; value : string }
+  | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Read_req of { op : int; key : Key.t }
+  | Read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Lc_req of { op : int }
+  | Lc_reply of { op : int; lc : Lc.t }
+  | Write_req of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Fwd_write_req of { op : int; key : Key.t; value : string }
+  | Fwd_write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Propagate of { key : Key.t; value : string; lc : Lc.t }
+  | Gossip of { entries : (Key.t * string * Lc.t) list }
+
+let classify = function
+  | Client_read_req _ -> "client_read_req"
+  | Client_read_reply _ -> "client_read_reply"
+  | Client_write_req _ -> "client_write_req"
+  | Client_write_reply _ -> "client_write_reply"
+  | Read_req _ -> "read_req"
+  | Read_reply _ -> "read_reply"
+  | Lc_req _ -> "lc_req"
+  | Lc_reply _ -> "lc_reply"
+  | Write_req _ -> "write_req"
+  | Write_ack _ -> "write_ack"
+  | Fwd_write_req _ -> "fwd_write_req"
+  | Fwd_write_ack _ -> "fwd_write_ack"
+  | Propagate _ -> "propagate"
+  | Gossip _ -> "gossip"
+
+(* Wire-size model matching Dq_core.Message.size_of. *)
+let header = 48
+
+let key_sz = 8
+
+let lc_sz = 12
+
+let size_of = function
+  | Client_read_req _ -> header + 8 + key_sz
+  | Client_read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Client_write_req { value; _ } -> header + 8 + key_sz + String.length value
+  | Client_write_reply _ -> header + 8 + key_sz + lc_sz
+  | Read_req _ -> header + 8 + key_sz
+  | Read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Lc_req _ -> header + 8
+  | Lc_reply _ -> header + 8 + lc_sz
+  | Write_req { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
+  | Write_ack _ -> header + 8 + key_sz + lc_sz
+  | Fwd_write_req { value; _ } -> header + 8 + key_sz + String.length value
+  | Fwd_write_ack _ -> header + 8 + key_sz + lc_sz
+  | Propagate { value; _ } -> header + key_sz + String.length value + lc_sz
+  | Gossip { entries } ->
+    header
+    + List.fold_left
+        (fun acc (_, value, _) -> acc + key_sz + lc_sz + String.length value)
+        0 entries

@@ -1,0 +1,37 @@
+(** The wire protocol shared by the four baseline replication protocols
+    (primary/backup, majority quorum, ROWA, ROWA-Async).
+
+    They all exchange the same small set of message shapes — reads,
+    timestamp reads, timestamped writes, asynchronous propagation — and
+    differ only in {e who} is contacted and {e when} an operation
+    completes, which lives in {!Base_frontend}. *)
+
+open Dq_storage
+
+type t =
+  | Client_read_req of { op : int; key : Key.t; floor : Lc.t }
+      (** [floor] is the client session's minimum acceptable timestamp
+          (Bayou-style session guarantees); protocols without session
+          support ignore it ({!Lc.zero} when unused) *)
+  | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Client_write_req of { op : int; key : Key.t; value : string }
+  | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Read_req of { op : int; key : Key.t }        (** front end -> replica *)
+  | Read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Lc_req of { op : int }                       (** highest-timestamp query *)
+  | Lc_reply of { op : int; lc : Lc.t }
+  | Write_req of { op : int; key : Key.t; value : string; lc : Lc.t }
+  | Write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Fwd_write_req of { op : int; key : Key.t; value : string }
+      (** front end -> primary: the primary assigns the timestamp *)
+  | Fwd_write_ack of { op : int; key : Key.t; lc : Lc.t }
+  | Propagate of { key : Key.t; value : string; lc : Lc.t }
+      (** asynchronous push (primary -> backups, ROWA-Async epidemics) *)
+  | Gossip of { entries : (Key.t * string * Lc.t) list }
+      (** anti-entropy exchange (ROWA-Async) *)
+
+val classify : t -> string
+
+val size_of : t -> int
+(** Estimated wire size in bytes (same model as
+    {!Dq_core.Message.size_of}). *)

@@ -1,0 +1,339 @@
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+open Dq_storage
+
+type msg =
+  | Buy_req of { op : int; key : Key.t; amount : int }
+  | Buy_reply of { op : int; ok : bool }
+  | Transfer_req of { key : Key.t; want : int }
+  | Transfer_grant of { grant_id : int; key : Key.t; amount : int }
+      (* retransmitted until acknowledged; the receiver deduplicates by
+         (sender, grant_id), so escrow units move exactly once *)
+  | Transfer_ack of { grant_id : int }
+  | Transfer_deny of { key : Key.t; share : int }
+      (* the donor has too little; carries its actual share so the
+         requester can correct its view and ask someone else *)
+  | Gossip of { shares : (Key.t * int) list }
+
+let classify = function
+  | Buy_req _ -> "buy_req"
+  | Buy_reply _ -> "buy_reply"
+  | Transfer_req _ -> "transfer_req"
+  | Transfer_grant _ -> "transfer_grant"
+  | Transfer_ack _ -> "transfer_ack"
+  | Transfer_deny _ -> "transfer_deny"
+  | Gossip _ -> "gossip"
+
+type pending_buy = { op : int; client : int; amount : int; deadline : float }
+
+type item = {
+  mutable share : int;
+  mutable consumed : int;
+  peer_view : (int, int) Hashtbl.t; (* last gossiped share per peer *)
+  mutable waiting : pending_buy list;
+  mutable transfer_outstanding : bool;
+  mutable recheck_armed : bool; (* at most one deadline timer per item *)
+}
+
+type in_transit = { to_ : int; t_key : Key.t; t_amount : int }
+
+type replica = {
+  me : int;
+  items : (Key.t, item) Obj_map.t;
+  mutable next_grant : int;
+  in_transit : (int, in_transit) Hashtbl.t;
+  applied : (int * int, unit) Hashtbl.t; (* (sender, grant_id) already applied *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : msg Net.t;
+  rng : Dq_util.Rng.t;
+  servers : int list;
+  gossip_ms : float;
+  transfer_timeout_ms : float;
+  stock : Key.t -> int;
+  replicas : (int, replica) Hashtbl.t;
+  buy_callbacks : (int * int, bool -> unit) Hashtbl.t; (* (client, op) *)
+  next_op : (int, int ref) Hashtbl.t;
+  mutable quiesced : bool;
+}
+
+(* Initial stock is split evenly; the first [stock mod n] servers take
+   one extra unit. *)
+let initial_share t ~server key =
+  let n = List.length t.servers in
+  let total = t.stock key in
+  let index =
+    match List.find_index (fun s -> s = server) t.servers with
+    | Some i -> i
+    | None -> invalid_arg "Escrow: not a server"
+  in
+  (total / n) + (if index < total mod n then 1 else 0)
+
+let item t replica key =
+  Obj_map.get replica.items key
+  |> fun it ->
+  if it.share = -1 then it.share <- initial_share t ~server:replica.me key;
+  it
+
+let fresh_item _ =
+  {
+    share = -1; (* lazily initialized from the stock function *)
+    consumed = 0;
+    peer_view = Hashtbl.create 8;
+    waiting = [];
+    transfer_outstanding = false;
+    recheck_armed = false;
+  }
+
+let send t ~src ~dst msg = Net.send t.net ~src ~dst msg
+
+let estimate t replica key =
+  let it = item t replica key in
+  let others =
+    List.fold_left
+      (fun acc peer ->
+        if peer = replica.me then acc
+        else
+          acc
+          + Option.value (Hashtbl.find_opt it.peer_view peer)
+              ~default:(initial_share t ~server:peer key))
+      0 t.servers
+  in
+  it.share + others
+
+(* Ask the peer believed to hold the most stock for a transfer. *)
+let request_transfer t replica key ~want =
+  let it = item t replica key in
+  if not it.transfer_outstanding then begin
+    let best =
+      List.fold_left
+        (fun acc peer ->
+          if peer = replica.me then acc
+          else
+            let estimate =
+              Option.value (Hashtbl.find_opt it.peer_view peer)
+                ~default:(initial_share t ~server:peer key)
+            in
+            match acc with
+            | Some (_, best_estimate) when best_estimate >= estimate -> acc
+            | Some _ | None -> Some (peer, estimate))
+        None t.servers
+    in
+    match best with
+    | Some (peer, estimate) when estimate > 0 ->
+      it.transfer_outstanding <- true;
+      send t ~src:replica.me ~dst:peer (Transfer_req { key; want })
+    | Some _ | None -> ()
+  end
+
+let reply_buy t replica pending ok =
+  send t ~src:replica.me ~dst:pending.client (Buy_reply { op = pending.op; ok })
+
+(* Serve waiting purchases from the current share, oldest first; expired
+   ones are refused. *)
+let rec drain_waiting t replica key =
+  let it = item t replica key in
+  let now = Engine.now t.engine in
+  let rec go = function
+    | [] -> []
+    | pending :: rest ->
+      if now > pending.deadline then begin
+        reply_buy t replica pending false;
+        go rest
+      end
+      else if it.share >= pending.amount then begin
+        it.share <- it.share - pending.amount;
+        it.consumed <- it.consumed + pending.amount;
+        reply_buy t replica pending true;
+        go rest
+      end
+      else pending :: go rest
+  in
+  it.waiting <- go it.waiting;
+  match it.waiting with
+  | [] -> ()
+  | pending :: _ ->
+    request_transfer t replica key ~want:pending.amount;
+    (* Re-check at the oldest deadline so refused purchases answer; a
+       transfer request that went unanswered (dead peer) is abandoned
+       so the next round may pick a different donor. One timer per item
+       suffices - every code path that changes the state calls back
+       into [drain_waiting]. *)
+    if not it.recheck_armed then begin
+      it.recheck_armed <- true;
+      let delay_ms = Float.max 1. (pending.deadline -. now) in
+      ignore
+        (Net.timer t.net ~node:replica.me ~delay_ms (fun () ->
+             it.recheck_armed <- false;
+             it.transfer_outstanding <- false;
+             drain_waiting t replica key))
+    end
+
+let handle_buy t replica ~src ~op ~key ~amount =
+  let it = item t replica key in
+  let pending =
+    { op; client = src; amount; deadline = Engine.now t.engine +. t.transfer_timeout_ms }
+  in
+  it.waiting <- it.waiting @ [ pending ];
+  drain_waiting t replica key
+
+let rec retransmit_grant t replica grant_id =
+  match Hashtbl.find_opt replica.in_transit grant_id with
+  | None -> ()
+  | Some transit ->
+    send t ~src:replica.me ~dst:transit.to_
+      (Transfer_grant { grant_id; key = transit.t_key; amount = transit.t_amount });
+    ignore
+      (Net.timer t.net ~node:replica.me ~delay_ms:t.transfer_timeout_ms (fun () ->
+           retransmit_grant t replica grant_id))
+
+let handle_transfer_req t replica ~src ~key ~want =
+  let it = item t replica key in
+  (* Give generously - the larger of the request and half the share -
+     to amortize transfers, but never go below zero. *)
+  let give = Stdlib.min it.share (Stdlib.max want (it.share / 2)) in
+  if give >= want && give > 0 then begin
+    it.share <- it.share - give;
+    let grant_id = replica.next_grant in
+    replica.next_grant <- grant_id + 1;
+    Hashtbl.replace replica.in_transit grant_id { to_ = src; t_key = key; t_amount = give };
+    retransmit_grant t replica grant_id
+  end
+  else send t ~src:replica.me ~dst:src (Transfer_deny { key; share = it.share })
+
+let handle_transfer_grant t replica ~src ~grant_id ~key ~amount =
+  send t ~src:replica.me ~dst:src (Transfer_ack { grant_id });
+  if not (Hashtbl.mem replica.applied (src, grant_id)) then begin
+    Hashtbl.replace replica.applied (src, grant_id) ();
+    let it = item t replica key in
+    it.share <- it.share + amount;
+    it.transfer_outstanding <- false;
+    drain_waiting t replica key
+  end
+
+let handle_gossip t replica ~src ~shares =
+  List.iter
+    (fun (key, share) ->
+      let it = item t replica key in
+      Hashtbl.replace it.peer_view src share)
+    shares
+
+let rec arm_gossip t replica =
+  ignore
+    (Net.timer t.net ~node:replica.me ~delay_ms:t.gossip_ms (fun () ->
+         if not t.quiesced then begin
+           let shares =
+             Obj_map.fold replica.items ~init:[] ~f:(fun key it acc ->
+                 if it.share >= 0 then (key, it.share) :: acc else acc)
+           in
+           (match List.filter (fun s -> s <> replica.me) t.servers with
+           | [] -> ()
+           | peers ->
+             let peer = List.nth peers (Dq_util.Rng.int t.rng (List.length peers)) in
+             if shares <> [] then send t ~src:replica.me ~dst:peer (Gossip { shares }));
+           arm_gossip t replica
+         end))
+
+let handle t replica ~src msg =
+  match msg with
+  | Buy_req { op; key; amount } -> handle_buy t replica ~src ~op ~key ~amount
+  | Transfer_req { key; want } -> handle_transfer_req t replica ~src ~key ~want
+  | Transfer_grant { grant_id; key; amount } ->
+    handle_transfer_grant t replica ~src ~grant_id ~key ~amount
+  | Transfer_ack { grant_id } -> Hashtbl.remove replica.in_transit grant_id
+  | Transfer_deny { key; share } ->
+    let it = item t replica key in
+    Hashtbl.replace it.peer_view src share;
+    it.transfer_outstanding <- false;
+    drain_waiting t replica key
+  | Gossip { shares } -> handle_gossip t replica ~src ~shares
+  | Buy_reply _ -> () (* replies are routed at client nodes *)
+
+let create engine topology ?(gossip_ms = 500.) ?(transfer_timeout_ms = 400.) ~stock () =
+  let net = Net.create engine topology ~classify () in
+  let t =
+    {
+      engine;
+      net;
+      rng = Engine.split_rng engine;
+      servers = Topology.servers topology;
+      gossip_ms;
+      transfer_timeout_ms;
+      stock;
+      replicas = Hashtbl.create 16;
+      buy_callbacks = Hashtbl.create 32;
+      next_op = Hashtbl.create 8;
+      quiesced = false;
+    }
+  in
+  List.iter
+    (fun server ->
+      let replica =
+        {
+          me = server;
+          items = Obj_map.of_key_default ~default:fresh_item;
+          next_grant = 0;
+          in_transit = Hashtbl.create 8;
+          applied = Hashtbl.create 16;
+        }
+      in
+      Hashtbl.replace t.replicas server replica;
+      Net.register net ~node:server (fun ~src msg -> handle t replica ~src msg);
+      arm_gossip t replica)
+    t.servers;
+  List.iter
+    (fun client ->
+      Net.register net ~node:client (fun ~src:_ msg ->
+          match msg with
+          | Buy_reply { op; ok } -> (
+            match Hashtbl.find_opt t.buy_callbacks (client, op) with
+            | Some callback ->
+              Hashtbl.remove t.buy_callbacks (client, op);
+              callback ok
+            | None -> ())
+          | _ -> ()))
+    (Topology.clients topology);
+  t
+
+let buy t ~client ~server key ~amount callback =
+  let counter =
+    match Hashtbl.find_opt t.next_op client with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t.next_op client r;
+      r
+  in
+  let op = !counter in
+  incr counter;
+  Hashtbl.replace t.buy_callbacks (client, op) callback;
+  Net.send t.net ~src:client ~dst:server (Buy_req { op; key; amount })
+
+let approx_count t ~server key =
+  match Hashtbl.find_opt t.replicas server with
+  | Some replica -> estimate t replica key
+  | None -> 0
+
+let exact_remaining t key =
+  Hashtbl.fold
+    (fun _ replica acc ->
+      let it = item t replica key in
+      let transit =
+        Hashtbl.fold
+          (fun _ tr acc -> if Key.equal tr.t_key key then acc + tr.t_amount else acc)
+          replica.in_transit 0
+      in
+      acc + it.share + transit)
+    t.replicas 0
+
+let total_sold t key =
+  Hashtbl.fold (fun _ replica acc -> acc + (item t replica key).consumed) t.replicas 0
+
+let quiesce t = t.quiesced <- true
+
+let crash t server = Net.crash t.net server
+
+let recover t server = Net.recover t.net server

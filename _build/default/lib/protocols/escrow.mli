@@ -1,0 +1,53 @@
+(** Escrow-partitioned inventory counters — the paper's third object
+    category (Section 1): {e commutative-write, approximate-read}
+    objects such as the TPC-W per-product inventory count.
+
+    The initial stock of each item is split into per-edge-server
+    escrow shares. A purchase decrements the local share — local
+    latency, no coordination, and {b never oversells} because shares
+    partition the stock. When a replica's share runs dry it requests a
+    transfer from the peer believed to hold the most, discovering
+    balances through periodic gossip. Reads are {e approximate}: the
+    local share plus the last gossiped view of the others.
+
+    Safety invariant (tested): the sum of successful decrements never
+    exceeds the initial stock. Liveness (tested): while global stock
+    remains, a retried purchase eventually succeeds. *)
+
+open Dq_storage
+
+type t
+(** A cluster of escrow counter replicas. *)
+
+val create :
+  Dq_sim.Engine.t ->
+  Dq_net.Topology.t ->
+  ?gossip_ms:float ->
+  ?transfer_timeout_ms:float ->
+  stock:(Key.t -> int) ->
+  unit ->
+  t
+(** [stock] gives each item's initial stock, split evenly across the
+    servers (the first servers receive the remainder). Gossip defaults
+    to every 500 ms; dry-share purchases retry after
+    [transfer_timeout_ms] (default 400). *)
+
+val buy :
+  t -> client:int -> server:int -> Key.t -> amount:int -> (bool -> unit) -> unit
+(** Attempt to consume [amount] units; the callback receives [false]
+    when the item is (believed) sold out. *)
+
+val approx_count : t -> server:int -> Key.t -> int
+(** The server's current estimate of global remaining stock. *)
+
+val exact_remaining : t -> Key.t -> int
+(** Ground truth across all replicas (introspection for tests). *)
+
+val total_sold : t -> Key.t -> int
+(** Successful decrements so far (introspection for tests). *)
+
+val quiesce : t -> unit
+
+val crash : t -> int -> unit
+
+val recover : t -> int -> unit

@@ -1,0 +1,148 @@
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+
+type msg =
+  | Append_req of { op : int; entry : string }
+  | Append_ack of { op : int }
+  | Forward of { seq : int; entry : string } (* edge -> home, at-least-once *)
+  | Forward_ack of { seq : int }
+
+let classify = function
+  | Append_req _ -> "append_req"
+  | Append_ack _ -> "append_ack"
+  | Forward _ -> "forward"
+  | Forward_ack _ -> "forward_ack"
+
+(* Durable per-edge state: the outgoing queue survives crashes (an
+   acknowledged append must not be lost), like the IQS object state. *)
+type edge = {
+  me : int;
+  mutable next_seq : int;
+  outbox : (int, string) Hashtbl.t; (* seq -> entry, unacknowledged *)
+}
+
+type home_state = {
+  mutable inbox : string list; (* newest first *)
+  mutable delivered : int;
+  seen : (int * int, unit) Hashtbl.t; (* (edge, seq) already delivered *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : msg Net.t;
+  home : int;
+  retransmit_ms : float;
+  edges : (int, edge) Hashtbl.t;
+  home_state : home_state;
+  ack_callbacks : (int * int, unit -> unit) Hashtbl.t; (* (client, op) *)
+  next_op : (int, int ref) Hashtbl.t;
+  mutable quiesced : bool;
+}
+
+let rec pump t edge =
+  (* Retransmit everything unacknowledged; back off by polling. *)
+  if (not t.quiesced) && Hashtbl.length edge.outbox > 0 then begin
+    Hashtbl.iter
+      (fun seq entry -> Net.send t.net ~src:edge.me ~dst:t.home (Forward { seq; entry }))
+      edge.outbox;
+    ignore
+      (Net.timer t.net ~node:edge.me ~delay_ms:t.retransmit_ms (fun () -> pump t edge))
+  end
+
+let handle_edge t edge ~src msg =
+  match msg with
+  | Append_req { op; entry } ->
+    let seq = edge.next_seq in
+    edge.next_seq <- seq + 1;
+    let was_idle = Hashtbl.length edge.outbox = 0 in
+    Hashtbl.replace edge.outbox seq entry;
+    Net.send t.net ~src:edge.me ~dst:src (Append_ack { op });
+    if was_idle then pump t edge
+  | Forward_ack { seq } -> Hashtbl.remove edge.outbox seq
+  | Append_ack _ | Forward _ -> ()
+
+let handle_home t ~src msg =
+  match msg with
+  | Forward { seq; entry } ->
+    Net.send t.net ~src:t.home ~dst:src (Forward_ack { seq });
+    if not (Hashtbl.mem t.home_state.seen (src, seq)) then begin
+      Hashtbl.replace t.home_state.seen (src, seq) ();
+      t.home_state.inbox <- entry :: t.home_state.inbox;
+      t.home_state.delivered <- t.home_state.delivered + 1
+    end
+  | Append_req _ | Append_ack _ | Forward_ack _ -> ()
+
+let create engine topology ~home ?(retransmit_ms = 500.) () =
+  if not (List.mem home (Topology.servers topology)) then
+    invalid_arg "Mailbox.create: home must be a server";
+  let net = Net.create engine topology ~classify () in
+  let t =
+    {
+      engine;
+      net;
+      home;
+      retransmit_ms;
+      edges = Hashtbl.create 16;
+      home_state = { inbox = []; delivered = 0; seen = Hashtbl.create 64 };
+      ack_callbacks = Hashtbl.create 32;
+      next_op = Hashtbl.create 8;
+      quiesced = false;
+    }
+  in
+  List.iter
+    (fun server ->
+      if server = home then
+        Net.register net ~node:server (fun ~src msg -> handle_home t ~src msg)
+      else begin
+        let edge = { me = server; next_seq = 0; outbox = Hashtbl.create 16 } in
+        Hashtbl.replace t.edges server edge;
+        Net.register net ~node:server (fun ~src msg -> handle_edge t edge ~src msg);
+        (* After a recovery the durable outbox must drain again. *)
+        Net.on_status_change net ~node:server (fun ~up -> if up then pump t edge)
+      end)
+    (Topology.servers topology);
+  List.iter
+    (fun client ->
+      Net.register net ~node:client (fun ~src:_ msg ->
+          match msg with
+          | Append_ack { op } -> (
+            match Hashtbl.find_opt t.ack_callbacks (client, op) with
+            | Some callback ->
+              Hashtbl.remove t.ack_callbacks (client, op);
+              callback ()
+            | None -> ())
+          | _ -> ()))
+    (Topology.clients topology);
+  t
+
+let append t ~client ~server entry callback =
+  let counter =
+    match Hashtbl.find_opt t.next_op client with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t.next_op client r;
+      r
+  in
+  let op = !counter in
+  incr counter;
+  Hashtbl.replace t.ack_callbacks (client, op) callback;
+  Net.send t.net ~src:client ~dst:server (Append_req { op; entry })
+
+let consume t n =
+  let ordered = List.rev t.home_state.inbox in
+  let taken = List.filteri (fun i _ -> i < n) ordered in
+  t.home_state.inbox <- List.rev (List.filteri (fun i _ -> i >= n) ordered);
+  taken
+
+let delivered_count t = t.home_state.delivered
+
+let unforwarded_count t =
+  Hashtbl.fold (fun _ edge acc -> acc + Hashtbl.length edge.outbox) t.edges 0
+
+let crash t server = Net.crash t.net server
+
+let recover t server = Net.recover t.net server
+
+let quiesce t = t.quiesced <- true

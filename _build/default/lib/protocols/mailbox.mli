@@ -1,0 +1,43 @@
+(** Multi-writer, single-reader mailboxes — the paper's second object
+    category (Section 1): objects like customer orders that any edge
+    server appends to but only one site (the order-processing origin)
+    consumes.
+
+    An append is acknowledged as soon as the local edge server has
+    durably queued it ({e local latency}); the server then forwards it
+    to the home node with at-least-once retransmission, and the home
+    deduplicates by (edge, sequence number), so every acknowledged
+    append is delivered to the consumer {b exactly once} — under
+    message loss, duplication and transient crashes of either side.
+    The consumer sees entries in arrival order; no further ordering is
+    guaranteed (retransmissions may overtake). *)
+
+type t
+
+val create :
+  Dq_sim.Engine.t ->
+  Dq_net.Topology.t ->
+  home:int ->
+  ?retransmit_ms:float ->
+  unit ->
+  t
+(** [home] is the single consuming node (must be a server). *)
+
+val append : t -> client:int -> server:int -> string -> (unit -> unit) -> unit
+(** Queue an entry through an edge server; the callback fires when the
+    edge has accepted it (not when the home has it). *)
+
+val consume : t -> int -> string list
+(** Take up to n entries delivered to the home, in delivery order. *)
+
+val delivered_count : t -> int
+(** Entries that reached the home so far (consumed or not). *)
+
+val unforwarded_count : t -> int
+(** Entries still queued at edges (introspection for tests). *)
+
+val crash : t -> int -> unit
+
+val recover : t -> int -> unit
+
+val quiesce : t -> unit

@@ -1,0 +1,116 @@
+open Dq_storage
+module Net = Dq_net.Net
+
+type mode =
+  | Plain
+  | Primary of { backups : int list }
+  | Async_member of { peers : int list; anti_entropy_ms : float }
+
+type t = {
+  net : Base_msg.t Net.t;
+  rng : Dq_util.Rng.t;
+  me : int;
+  mode : mode;
+  store : (Key.t, Versioned.t) Obj_map.t;
+  mutable global_lc : Lc.t;
+  fwd_assigned : (int * int, Lc.t) Hashtbl.t;
+      (* (front end, op) -> timestamp already assigned by this primary;
+         retransmitted forwards must not be executed twice *)
+  mutable quiesced : bool;
+}
+
+let create ~net ~rng ~me ~mode =
+  {
+    net;
+    rng;
+    me;
+    mode;
+    store = Obj_map.of_key_default ~default:(fun _ -> Versioned.initial);
+    global_lc = Lc.zero;
+    fwd_assigned = Hashtbl.create 16;
+    quiesced = false;
+  }
+
+let send t dst msg = Net.send t.net ~src:t.me ~dst msg
+
+let apply t ~key ~value ~lc =
+  let current = Obj_map.get t.store key in
+  if Lc.(lc > current.lc) then begin
+    Obj_map.set t.store key (Versioned.make ~value ~lc);
+    t.global_lc <- Lc.max t.global_lc lc
+  end
+
+let entries t = Obj_map.fold t.store ~init:[] ~f:(fun key v acc -> (key, v.value, v.lc) :: acc)
+
+let rec arm_anti_entropy t ~peers ~period_ms =
+  ignore
+    (Net.timer t.net ~node:t.me ~delay_ms:period_ms (fun () ->
+         if not t.quiesced then begin
+           let others = List.filter (fun p -> p <> t.me) peers in
+           (match others with
+           | [] -> ()
+           | _ ->
+             let peer = List.nth others (Dq_util.Rng.int t.rng (List.length others)) in
+             send t peer (Base_msg.Gossip { entries = entries t }));
+           arm_anti_entropy t ~peers ~period_ms
+         end))
+
+let start t =
+  match t.mode with
+  | Async_member { peers; anti_entropy_ms } ->
+    arm_anti_entropy t ~peers ~period_ms:anti_entropy_ms
+  | Plain | Primary _ -> ()
+
+let quiesce t = t.quiesced <- true
+
+let on_recover t = start t
+
+let handle t ~src msg =
+  match msg with
+  | Base_msg.Read_req { op; key } ->
+    let v = Obj_map.get t.store key in
+    send t src (Base_msg.Read_reply { op; key; value = v.value; lc = v.lc })
+  | Base_msg.Lc_req { op } -> send t src (Base_msg.Lc_reply { op; lc = t.global_lc })
+  | Base_msg.Write_req { op; key; value; lc } ->
+    apply t ~key ~value ~lc;
+    send t src (Base_msg.Write_ack { op; key; lc });
+    (* In the epidemic protocol, a locally accepted write is pushed
+       asynchronously to all peers. *)
+    (match t.mode with
+    | Async_member { peers; _ } ->
+      List.iter
+        (fun peer -> if peer <> t.me then send t peer (Base_msg.Propagate { key; value; lc }))
+        peers
+    | Plain | Primary _ -> ())
+  | Base_msg.Fwd_write_req { op; key; value } -> (
+    match t.mode with
+    | Primary { backups } -> (
+      match Hashtbl.find_opt t.fwd_assigned (src, op) with
+      | Some lc ->
+        (* Retransmission: execute at most once, re-acknowledge. *)
+        send t src (Base_msg.Fwd_write_ack { op; key; lc })
+      | None ->
+        (* The primary orders writes itself and propagates
+           asynchronously; the acknowledgment does not wait for the
+           backups. *)
+        let lc = Lc.succ t.global_lc ~node:t.me in
+        t.global_lc <- lc;
+        Hashtbl.replace t.fwd_assigned (src, op) lc;
+        apply t ~key ~value ~lc;
+        List.iter
+          (fun backup ->
+            if backup <> t.me then send t backup (Base_msg.Propagate { key; value; lc }))
+          backups;
+        send t src (Base_msg.Fwd_write_ack { op; key; lc }))
+    | Plain | Async_member _ -> ())
+  | Base_msg.Propagate { key; value; lc } -> apply t ~key ~value ~lc
+  | Base_msg.Gossip { entries } ->
+    List.iter (fun (key, value, lc) -> apply t ~key ~value ~lc) entries
+  | Base_msg.Client_read_req _ | Base_msg.Client_read_reply _ | Base_msg.Client_write_req _
+  | Base_msg.Client_write_reply _ | Base_msg.Read_reply _ | Base_msg.Lc_reply _
+  | Base_msg.Write_ack _ | Base_msg.Fwd_write_ack _ ->
+    ()
+
+let stored t key = Obj_map.get t.store key
+
+let logical_clock t = t.global_lc

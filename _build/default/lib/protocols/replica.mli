@@ -1,0 +1,39 @@
+(** A baseline replica: a timestamped key-value store node.
+
+    Serves reads and timestamp queries, applies timestamped writes
+    (last-writer-wins by logical clock), merges asynchronous
+    propagation, and — in primary mode — assigns timestamps itself and
+    pushes updates to its backups. With [anti_entropy_ms] set, the
+    replica periodically gossips its whole store to a random peer
+    (ROWA-Async epidemic propagation), which converges even under
+    message loss. Store contents are durable across crashes. *)
+
+open Dq_storage
+
+type mode =
+  | Plain  (** majority quorum / ROWA member *)
+  | Primary of { backups : int list }
+  | Async_member of { peers : int list; anti_entropy_ms : float }
+
+type t
+
+val create :
+  net:Base_msg.t Dq_net.Net.t -> rng:Dq_util.Rng.t -> me:int -> mode:mode -> t
+
+val handle : t -> src:int -> Base_msg.t -> unit
+
+val start : t -> unit
+(** Arm periodic anti-entropy (no-op in other modes). Call once after
+    all nodes are registered. *)
+
+val quiesce : t -> unit
+(** Stop anti-entropy. *)
+
+val on_recover : t -> unit
+(** Re-arm periodic work after a crash; the store itself is durable. *)
+
+(** {2 Introspection} *)
+
+val stored : t -> Key.t -> Versioned.t
+
+val logical_clock : t -> Lc.t

@@ -1,0 +1,1 @@
+lib/quorum/availability.ml: Array Dq_util Float Quorum_system

@@ -1,0 +1,1 @@
+lib/quorum/availability.mli: Dq_util Quorum_system

@@ -1,0 +1,1 @@
+lib/quorum/quorum_system.ml: Array Dq_util Format Fun List Printf

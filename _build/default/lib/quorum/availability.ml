@@ -1,0 +1,84 @@
+type mode = Read | Write
+
+let predicate qs mode =
+  match mode with
+  | Read -> fun ~present -> Quorum_system.is_read_quorum qs ~present
+  | Write -> fun ~present -> Quorum_system.is_write_quorum qs ~present
+
+(* Exact enumeration over live/dead states of the members. [want_failure]
+   selects whether we accumulate the probability of states with no quorum
+   (unavailability) or with a quorum (availability). *)
+let enumerate qs mode ~p ~want_failure =
+  let member_array = Array.of_list (Quorum_system.members qs) in
+  let n = Array.length member_array in
+  if n > 24 then invalid_arg "Availability: quorum system too large for enumeration";
+  let holds = predicate qs mode in
+  let q = 1. -. p in
+  let acc = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let present id =
+      (* Find id's index; members are distinct. *)
+      let rec index i = if member_array.(i) = id then i else index (i + 1) in
+      mask land (1 lsl index 0) <> 0
+    in
+    let has_quorum = holds ~present in
+    if has_quorum <> want_failure then begin
+      let prob = ref 1. in
+      for i = 0 to n - 1 do
+        prob := !prob *. (if mask land (1 lsl i) <> 0 then q else p)
+      done;
+      acc := !acc +. !prob
+    end
+  done;
+  !acc
+
+let is_uniform_threshold qs mode =
+  match Quorum_system.counting_thresholds qs with
+  | None -> None
+  | Some (read, write) ->
+    let n = Quorum_system.size qs in
+    let k = match mode with Read -> read | Write -> write in
+    Some (n, k)
+
+let unavailability qs ~mode ~p =
+  if p <= 0. then 0.
+  else if p >= 1. then 1.
+  else
+    match is_uniform_threshold qs mode with
+    | Some (n, k) ->
+      (* Up-count X ~ Binomial(n, 1-p); unavailable iff X < k. *)
+      Dq_util.Combin.binomial_tail_le ~n ~p:(1. -. p) (k - 1)
+    | None -> enumerate qs mode ~p ~want_failure:true
+
+let availability qs ~mode ~p =
+  if p <= 0. then 1.
+  else if p >= 1. then 0.
+  else
+    match is_uniform_threshold qs mode with
+    | Some (n, k) -> Dq_util.Combin.binomial_tail_ge ~n ~p:(1. -. p) k
+    | None -> enumerate qs mode ~p ~want_failure:false
+
+let min_availability qs ~p =
+  Float.min (availability qs ~mode:Read ~p) (availability qs ~mode:Write ~p)
+
+let max_unavailability qs ~p =
+  Float.max (unavailability qs ~mode:Read ~p) (unavailability qs ~mode:Write ~p)
+
+let unavailability_mc qs ~mode ~p ~rng ~samples =
+  if samples <= 0 then invalid_arg "Availability: samples must be positive";
+  let members = Array.of_list (Quorum_system.members qs) in
+  let n = Array.length members in
+  let holds = predicate qs mode in
+  let up = Array.make n false in
+  let failures = ref 0 in
+  for _ = 1 to samples do
+    for i = 0 to n - 1 do
+      up.(i) <- not (Dq_util.Rng.bernoulli rng p)
+    done;
+    let present id =
+      let rec index i = if members.(i) = id then i else index (i + 1) in
+      up.(index 0)
+    in
+    if not (holds ~present) then incr failures
+  done;
+  float_of_int !failures /. float_of_int samples

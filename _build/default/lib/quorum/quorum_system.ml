@@ -1,0 +1,207 @@
+type spec =
+  | Threshold of { read : int; write : int }
+  | Grid of { rows : int; cols : int }
+  | Weighted of { votes : int array; read : int; write : int }
+      (* votes.(i) belongs to members.(i) *)
+
+type t = { name : string; members : int array; spec : spec }
+
+let name t = t.name
+
+let members t = Array.to_list t.members
+
+let size t = Array.length t.members
+
+let mem t id = Array.exists (fun m -> m = id) t.members
+
+(* Members present among responders. *)
+let count_present t ~present =
+  Array.fold_left (fun acc m -> if present m then acc + 1 else acc) 0 t.members
+
+(* Grid cell (r, c) holds member index r * cols + c. *)
+let grid_member t ~cols ~row ~col = t.members.((row * cols) + col)
+
+let column_covered t ~rows ~cols ~present col =
+  let rec cover row =
+    row < rows && (present (grid_member t ~cols ~row ~col) || cover (row + 1))
+  in
+  cover 0
+
+let all_columns_covered t ~rows ~cols ~present =
+  let rec check col = col >= cols || (column_covered t ~rows ~cols ~present col && check (col + 1)) in
+  check 0
+
+let full_column_present t ~rows ~cols ~present col =
+  let rec full row =
+    row >= rows || (present (grid_member t ~cols ~row ~col) && full (row + 1))
+  in
+  full 0
+
+let some_full_column t ~rows ~cols ~present =
+  let rec scan col = col < cols && (full_column_present t ~rows ~cols ~present col || scan (col + 1)) in
+  scan 0
+
+let votes_present t ~votes ~present =
+  let total = ref 0 in
+  Array.iteri (fun i m -> if present m then total := !total + votes.(i)) t.members;
+  !total
+
+let is_read_quorum t ~present =
+  match t.spec with
+  | Threshold { read; _ } -> count_present t ~present >= read
+  | Grid { rows; cols } -> all_columns_covered t ~rows ~cols ~present
+  | Weighted { votes; read; _ } -> votes_present t ~votes ~present >= read
+
+let is_write_quorum t ~present =
+  match t.spec with
+  | Threshold { write; _ } -> count_present t ~present >= write
+  | Grid { rows; cols } ->
+    all_columns_covered t ~rows ~cols ~present && some_full_column t ~rows ~cols ~present
+  | Weighted { votes; write; _ } -> votes_present t ~votes ~present >= write
+
+let present_of_list ids =
+  let set = List.sort_uniq compare ids in
+  fun id -> List.mem id set
+
+let is_read_quorum_list t ids = is_read_quorum t ~present:(present_of_list ids)
+
+let is_write_quorum_list t ids = is_write_quorum t ~present:(present_of_list ids)
+
+(* Fewest members whose votes reach [target]: take the biggest votes. *)
+let min_weighted_members votes target =
+  let sorted = Array.copy votes in
+  Array.sort (fun a b -> compare b a) sorted;
+  let rec take i acc = if acc >= target then i else take (i + 1) (acc + sorted.(i)) in
+  take 0 0
+
+let min_read_size t =
+  match t.spec with
+  | Threshold { read; _ } -> read
+  | Grid { cols; _ } -> cols
+  | Weighted { votes; read; _ } -> min_weighted_members votes read
+
+let min_write_size t =
+  match t.spec with
+  | Threshold { write; _ } -> write
+  | Grid { rows; cols } -> rows + cols - 1
+  | Weighted { votes; write; _ } -> min_weighted_members votes write
+
+(* Accumulate members in random order until their votes reach [target]. *)
+let choose_weighted t ~votes ~target rng =
+  let order = Array.init (Array.length t.members) Fun.id in
+  Dq_util.Rng.shuffle rng order;
+  let rec take i acc chosen =
+    if acc >= target then List.rev chosen
+    else take (i + 1) (acc + votes.(order.(i))) (t.members.(order.(i)) :: chosen)
+  in
+  take 0 0 []
+
+let choose_read t rng =
+  match t.spec with
+  | Threshold { read; _ } -> Dq_util.Rng.sample rng (members t) read
+  | Weighted { votes; read; _ } -> choose_weighted t ~votes ~target:read rng
+  | Grid { rows; cols } ->
+    List.init cols (fun col ->
+        let row = Dq_util.Rng.int rng rows in
+        grid_member t ~cols ~row ~col)
+
+let choose_write t rng =
+  match t.spec with
+  | Threshold { write; _ } -> Dq_util.Rng.sample rng (members t) write
+  | Weighted { votes; write; _ } -> choose_weighted t ~votes ~target:write rng
+  | Grid { rows; cols } ->
+    let full_col = Dq_util.Rng.int rng cols in
+    let full = List.init rows (fun row -> grid_member t ~cols ~row ~col:full_col) in
+    let cover =
+      List.filter_map
+        (fun col ->
+          if col = full_col then None
+          else
+            let row = Dq_util.Rng.int rng rows in
+            Some (grid_member t ~cols ~row ~col))
+        (List.init cols Fun.id)
+    in
+    full @ cover
+
+let threshold ~name ~members ~read ~write =
+  let n = List.length members in
+  if n = 0 then invalid_arg "Quorum_system.threshold: no members";
+  if read < 1 || read > n then invalid_arg "Quorum_system.threshold: bad read size";
+  if write < 1 || write > n then invalid_arg "Quorum_system.threshold: bad write size";
+  if read + write <= n then
+    invalid_arg "Quorum_system.threshold: read and write quorums must intersect";
+  if 2 * write <= n then
+    invalid_arg "Quorum_system.threshold: write quorums must pairwise intersect";
+  { name; members = Array.of_list members; spec = Threshold { read; write } }
+
+let majority members =
+  let n = List.length members in
+  let q = (n / 2) + 1 in
+  threshold ~name:(Printf.sprintf "majority(%d)" n) ~members ~read:q ~write:q
+
+let rowa members =
+  let n = List.length members in
+  threshold ~name:(Printf.sprintf "rowa(%d)" n) ~members ~read:1 ~write:n
+
+let grid ~rows ~cols members =
+  let n = List.length members in
+  if rows < 1 || cols < 1 || rows * cols <> n then
+    invalid_arg "Quorum_system.grid: rows * cols must equal the member count";
+  {
+    name = Printf.sprintf "grid(%dx%d)" rows cols;
+    members = Array.of_list members;
+    spec = Grid { rows; cols };
+  }
+
+let counting_thresholds t =
+  match t.spec with
+  | Threshold { read; write } -> Some (read, write)
+  | Grid _ -> None
+  | Weighted _ -> None
+
+let weighted ~name ~members ~read ~write =
+  let votes = Array.of_list (List.map snd members) in
+  let ids = List.map fst members in
+  let total = Array.fold_left ( + ) 0 votes in
+  if ids = [] then invalid_arg "Quorum_system.weighted: no members";
+  if Array.exists (fun v -> v < 0) votes then
+    invalid_arg "Quorum_system.weighted: negative votes";
+  if read < 1 || read > total || write < 1 || write > total then
+    invalid_arg "Quorum_system.weighted: quorum votes out of range";
+  if read + write <= total then
+    invalid_arg "Quorum_system.weighted: read and write quorums must intersect";
+  if 2 * write <= total then
+    invalid_arg "Quorum_system.weighted: write quorums must pairwise intersect";
+  { name; members = Array.of_list ids; spec = Weighted { votes; read; write } }
+
+let validate t =
+  let n = size t in
+  let present_of_mask mask id =
+    (* Position of id in members. *)
+    let rec index i = if t.members.(i) = id then i else index (i + 1) in
+    mask land (1 lsl index 0) <> 0
+  in
+  if n > 12 then Ok () (* exhaustive check too large; construction invariants hold *)
+  else begin
+    let reads = ref [] and writes = ref [] in
+    for mask = 0 to (1 lsl n) - 1 do
+      let present = present_of_mask mask in
+      if is_read_quorum t ~present then reads := mask :: !reads;
+      if is_write_quorum t ~present then writes := mask :: !writes
+    done;
+    let intersects a b = a land b <> 0 in
+    let rw_ok =
+      List.for_all (fun r -> List.for_all (fun w -> intersects r w) !writes) !reads
+    in
+    let ww_ok =
+      List.for_all (fun w1 -> List.for_all (fun w2 -> intersects w1 w2) !writes) !writes
+    in
+    if not rw_ok then Error "a read quorum misses a write quorum"
+    else if not ww_ok then Error "two write quorums are disjoint"
+    else Ok ()
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "%s{" t.name;
+  Array.iteri (fun i m -> Format.fprintf ppf (if i = 0 then "%d" else ",%d") m) t.members;
+  Format.fprintf ppf "}"

@@ -1,0 +1,81 @@
+(** Quorum systems: which sets of replicas may serve a read or a write.
+
+    A quorum system is defined over a list of member node ids. The
+    fundamental operations are the two predicates — does a set of
+    responders contain a read (write) quorum? — plus randomized selection
+    of a minimal quorum, which QRPC uses to pick message targets.
+
+    Constructions provided (all from the paper and its references):
+    threshold (Gifford-style voting with read/write thresholds),
+    majority, ROWA (read-one/write-all), and the grid protocol of
+    Cheung, Ahamad and Ammar. The dual-quorum protocol composes two of
+    these: an input quorum system (IQS, typically majority) and an
+    output quorum system (OQS, typically read-one/write-all over the
+    edge servers). *)
+
+type t
+
+val name : t -> string
+
+val members : t -> int list
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val is_read_quorum : t -> present:(int -> bool) -> bool
+(** Does the set characterized by [present] contain a read quorum? *)
+
+val is_write_quorum : t -> present:(int -> bool) -> bool
+
+val is_read_quorum_list : t -> int list -> bool
+
+val is_write_quorum_list : t -> int list -> bool
+
+val min_read_size : t -> int
+(** Cardinality of the smallest read quorum. *)
+
+val min_write_size : t -> int
+
+val choose_read : t -> Dq_util.Rng.t -> int list
+(** A uniformly random minimal read quorum. *)
+
+val choose_write : t -> Dq_util.Rng.t -> int list
+
+(** {2 Constructions} *)
+
+val threshold : name:string -> members:int list -> read:int -> write:int -> t
+(** Any [read] members form a read quorum, any [write] members a write
+    quorum. Requires [1 <= read, write <= n], [read + write > n] (every
+    read quorum intersects every write quorum) and [2 * write > n]
+    (write quorums intersect each other, needed to order writes). *)
+
+val majority : int list -> t
+(** Threshold with read = write = floor(n/2) + 1. *)
+
+val rowa : int list -> t
+(** Read-one / write-all: threshold with read = 1, write = n. *)
+
+val weighted : name:string -> members:(int * int) list -> read:int -> write:int -> t
+(** Gifford-style weighted voting (the paper's reference [12]):
+    [members] pairs node ids with vote counts; a read (write) quorum is
+    any set holding at least [read] ([write]) votes. Requires
+    [read + write > total votes] and [2 * write > total votes]. *)
+
+val grid : rows:int -> cols:int -> int list -> t
+(** The grid protocol: members arranged row-major in a [rows] x [cols]
+    grid. A read quorum is one node from each column; a write quorum is
+    a full column plus one node from each other column. Requires
+    [rows * cols = List.length members]. *)
+
+val counting_thresholds : t -> (int * int) option
+(** [Some (read, write)] iff the system is counting-based: any [read]
+    members form a read quorum and any [write] members a write quorum.
+    Grid systems return [None]. Lets {!Availability} use closed forms. *)
+
+val validate : t -> (unit, string) result
+(** Exhaustively check (for [size t <= 12]) or spot-check the
+    intersection properties: every read quorum intersects every write
+    quorum, and write quorums pairwise intersect. Used in tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rpc/peer_tracker.mli:

@@ -1,0 +1,1 @@
+lib/rpc/qrpc.ml: Dq_quorum Hashtbl List Peer_tracker Retry

@@ -1,0 +1,1 @@
+lib/rpc/qrpc.mli: Dq_quorum Dq_sim Dq_util Peer_tracker

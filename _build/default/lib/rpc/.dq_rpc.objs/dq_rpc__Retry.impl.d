@@ -1,0 +1,1 @@
+lib/rpc/retry.ml: Dq_sim

@@ -1,0 +1,1 @@
+lib/rpc/retry.mli: Dq_sim

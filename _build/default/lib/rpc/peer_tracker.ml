@@ -1,0 +1,50 @@
+type peer = { mutable sent_at : float option; mutable ewma : float option }
+
+type t = { now : unit -> float; peers : (int, peer) Hashtbl.t }
+
+let alpha = 0.2
+
+let create ~now = { now; peers = Hashtbl.create 16 }
+
+let peer t id =
+  match Hashtbl.find_opt t.peers id with
+  | Some p -> p
+  | None ->
+    let p = { sent_at = None; ewma = None } in
+    Hashtbl.add t.peers id p;
+    p
+
+let note_sent t id = (peer t id).sent_at <- Some (t.now ())
+
+let note_reply t id =
+  let p = peer t id in
+  match p.sent_at with
+  | None -> ()
+  | Some sent ->
+    p.sent_at <- None;
+    let sample = t.now () -. sent in
+    p.ewma <-
+      Some
+        (match p.ewma with
+        | None -> sample
+        | Some prev -> ((1. -. alpha) *. prev) +. (alpha *. sample))
+
+let estimate_ms t id =
+  match Hashtbl.find_opt t.peers id with Some { ewma; _ } -> ewma | None -> None
+
+let rank t candidates =
+  let unexplored, explored =
+    List.partition (fun id -> estimate_ms t id = None) candidates
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (Option.value (estimate_ms t a) ~default:infinity)
+          (Option.value (estimate_ms t b) ~default:infinity))
+      explored
+  in
+  unexplored @ sorted
+
+let observed_peers t =
+  Hashtbl.fold (fun _ p acc -> if p.ewma <> None then acc + 1 else acc) t.peers 0

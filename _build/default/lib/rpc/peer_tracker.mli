@@ -1,0 +1,30 @@
+(** Per-peer response-time tracking for QRPC target selection.
+
+    The paper (Section 2) notes that a QRPC implementation "might track
+    which nodes have responded quickly in the past and first try
+    sending to them". This module keeps an exponentially weighted
+    moving average of each peer's request→reply latency; {!rank} orders
+    candidates fastest-first, putting peers with no history ahead so
+    they get explored. *)
+
+type t
+
+val create : now:(unit -> float) -> t
+(** [now] supplies the caller's clock (usually virtual time). *)
+
+val note_sent : t -> int -> unit
+(** Record that a request was just sent to the peer. Only the most
+    recent outstanding send is matched to a reply. *)
+
+val note_reply : t -> int -> unit
+(** Record a reply; updates the peer's EWMA with the elapsed time since
+    its last {!note_sent} (ignored if there was none). *)
+
+val estimate_ms : t -> int -> float option
+(** Current smoothed latency estimate, if any. *)
+
+val rank : t -> int list -> int list
+(** Candidates ordered: unexplored peers first (in given order), then
+    by ascending latency estimate. *)
+
+val observed_peers : t -> int

@@ -1,0 +1,101 @@
+module Qs = Dq_quorum.Quorum_system
+
+type quorum_mode = Read | Write
+
+type 'rep t = {
+  system : Qs.t;
+  replies : (int, 'rep) Hashtbl.t;
+  tracker : Peer_tracker.t option;
+  mutable retry : Retry.t option;
+}
+
+let replies t = Hashtbl.fold (fun src rep acc -> (src, rep) :: acc) t.replies []
+
+(* Pick a quorum to contact, always including [prefer] when it is a
+   member (the paper's prototype contacts the local node first and fills
+   the rest of the quorum randomly). With a [tracker], counting systems
+   instead take the historically fastest members ("track which nodes
+   have responded quickly in the past and first try sending to them"). *)
+let pick_targets ?tracker ~rng ~system ~mode ~prefer () =
+  let tracked =
+    match tracker, Qs.counting_thresholds system with
+    | Some tracker, Some (read, write) ->
+      let k = match mode with Read -> read | Write -> write in
+      let members =
+        match prefer with
+        | Some node when Qs.mem system node ->
+          node :: List.filter (fun m -> m <> node) (Qs.members system)
+        | Some _ | None -> Qs.members system
+      in
+      let ranked =
+        match prefer with
+        | Some node when Qs.mem system node ->
+          node :: Peer_tracker.rank tracker (List.filter (fun m -> m <> node) members)
+        | Some _ | None -> Peer_tracker.rank tracker members
+      in
+      Some (List.filteri (fun i _ -> i < k) ranked)
+    | _ -> None
+  in
+  match tracked with
+  | Some targets -> targets
+  | None -> (
+    let base =
+      match mode with
+      | Read -> Qs.choose_read system rng
+      | Write -> Qs.choose_write system rng
+    in
+    match prefer with
+    | Some node when Qs.mem system node && not (List.mem node base) -> (
+      match Qs.counting_thresholds system with
+      | Some _ ->
+        (* Counting system: swapping any chosen member for [node] keeps a
+           valid quorum. *)
+        (match base with [] -> [ node ] | _ :: rest -> node :: rest)
+      | None -> base (* structured quorums: keep the valid random choice *))
+    | Some _ | None -> base)
+
+let pick_read_targets ?tracker ~rng ~system ~prefer () =
+  pick_targets ?tracker ~rng ~system ~mode:Read ~prefer:(Some prefer) ()
+
+let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?timeout_ms ?backoff
+    ?max_rounds ?on_give_up () =
+  let t = { system; replies = Hashtbl.create 8; tracker; retry = None } in
+  let attempt ~round =
+    (* First try a minimal quorum; a retransmission means some target is
+       slow or dead, so escalate to every member that has not yet
+       replied (the paper's "more aggressive implementation might send
+       to all nodes in system"). *)
+    let targets =
+      if round = 0 then pick_targets ?tracker ~rng ~system ~mode ~prefer ()
+      else List.filter (fun m -> not (Hashtbl.mem t.replies m)) (Qs.members system)
+    in
+    List.iter
+      (fun dst ->
+        (match tracker with Some tr -> Peer_tracker.note_sent tr dst | None -> ());
+        send dst)
+      targets
+  in
+  let complete () =
+    let present id = Hashtbl.mem t.replies id in
+    match mode with
+    | Read -> Qs.is_read_quorum t.system ~present
+    | Write -> Qs.is_write_quorum t.system ~present
+  in
+  let on_complete () = on_quorum (replies t) in
+  let retry =
+    Retry.start ~timer ~attempt ~complete ~on_complete ?timeout_ms ?backoff ?max_rounds
+      ?on_give_up ()
+  in
+  t.retry <- Some retry;
+  t
+
+let deliver t ~src rep =
+  if Qs.mem t.system src then begin
+    (match t.tracker with Some tr -> Peer_tracker.note_reply tr src | None -> ());
+    Hashtbl.replace t.replies src rep;
+    match t.retry with Some retry -> Retry.poke retry | None -> ()
+  end
+
+let cancel t = match t.retry with Some retry -> Retry.cancel retry | None -> ()
+
+let is_done t = match t.retry with Some retry -> Retry.is_done retry | None -> false

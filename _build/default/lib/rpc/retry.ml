@@ -1,0 +1,84 @@
+type t = {
+  timer : delay_ms:float -> (unit -> unit) -> Dq_sim.Engine.handle;
+  attempt : round:int -> unit;
+  complete : unit -> bool;
+  on_complete : unit -> unit;
+  timeout_ms : float;
+  backoff : float;
+  max_rounds : int option;
+  on_give_up : unit -> unit;
+  mutable round : int;
+  mutable done_ : bool;
+  mutable pending : Dq_sim.Engine.handle option;
+}
+
+let disarm t =
+  match t.pending with
+  | Some handle ->
+    Dq_sim.Engine.cancel handle;
+    t.pending <- None
+  | None -> ()
+
+let finish t callback =
+  if not t.done_ then begin
+    t.done_ <- true;
+    disarm t;
+    callback ()
+  end
+
+let poke t = if (not t.done_) && t.complete () then finish t t.on_complete
+
+let rerun t =
+  if not t.done_ then begin
+    t.attempt ~round:t.round;
+    poke t
+  end
+
+let rec arm t =
+  let delay_ms = t.timeout_ms *. (t.backoff ** float_of_int t.round) in
+  t.pending <- Some (t.timer ~delay_ms (fun () -> on_timeout t))
+
+and on_timeout t =
+  if not t.done_ then begin
+    t.pending <- None;
+    let exhausted =
+      match t.max_rounds with None -> false | Some m -> t.round + 1 >= m
+    in
+    if exhausted then finish t t.on_give_up
+    else begin
+      t.round <- t.round + 1;
+      t.attempt ~round:t.round;
+      poke t;
+      if not t.done_ then arm t
+    end
+  end
+
+let start ~timer ~attempt ~complete ~on_complete ?(timeout_ms = 200.) ?(backoff = 2.)
+    ?max_rounds ?(on_give_up = fun () -> ()) () =
+  let t =
+    {
+      timer;
+      attempt;
+      complete;
+      on_complete;
+      timeout_ms;
+      backoff;
+      max_rounds;
+      on_give_up;
+      round = 0;
+      done_ = false;
+      pending = None;
+    }
+  in
+  attempt ~round:0;
+  poke t;
+  if not t.done_ then arm t;
+  t
+
+let cancel t =
+  if not t.done_ then begin
+    t.done_ <- true;
+    disarm t
+  end
+
+let is_done t = t.done_

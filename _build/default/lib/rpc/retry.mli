@@ -1,0 +1,50 @@
+(** A retransmit-until-done loop.
+
+    This is the engine under QRPC (Section 2 of the paper): send a round
+    of requests, wait with an exponentially increasing interval, and
+    re-send (possibly to a different set of nodes — the [attempt]
+    callback decides) until a completion condition holds. The DQVL
+    client read uses the generalized form directly: each round sends
+    {e different} requests to different nodes and completion is a
+    predicate over protocol state ("condition C"), not a reply count. *)
+
+type t
+
+val start :
+  timer:(delay_ms:float -> (unit -> unit) -> Dq_sim.Engine.handle) ->
+  attempt:(round:int -> unit) ->
+  complete:(unit -> bool) ->
+  on_complete:(unit -> unit) ->
+  ?timeout_ms:float ->
+  ?backoff:float ->
+  ?max_rounds:int ->
+  ?on_give_up:(unit -> unit) ->
+  unit ->
+  t
+(** Runs [attempt ~round:0] immediately. If [complete ()] is already
+    true, [on_complete] fires synchronously and no timer is armed.
+    Otherwise a retransmission timer fires after [timeout_ms]
+    (default 200), multiplied by [backoff] (default 2) each round.
+    After [max_rounds] attempts (default unlimited) [on_give_up] is
+    called (default: keep silent, stop retrying).
+
+    [timer] should be a node-scoped timer ({!Dq_net.Net.timer}) so the
+    loop dies with its node. *)
+
+val poke : t -> unit
+(** Re-test the completion condition; fires [on_complete] (once) if it
+    now holds. Call this after processing each reply. *)
+
+val rerun : t -> unit
+(** If the loop is still running, immediately run another [attempt]
+    (with the current round number) and re-test completion. Use when
+    new information invalidates what the previous round requested —
+    e.g. an invalidation arrives while renewals are in flight — so the
+    loop does not stall until its retransmission timer. The timer
+    schedule is unchanged. *)
+
+val cancel : t -> unit
+(** Stop retrying; no callback fires. Idempotent. *)
+
+val is_done : t -> bool
+(** True once [on_complete] or [on_give_up] has fired or after {!cancel}. *)

@@ -1,0 +1,1 @@
+lib/sim/clock.ml: Dq_util Engine Float

@@ -1,0 +1,1 @@
+lib/sim/sim_log.ml: Engine Format Logs

@@ -1,0 +1,25 @@
+type t = { engine : Engine.t; skew : float; offset : float }
+
+let perfect engine = { engine; skew = 0.; offset = 0. }
+
+let make engine ~skew ~offset = { engine; skew; offset }
+
+let random engine ~rng ~max_drift ~max_offset =
+  let skew =
+    if max_drift <= 0. then 0.
+    else Dq_util.Rng.float rng (2. *. max_drift) -. max_drift
+  in
+  let offset = if max_offset <= 0. then 0. else Dq_util.Rng.float rng max_offset in
+  { engine; skew; offset }
+
+let now t = t.offset +. ((1. +. t.skew) *. Engine.now t.engine)
+
+let skew t = t.skew
+
+let after t deadline = now t > deadline
+
+let delay_until t local_deadline =
+  (* local = offset + (1+skew) * virtual, so the virtual time at which the
+     local clock reads [local_deadline] is (local_deadline - offset)/(1+skew). *)
+  let virtual_deadline = (local_deadline -. t.offset) /. (1. +. t.skew) in
+  Float.max 0. (virtual_deadline -. Engine.now t.engine)

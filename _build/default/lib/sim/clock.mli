@@ -1,0 +1,34 @@
+(** Per-node real-time clocks with bounded drift.
+
+    The paper's system model (Section 2) assumes each node reads a local
+    real-time clock and that any two clocks drift apart at a rate of at
+    most [max_drift]. We model node [i]'s clock as
+    [offset_i + (1 + skew_i) * virtual_time] with [|skew_i| <= max_drift].
+    Lease expiry arithmetic in the DQVL protocol compensates for
+    [max_drift] exactly as the paper prescribes. *)
+
+type t
+
+val perfect : Engine.t -> t
+(** A clock with no skew and no offset (reads virtual time directly). *)
+
+val make : Engine.t -> skew:float -> offset:float -> t
+(** An explicitly skewed clock. *)
+
+val random : Engine.t -> rng:Dq_util.Rng.t -> max_drift:float -> max_offset:float -> t
+(** Skew uniform in [\[-max_drift, max_drift\]], offset uniform in
+    [\[0, max_offset\]]. *)
+
+val now : t -> float
+(** The node-local reading of the current virtual time. *)
+
+val skew : t -> float
+
+val after : t -> float -> bool
+(** [after t deadline] is [now t > deadline]: has this node's local
+    clock passed [deadline]? *)
+
+val delay_until : t -> float -> float
+(** Virtual-time delay until this node's local clock reads the given
+    local time ([0.] if already past). Used to schedule local-clock
+    deadlines, e.g. lease expiry timers. *)

@@ -1,0 +1,115 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  live : int ref; (* shared with the owning engine *)
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  live : int ref; (* pending (not cancelled, not fired) events *)
+  queue : event Heap.t;
+  root_rng : Dq_util.Rng.t;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    live = ref 0;
+    queue = Heap.create ~cmp:compare_event;
+    root_rng = Dq_util.Rng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let split_rng t = Dq_util.Rng.split t.root_rng
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  let ev = { time; seq = t.next_seq; action = f; cancelled = false; live = t.live } in
+  t.next_seq <- t.next_seq + 1;
+  incr t.live;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+(* [live] is decremented exactly once per event: at cancel time, or when
+   the event fires. Popping an already-cancelled event does not touch it. *)
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    decr ev.live
+  end
+
+let is_pending ev = not ev.cancelled
+
+let pending_events t = !(t.live)
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+      t.clock <- ev.time;
+      ev.cancelled <- true;
+      decr t.live;
+      ev.action ();
+      true
+  in
+  next ()
+
+(* Drop cancelled events from the top so [Heap.peek] reflects the next
+   event that will actually fire. *)
+let rec purge_cancelled t =
+  match Heap.peek t.queue with
+  | Some ev when ev.cancelled ->
+    ignore (Heap.pop t.queue);
+    purge_cancelled t
+  | Some _ | None -> ()
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_ok () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let horizon_ok () =
+    purge_cancelled t;
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Heap.peek t.queue with
+      | None -> false
+      | Some ev -> ev.time <= limit)
+  in
+  let rec loop () =
+    if budget_ok () && horizon_ok () then
+      if step t then begin
+        incr fired;
+        loop ()
+      end
+  in
+  loop ();
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()
+
+let run_while t cond =
+  let rec loop () = if cond () && step t then loop () in
+  loop ()

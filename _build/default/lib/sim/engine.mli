@@ -1,0 +1,52 @@
+(** The discrete-event simulation engine.
+
+    Virtual time is a float number of seconds starting at 0. Events
+    scheduled for the same instant fire in scheduling order (a strictly
+    increasing sequence number breaks ties), which makes runs
+    deterministic. All simulator randomness must be drawn from {!rng} (or
+    generators split from it) so a run is a pure function of the seed. *)
+
+type t
+
+type handle
+(** A scheduled event, usable to cancel it. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine with virtual time 0. Default seed
+    is [1L]. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Dq_util.Rng.t
+(** The engine's root random stream. *)
+
+val split_rng : t -> Dq_util.Rng.t
+(** A fresh independent random stream (see {!Dq_util.Rng.split}). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val pending_events : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fire the next event. Returns [false] if the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events until the queue empties, or virtual time would exceed
+    [until], or [max_events] have fired. With [until], time is advanced
+    to exactly [until] on return. *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** [run_while t cond] fires events while [cond ()] holds and the queue
+    is non-empty. [cond] is checked before each event. *)

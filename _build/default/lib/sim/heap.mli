@@ -1,0 +1,20 @@
+(** A mutable binary min-heap, the event queue of the simulation engine.
+
+    Elements are ordered by a user-supplied comparison fixed at creation.
+    Amortized O(log n) insert and pop. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)

@@ -1,0 +1,18 @@
+let reporter engine =
+  let report src _level ~over k msgf =
+    msgf (fun ?header ?tags fmt ->
+        ignore header;
+        ignore tags;
+        let k _ =
+          over ();
+          k ()
+        in
+        Format.kfprintf k Format.std_formatter
+          ("[%9.1fms] [%s] " ^^ fmt ^^ "@.")
+          (Engine.now engine) (Logs.Src.name src))
+  in
+  { Logs.report }
+
+let setup ?(level = Logs.Debug) engine =
+  Logs.set_reporter (reporter engine);
+  Logs.set_level (Some level)

@@ -1,0 +1,18 @@
+(** Logging wired to virtual time.
+
+    The libraries log through {!Logs} with per-subsystem sources; this
+    module provides a reporter that stamps every message with the
+    engine's current virtual time, so protocol traces read like the
+    paper's message diagrams:
+
+    {v [  1040.2ms] [dq.iqs] node 3: write v0/o0 lc=2.0 -> write through v}
+
+    Enable with [Sim_log.setup ~level:Logs.Debug engine] (tests and the
+    CLI's [--verbose] flag do). Logging defaults to off; the simulator
+    behaves identically either way. *)
+
+val reporter : Engine.t -> Logs.reporter
+(** A reporter printing to [stdout] with virtual-time stamps. *)
+
+val setup : ?level:Logs.level -> Engine.t -> unit
+(** Install {!reporter} and set the global log level. *)

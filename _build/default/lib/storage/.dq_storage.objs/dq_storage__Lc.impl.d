@@ -1,0 +1,1 @@
+lib/storage/lc.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/storage/obj_map.ml: Array Int Key List

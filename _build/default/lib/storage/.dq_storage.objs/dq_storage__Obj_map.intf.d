@@ -1,0 +1,1 @@
+lib/storage/obj_map.mli: Key

@@ -1,0 +1,1 @@
+lib/storage/versioned.ml: Format Lc

@@ -1,0 +1,1 @@
+lib/storage/versioned.mli: Format Lc

@@ -1,0 +1,24 @@
+(** Object identifiers.
+
+    The volume-lease protocol groups objects into {e volumes}: a volume
+    lease covers every object of the volume, while object leases
+    (callbacks) are per object. A key therefore names both its volume
+    and its index within the volume. *)
+
+type t = private { volume : int; index : int }
+
+val make : volume:int -> index:int -> t
+
+val volume : t -> int
+
+val index : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,76 @@
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  default : 'k -> 'v;
+  mutable buckets : ('k * 'v) list array;
+  mutable size : int;
+}
+
+let create ~hash ~equal ~default =
+  { hash; equal; default; buckets = Array.make 16 []; size = 0 }
+
+let bucket_index t k = t.hash k land (Array.length t.buckets - 1)
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun ((k, _) as entry) ->
+          let i = bucket_index t k in
+          t.buckets.(i) <- entry :: t.buckets.(i))
+        chain)
+    old
+
+let find_opt t k =
+  let chain = t.buckets.(bucket_index t k) in
+  let rec scan = function
+    | [] -> None
+    | (k', v) :: rest -> if t.equal k k' then Some v else scan rest
+  in
+  scan chain
+
+let add_new t k v =
+  if t.size >= 2 * Array.length t.buckets then resize t;
+  let i = bucket_index t k in
+  t.buckets.(i) <- (k, v) :: t.buckets.(i);
+  t.size <- t.size + 1
+
+let get t k =
+  match find_opt t k with
+  | Some v -> v
+  | None ->
+    let v = t.default k in
+    add_new t k v;
+    v
+
+let set t k v =
+  let i = bucket_index t k in
+  let rec remove = function
+    | [] -> None
+    | (k', _) :: rest when t.equal k k' -> Some rest
+    | entry :: rest -> (
+      match remove rest with None -> None | Some r -> Some (entry :: r))
+  in
+  match remove t.buckets.(i) with
+  | Some chain -> t.buckets.(i) <- (k, v) :: chain
+  | None -> add_new t k v
+
+let iter t f = Array.iter (fun chain -> List.iter (fun (k, v) -> f k v) chain) t.buckets
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f k v !acc);
+  !acc
+
+let clear t =
+  t.buckets <- Array.make 16 [];
+  t.size <- 0
+
+let length t = t.size
+
+let of_key_default ~default = create ~hash:Key.hash ~equal:Key.equal ~default
+
+let of_int_default ~default =
+  create ~hash:(fun (i : int) -> i * 2654435761) ~equal:Int.equal ~default

@@ -1,0 +1,9 @@
+type t = { value : string; lc : Lc.t }
+
+let initial = { value = ""; lc = Lc.zero }
+
+let make ~value ~lc = { value; lc }
+
+let newer a b = if Lc.(a.lc >= b.lc) then a else b
+
+let pp ppf t = Format.fprintf ppf "%S@%a" t.value Lc.pp t.lc

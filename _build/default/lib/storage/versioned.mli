@@ -1,0 +1,13 @@
+(** A value tagged with the logical clock of the write that produced it. *)
+
+type t = { value : string; lc : Lc.t }
+
+val initial : t
+(** The state of an object never written: empty value at {!Lc.zero}. *)
+
+val make : value:string -> lc:Lc.t -> t
+
+val newer : t -> t -> t
+(** The one with the larger timestamp (left-biased on equality). *)
+
+val pp : Format.formatter -> t -> unit

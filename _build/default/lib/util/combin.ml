@@ -1,0 +1,52 @@
+let log_factorial =
+  (* Memoized table of log k!; grown on demand. *)
+  let table = ref [| 0. |] in
+  fun n ->
+    let t = !table in
+    if n < Array.length t then t.(n)
+    else begin
+      let old_len = Array.length t in
+      let len = Stdlib.max (n + 1) (2 * old_len) in
+      let t' = Array.make len 0. in
+      Array.blit t 0 t' 0 old_len;
+      for k = old_len to len - 1 do
+        t'.(k) <- t'.(k - 1) +. log (float_of_int k)
+      done;
+      table := t';
+      t'.(n)
+    end
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let choose n k = if k < 0 || k > n then 0. else exp (log_choose n k)
+
+let binomial_pmf ~n ~p k =
+  if k < 0 || k > n then 0.
+  else if p <= 0. then (if k = 0 then 1. else 0.)
+  else if p >= 1. then (if k = n then 1. else 0.)
+  else
+    exp (log_choose n k +. (float_of_int k *. log p) +. (float_of_int (n - k) *. log (1. -. p)))
+
+let binomial_tail_ge ~n ~p k =
+  if k <= 0 then 1.
+  else begin
+    (* Sum the smaller tail directly in probability space; terms are
+       positive so there is no cancellation. *)
+    let acc = ref 0. in
+    for i = k to n do
+      acc := !acc +. binomial_pmf ~n ~p i
+    done;
+    Float.min 1. !acc
+  end
+
+let binomial_tail_le ~n ~p k =
+  if k >= n then 1.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to k do
+      acc := !acc +. binomial_pmf ~n ~p i
+    done;
+    Float.min 1. !acc
+  end

@@ -1,0 +1,20 @@
+(** Combinatorial probability helpers used by the availability models.
+
+    Unavailabilities of interest reach 1e-12 and below, so everything is
+    computed with explicit products of probabilities (never via
+    [1. -. tiny]) where cancellation matters. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] is log (n choose k); [neg_infinity] outside [0..n]. *)
+
+val choose : int -> int -> float
+(** [choose n k] as a float (exact for small n, via logs otherwise). *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+(** [binomial_pmf ~n ~p k] = P(X = k) for X ~ Binomial(n, p). *)
+
+val binomial_tail_ge : n:int -> p:float -> int -> float
+(** [binomial_tail_ge ~n ~p k] = P(X >= k). *)
+
+val binomial_tail_le : n:int -> p:float -> int -> float
+(** [binomial_tail_le ~n ~p k] = P(X <= k). *)

@@ -1,0 +1,49 @@
+type t = { bounds : float array; counts : int array; mutable total : int }
+
+let create ~buckets =
+  let bounds = Array.of_list buckets in
+  let sorted = Array.copy bounds in
+  Array.sort compare sorted;
+  if bounds <> sorted then invalid_arg "Histogram.create: buckets must be ascending";
+  { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
+
+let add t x =
+  let n = Array.length t.bounds in
+  let rec find i = if i >= n || x < t.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let of_samples ~buckets samples =
+  let t = create ~buckets in
+  List.iter (add t) samples;
+  t
+
+let count t = t.total
+
+let label t i =
+  let n = Array.length t.bounds in
+  if n = 0 then "all"
+  else if i = 0 then Printf.sprintf "< %g" t.bounds.(0)
+  else if i = n then Printf.sprintf ">= %g" t.bounds.(n - 1)
+  else Printf.sprintf "%g - %g" t.bounds.(i - 1) t.bounds.(i)
+
+let bucket_counts t = Array.to_list (Array.mapi (fun i c -> (label t i, c)) t.counts)
+
+let render ?(width = 40) t =
+  if t.total = 0 then "(no samples)\n"
+  else begin
+    let biggest = Array.fold_left Stdlib.max 1 t.counts in
+    let label_width =
+      Array.to_list (Array.mapi (fun i _ -> String.length (label t i)) t.counts)
+      |> List.fold_left Stdlib.max 0
+    in
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun i c ->
+        let bar = String.make (c * width / biggest) '#' in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s | %-*s %d\n" label_width (label t i) width bar c))
+      t.counts;
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** Fixed-bucket histograms with ASCII rendering, for latency
+    distributions in CLI output. *)
+
+type t
+
+val create : buckets:float list -> t
+(** [buckets] are the upper bounds (ascending); an implicit overflow
+    bucket catches the rest. *)
+
+val of_samples : buckets:float list -> float list -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val bucket_counts : t -> (string * int) list
+(** Human-readable bucket labels ("< 20", "20 - 200", ">= 200") with
+    their counts, in order. *)
+
+val render : ?width:int -> t -> string
+(** Bars scaled to the largest bucket; empty histogram renders a
+    placeholder line. *)

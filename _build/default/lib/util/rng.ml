@@ -1,0 +1,67 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let copy t = { state = t.state }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t n =
+  assert (n > 0);
+  if n land (n - 1) = 0 then bits30 t land (n - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec draw () =
+      let r = bits30 t in
+      let v = r mod n in
+      if r - v + (n - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+
+let float t x =
+  assert (x > 0.);
+  let bits53 = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  let u = float_of_int bits53 /. 9007199254740992.0 in
+  u *. x
+
+let bool t = Int64.compare (Int64.logand (int64 t) 1L) 0L <> 0
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float t 1.0 < p
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* 1. - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1. -. u)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t xs k =
+  let a = Array.of_list xs in
+  assert (k <= Array.length a);
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)

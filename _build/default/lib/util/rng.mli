@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows from a single seed through values
+    of type {!t}, so that every experiment is reproducible bit-for-bit.
+    The generator is SplitMix64 (Steele, Lea & Flood 2014): fast, simple,
+    and splittable, which lets independent components draw from
+    statistically independent streams. *)
+
+type t
+(** A mutable pseudo-random generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of the
+    future output of [t]. Both generators advance independently. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (the copy replays [t]'s future). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. Requires [x > 0.]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> 'a list -> int -> 'a list
+(** [sample t xs k] returns [k] elements drawn without replacement from
+    [xs], in random order. Requires [k <= List.length xs]. *)

@@ -1,0 +1,41 @@
+(** Online and batch summary statistics for latency and count samples. *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Arithmetic mean; [nan] if no samples. *)
+
+val stddev : t -> float
+(** Sample standard deviation; [0.] with fewer than two samples. *)
+
+val min : t -> float
+(** Smallest sample; [nan] if none. *)
+
+val max : t -> float
+(** Largest sample; [nan] if none. *)
+
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], by linear interpolation over
+    the sorted samples; [nan] if no samples. Samples are retained, so this
+    is exact, not an approximation. *)
+
+val median : t -> float
+
+val to_list : t -> float list
+(** All recorded samples, in insertion order. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator holding the samples of both. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Render "mean p50 p99 min max n" on one line. *)

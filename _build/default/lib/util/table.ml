@@ -1,0 +1,45 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.header in
+  let len = List.length row in
+  if len > ncols then invalid_arg "Table.add_row: too many columns";
+  let padded = row @ List.init (ncols - len) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%g") xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri
+      (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+      row
+  in
+  List.iter note_widths all;
+  let buf = Buffer.create 256 in
+  let pad cell width =
+    let n = width - String.length cell in
+    cell ^ String.make n ' '
+  in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad cell widths.(i)))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  Array.iter (fun w -> Buffer.add_string buf (String.make w '-'); Buffer.add_string buf "  ") widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()

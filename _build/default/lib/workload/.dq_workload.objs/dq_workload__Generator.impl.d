@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Dq_storage Dq_util Spec Zipf

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dq_storage Dq_util Spec

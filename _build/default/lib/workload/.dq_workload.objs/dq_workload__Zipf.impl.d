@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Dq_util

@@ -1,0 +1,55 @@
+module Rng = Dq_util.Rng
+
+type op_kind = Read | Write
+
+type op = { kind : op_kind; key : Dq_storage.Key.t; use_closest : bool }
+
+type t = {
+  spec : Spec.t;
+  rng : Rng.t;
+  client_index : int;
+  zipf : Zipf.t option;
+  mutable burst_kind : op_kind;
+  mutable burst_left : int;
+}
+
+let create ~spec ~rng ~client_index =
+  Spec.validate spec;
+  let zipf =
+    match spec.Spec.sharing with
+    | Spec.Shared_zipf { objects; exponent } -> Some (Zipf.create ~n:objects ~s:exponent)
+    | Spec.Private_object | Spec.Shared_uniform _ -> None
+  in
+  { spec; rng; client_index; zipf; burst_kind = Read; burst_left = 0 }
+
+let spec t = t.spec
+
+let draw_kind t =
+  let w = t.spec.Spec.write_ratio in
+  match t.spec.Spec.burst_mean with
+  | None -> if Rng.bernoulli t.rng w then Write else Read
+  | Some mean ->
+    (* Geometric run lengths with the given mean; burst kinds are drawn
+       with the write ratio, so the long-run operation mix is preserved. *)
+    if t.burst_left <= 0 then begin
+      t.burst_kind <- (if Rng.bernoulli t.rng w then Write else Read);
+      let p = 1. /. mean in
+      let rec run_length acc = if Rng.bernoulli t.rng p then acc else run_length (acc + 1) in
+      t.burst_left <- run_length 1
+    end;
+    t.burst_left <- t.burst_left - 1;
+    t.burst_kind
+
+let draw_object t =
+  match t.spec.Spec.sharing with
+  | Spec.Private_object -> t.client_index
+  | Spec.Shared_uniform { objects } -> Rng.int t.rng objects
+  | Spec.Shared_zipf _ -> (
+    match t.zipf with Some z -> Zipf.sample z t.rng | None -> 0)
+
+let next t =
+  let kind = draw_kind t in
+  let index = draw_object t in
+  let key = Dq_storage.Key.make ~volume:(t.spec.Spec.volume_of index) ~index in
+  let use_closest = Rng.bernoulli t.rng t.spec.Spec.locality in
+  { kind; key; use_closest }

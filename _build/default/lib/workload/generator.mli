@@ -1,0 +1,23 @@
+(** A per-client operation stream drawn from a {!Spec.t}.
+
+    Deterministic given its random stream. [next] yields the operation
+    kind, the target object, and whether the request should be routed
+    to the client's closest edge server or to a distant one. *)
+
+type op_kind = Read | Write
+
+type op = {
+  kind : op_kind;
+  key : Dq_storage.Key.t;
+  use_closest : bool;  (** routing decision drawn from the locality *)
+}
+
+type t
+
+val create : spec:Spec.t -> rng:Dq_util.Rng.t -> client_index:int -> t
+(** [client_index] numbers the application clients from 0; it selects
+    the private object under {!Spec.Private_object} sharing. *)
+
+val next : t -> op
+
+val spec : t -> Spec.t

@@ -1,0 +1,46 @@
+type arrival = Closed | Open of { rate_per_s : float }
+
+type sharing =
+  | Private_object
+  | Shared_uniform of { objects : int }
+  | Shared_zipf of { objects : int; exponent : float }
+
+type t = {
+  write_ratio : float;
+  locality : float;
+  sharing : sharing;
+  burst_mean : float option;
+  think_time_ms : float;
+  arrival : arrival;
+  volume_of : int -> int;
+}
+
+let default =
+  {
+    write_ratio = 0.05;
+    locality = 1.0;
+    sharing = Private_object;
+    burst_mean = None;
+    think_time_ms = 0.;
+    arrival = Closed;
+    volume_of = (fun _ -> 0);
+  }
+
+let tpcw_profile = default
+
+let validate t =
+  if t.write_ratio < 0. || t.write_ratio > 1. then
+    invalid_arg "Spec: write_ratio must be in [0, 1]";
+  if t.locality < 0. || t.locality > 1. then invalid_arg "Spec: locality must be in [0, 1]";
+  if t.think_time_ms < 0. then invalid_arg "Spec: negative think time";
+  (match t.arrival with
+  | Open { rate_per_s } when rate_per_s <= 0. ->
+    invalid_arg "Spec: open arrival rate must be positive"
+  | Open _ | Closed -> ());
+  (match t.burst_mean with
+  | Some mean when mean < 1. -> invalid_arg "Spec: burst mean must be >= 1"
+  | Some _ | None -> ());
+  match t.sharing with
+  | Private_object -> ()
+  | Shared_uniform { objects } | Shared_zipf { objects; _ } ->
+    if objects < 1 then invalid_arg "Spec: need at least one object"

@@ -1,0 +1,48 @@
+(** Workload specifications for the edge-service experiments.
+
+    The paper's workload model (Section 4.1): closed-loop application
+    clients issue requests with a given write ratio; under normal
+    conditions a request is routed to the client's closest edge server,
+    and with probability [1 - locality] to a random distant one.
+    Object selection models the TPC-W customer-profile pattern — each
+    client works on its own object — or shared objects with uniform or
+    Zipfian popularity. Optional read/write bursts (geometric run
+    lengths) model the paper's "reads tend to be followed by reads,
+    writes by writes" assumption explicitly. *)
+
+type arrival =
+  | Closed
+      (** the paper's model: each client sends its next request only
+          after the previous response (optionally after a think time) *)
+  | Open of { rate_per_s : float }
+      (** Poisson arrivals at the given per-client rate, independent of
+          completions — clients can have many requests outstanding, so
+          the system can saturate (used by load studies) *)
+
+type sharing =
+  | Private_object  (** each client its own object (customer profile) *)
+  | Shared_uniform of { objects : int }
+  | Shared_zipf of { objects : int; exponent : float }
+
+type t = {
+  write_ratio : float;      (** fraction of operations that are writes *)
+  locality : float;         (** fraction routed to the closest server *)
+  sharing : sharing;
+  burst_mean : float option;
+      (** mean run length of same-kind operation bursts; [None] draws
+          each operation kind independently *)
+  think_time_ms : float;    (** delay between response and next request *)
+  arrival : arrival;
+  volume_of : int -> int;   (** volume of an object index *)
+}
+
+val default : t
+(** 5% writes, full locality, private objects, no bursts, no think
+    time, all objects in volume 0. *)
+
+val tpcw_profile : t
+(** The paper's target workload: the TPC-W customer-profile object —
+    5% writes (shipping-address updates during checkout), private
+    per-customer objects, full locality. *)
+
+val validate : t -> unit

@@ -1,0 +1,32 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: exponent must be non-negative";
+  let weights = Array.init n (fun k -> (float_of_int (k + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cdf.(k) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Dq_util.Rng.float rng 1.0 in
+  (* Least index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length t.cdf - 1)
+
+let pmf t k =
+  if k < 0 || k >= Array.length t.cdf then 0.
+  else if k = 0 then t.cdf.(0)
+  else t.cdf.(k) -. t.cdf.(k - 1)

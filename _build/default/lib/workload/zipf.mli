@@ -1,0 +1,15 @@
+(** Zipfian sampling over [0 .. n-1] (rank 0 most popular).
+
+    Used to model skewed object popularity. Exponent [s = 0] degenerates
+    to the uniform distribution. Sampling is by inverse transform over
+    the precomputed CDF (O(log n) per draw). *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Requires [n >= 1] and [s >= 0]. *)
+
+val sample : t -> Dq_util.Rng.t -> int
+
+val pmf : t -> int -> float
+(** Probability of rank [k]. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Dq_analysis List Printf

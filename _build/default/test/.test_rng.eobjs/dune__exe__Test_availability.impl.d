@@ -1,0 +1,1 @@
+test/test_availability.ml: Alcotest Dq_quorum Dq_util Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Dq_harness Dq_storage Key Lc List

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Dq_sim Dq_util

@@ -1,0 +1,1 @@
+test/test_combin.ml: Alcotest Dq_util Float List Printf QCheck QCheck_alcotest

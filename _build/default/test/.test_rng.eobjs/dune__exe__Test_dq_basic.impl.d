@@ -1,0 +1,1 @@
+test/test_dq_basic.ml: Alcotest Dq_core Dq_intf Dq_net Dq_sim Dq_storage Key Lc List Printf

@@ -1,0 +1,1 @@
+test/test_dqvl.ml: Alcotest Dq_core Dq_harness Dq_intf Dq_net Dq_sim Dq_storage Key List Printf Versioned

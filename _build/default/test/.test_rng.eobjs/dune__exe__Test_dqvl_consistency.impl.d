@@ -1,0 +1,1 @@
+test/test_dqvl_consistency.ml: Alcotest Dq_harness Dq_net Dq_sim Dq_workload Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Dq_harness Dq_net Dq_sim Dq_util Dq_workload List

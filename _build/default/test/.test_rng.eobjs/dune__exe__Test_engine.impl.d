@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dq_sim Dq_util Gen List QCheck QCheck_alcotest

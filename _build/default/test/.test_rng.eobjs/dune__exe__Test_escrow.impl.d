@@ -1,0 +1,1 @@
+test/test_escrow.ml: Alcotest Dq_net Dq_proto Dq_sim Dq_storage Fun Int64 Key List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Dq_analysis Dq_harness List Printf

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Dq_core Dq_harness Dq_net Dq_sim Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dq_harness Dq_intf Dq_net Dq_sim Dq_storage Dq_util Dq_workload Key Lc List Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Dq_harness Format Int64 List String

@@ -1,0 +1,1 @@
+test/test_harness_misc.ml: Alcotest Buffer Dq_harness Dq_intf Dq_net Dq_sim Dq_storage Dq_util List Logs Printf String

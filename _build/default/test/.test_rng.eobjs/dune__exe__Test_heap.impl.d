@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dq_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Dq_core Dq_harness Dq_intf Dq_net Dq_sim Dq_storage Dq_workload Format Key List Printf

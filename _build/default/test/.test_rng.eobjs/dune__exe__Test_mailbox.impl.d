@@ -1,0 +1,1 @@
+test/test_mailbox.ml: Alcotest Dq_net Dq_proto Dq_sim List Printf

@@ -1,0 +1,1 @@
+test/test_messages.ml: Alcotest Dq_core Dq_proto Dq_quorum Dq_storage Format Fun Key Lc List String

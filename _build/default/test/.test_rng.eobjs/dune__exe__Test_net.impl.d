@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dq_net Dq_sim List

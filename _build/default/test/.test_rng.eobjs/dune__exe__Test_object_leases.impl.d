@@ -1,0 +1,1 @@
+test/test_object_leases.ml: Alcotest Dq_core Dq_harness Dq_intf Dq_net Dq_sim Dq_storage Dq_workload Key List Printf

@@ -1,0 +1,1 @@
+test/test_object_leases.mli:

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Dq_harness Dq_intf Dq_net Dq_proto Dq_quorum Dq_sim Dq_storage Dq_workload Key Lc List Printf Versioned

@@ -1,0 +1,1 @@
+test/test_qrpc.ml: Alcotest Dq_net Dq_quorum Dq_rpc Dq_sim Hashtbl List

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Dq_quorum Dq_util Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_retry.ml: Alcotest Dq_rpc Dq_sim List

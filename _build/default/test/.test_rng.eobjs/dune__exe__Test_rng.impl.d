@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dq_util Fun Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Dq_core Dq_net Dq_sim Dq_storage Dq_util Key Lc List QCheck QCheck_alcotest String Versioned

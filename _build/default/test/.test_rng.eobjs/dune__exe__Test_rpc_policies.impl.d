@@ -1,0 +1,1 @@
+test/test_rpc_policies.ml: Alcotest Dq_core Dq_intf Dq_net Dq_quorum Dq_rpc Dq_sim Dq_storage Float List Printf

@@ -1,0 +1,1 @@
+test/test_server_units.ml: Alcotest Dq_core Dq_net Dq_sim Dq_storage Key Lc List Versioned

@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Dq_harness Dq_intf Dq_net Dq_proto Dq_sim Dq_storage Dq_workload Key Lc List

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Dq_storage Hashtbl Key Lc List Obj_map QCheck QCheck_alcotest Versioned

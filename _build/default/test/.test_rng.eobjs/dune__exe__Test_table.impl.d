@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Dq_util List String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Dq_net Fun List Printf

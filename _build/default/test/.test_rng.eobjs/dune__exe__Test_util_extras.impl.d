@@ -1,0 +1,1 @@
+test/test_util_extras.ml: Alcotest Dq_harness Dq_util Filename List Printf String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dq_storage Dq_util Dq_workload Fun Key List Printf QCheck QCheck_alcotest

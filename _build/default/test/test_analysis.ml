@@ -1,0 +1,180 @@
+module Avail = Dq_analysis.Avail_model
+module Overhead = Dq_analysis.Overhead_model
+
+let p = 0.01
+
+(* --- availability model (Figure 8 claims) ----------------------------- *)
+
+let test_dqvl_tracks_majority () =
+  (* "The key result is that DQVL's availability tracks that of the
+     majority quorum" (Fig 8a). *)
+  let n = 15 in
+  List.iter
+    (fun w ->
+      let dq = Avail.unavailability (Avail.dqvl_default ~n) ~p ~w in
+      let mj = Avail.unavailability (Avail.Majority { n }) ~p ~w in
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%.2f dqvl=%.2e maj=%.2e" w dq mj)
+        true
+        (dq <= mj *. 10. +. 1e-300 && dq >= mj /. 10.))
+    [ 0.05; 0.25; 0.5; 0.75 ]
+
+let test_rowa_async_stale_is_best () =
+  let n = 15 in
+  let protocols =
+    [
+      Avail.dqvl_default ~n;
+      Avail.Majority { n };
+      Avail.Rowa { n };
+      Avail.Rowa_async_no_stale;
+      Avail.Primary_backup;
+    ]
+  in
+  let stale = Avail.unavailability (Avail.Rowa_async_stale { n }) ~p ~w:0.25 in
+  List.iter
+    (fun proto ->
+      Alcotest.(check bool)
+        (Avail.name proto ^ " worse than stale rowa-async")
+        true
+        (Avail.unavailability proto ~p ~w:0.25 >= stale))
+    protocols
+
+let test_no_stale_rowa_async_orders_of_magnitude_worse () =
+  (* "its availability decreases to several orders of magnitude worse
+     than other quorum based protocols". *)
+  let n = 15 in
+  let nostale = Avail.unavailability Avail.Rowa_async_no_stale ~p ~w:0.25 in
+  let majority = Avail.unavailability (Avail.Majority { n }) ~p ~w:0.25 in
+  Alcotest.(check bool) "at least 1000x worse" true (nostale > majority *. 1000.)
+
+let test_insensitive_to_n () =
+  (* Fig 8b: primary/backup and no-stale ROWA-Async are flat in n. *)
+  let u proto = Avail.unavailability proto ~p ~w:0.25 in
+  Alcotest.(check (float 1e-15)) "pb flat" (u Avail.Primary_backup) (u Avail.Primary_backup);
+  Alcotest.(check (float 1e-15)) "nostale flat"
+    (u Avail.Rowa_async_no_stale) (u Avail.Rowa_async_no_stale);
+  (* Majority and DQVL improve with n. *)
+  let mj n = Avail.unavailability (Avail.Majority { n }) ~p ~w:0.25 in
+  Alcotest.(check bool) "majority improves" true (mj 15 < mj 5 /. 100.);
+  let dq n = Avail.unavailability (Avail.dqvl_default ~n) ~p ~w:0.25 in
+  Alcotest.(check bool) "dqvl improves" true (dq 15 < dq 5 /. 100.)
+
+let test_rowa_write_availability_poor () =
+  (* ROWA's write unavailability grows with n (write-all). *)
+  let u n = Avail.write_unavailability (Avail.Rowa { n }) ~p in
+  Alcotest.(check bool) "grows with n" true (u 15 > u 3);
+  Alcotest.(check bool) "roughly n*p" true (abs_float (u 15 -. 15. *. p) < 0.02)
+
+let test_dqvl_formula_decomposition () =
+  (* av = (1-w) min(av_orq, av_irq) + w min(av_iwq, av_irq). *)
+  let n = 9 in
+  let proto = Avail.dqvl_default ~n in
+  let read_u = Avail.read_unavailability proto ~p in
+  let write_u = Avail.write_unavailability proto ~p in
+  let w = 0.3 in
+  Alcotest.(check (float 1e-15))
+    "weighted sum"
+    (((1. -. w) *. read_u) +. (w *. write_u))
+    (Avail.unavailability proto ~p ~w)
+
+let test_dqvl_read_limited_by_irq () =
+  (* With a read-one OQS, the binding constraint on reads is the IQS
+     read quorum (renewals), exactly as the paper's pessimistic model
+     says. *)
+  let n = 15 in
+  let proto = Avail.dqvl_default ~n in
+  let irq_u =
+    Avail.read_unavailability (Avail.Majority { n }) ~p
+  in
+  Alcotest.(check (float 1e-18)) "read bound by irq" irq_u (Avail.read_unavailability proto ~p)
+
+(* --- overhead model (Figure 9 claims) ---------------------------------- *)
+
+let sizes9 = Overhead.dqvl_sizes ~n_iqs:9 ~n_oqs:9
+
+let test_sizes () =
+  Alcotest.(check int) "orq" 1 sizes9.Overhead.orq;
+  Alcotest.(check int) "owq" 9 sizes9.Overhead.owq;
+  Alcotest.(check int) "irq" 5 sizes9.Overhead.irq;
+  Alcotest.(check int) "iwq" 5 sizes9.Overhead.iwq
+
+let test_scenario_costs () =
+  Alcotest.(check (float 1e-9)) "hit" 2. (Overhead.read_hit sizes9);
+  Alcotest.(check (float 1e-9)) "miss" 12. (Overhead.read_miss sizes9);
+  Alcotest.(check (float 1e-9)) "suppress" 20. (Overhead.write_suppress sizes9);
+  Alcotest.(check (float 1e-9)) "through" 110. (Overhead.write_through sizes9)
+
+let test_peak_at_half () =
+  (* Fig 9a: worst case at 50% writes where reads and writes interleave. *)
+  let m w = Overhead.dqvl sizes9 ~w in
+  Alcotest.(check bool) "0.5 worse than 0.05" true (m 0.5 > m 0.05);
+  Alcotest.(check bool) "0.5 worse than 0.95" true (m 0.5 > m 0.95);
+  Alcotest.(check bool) "worst of all sampled" true
+    (List.for_all (fun w -> m 0.5 >= m w) [ 0.; 0.1; 0.3; 0.7; 0.9; 1. ])
+
+let test_dqvl_worst_case_exceeds_majority () =
+  Alcotest.(check bool) "significantly more at w=0.5" true
+    (Overhead.dqvl sizes9 ~w:0.5 > 2. *. Overhead.majority ~n:9 ~w:0.5)
+
+let test_dqvl_comparable_at_low_write_ratio () =
+  (* Target workloads are read-dominated: DQVL should be comparable to
+     (here: no worse than) the majority quorum at 5% writes. *)
+  Alcotest.(check bool) "comparable at w=0.05" true
+    (Overhead.dqvl sizes9 ~w:0.05 <= Overhead.majority ~n:9 ~w:0.05)
+
+let test_bursts_reduce_overhead () =
+  (* With long bursts, misses and throughs become rare. *)
+  let iid = Overhead.dqvl sizes9 ~w:0.5 in
+  let bursty =
+    Overhead.dqvl_with_hit_rates sizes9 ~w:0.5 ~p_miss:0.1 ~p_through:0.1
+  in
+  Alcotest.(check bool) "bursty cheaper" true (bursty < iid /. 2.)
+
+let test_fig9b_shape () =
+  (* With the IQS fixed small, DQVL stays within a small factor of the
+     majority quorum as the OQS grows. *)
+  List.iter
+    (fun n_oqs ->
+      let s = Overhead.dqvl_sizes ~n_iqs:5 ~n_oqs in
+      let dq = Overhead.dqvl s ~w:0.25 in
+      let mj = Overhead.majority ~n:n_oqs ~w:0.25 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n_oqs=%d dq=%.1f maj=%.1f" n_oqs dq mj)
+        true (dq < 3. *. mj))
+    [ 9; 15; 21; 27 ]
+
+let test_baseline_costs () =
+  Alcotest.(check (float 1e-9)) "majority read" 10. (Overhead.majority ~n:9 ~w:0.);
+  Alcotest.(check (float 1e-9)) "majority write" 20. (Overhead.majority ~n:9 ~w:1.);
+  Alcotest.(check (float 1e-9)) "rowa read" 2. (Overhead.rowa ~n:9 ~w:0.);
+  Alcotest.(check (float 1e-9)) "rowa write" 18. (Overhead.rowa ~n:9 ~w:1.);
+  Alcotest.(check (float 1e-9)) "pb write" 10. (Overhead.primary_backup ~n:9 ~w:1.)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "availability",
+        [
+          Alcotest.test_case "dqvl tracks majority" `Quick test_dqvl_tracks_majority;
+          Alcotest.test_case "stale rowa-async best" `Quick test_rowa_async_stale_is_best;
+          Alcotest.test_case "no-stale much worse" `Quick
+            test_no_stale_rowa_async_orders_of_magnitude_worse;
+          Alcotest.test_case "sensitivity to n" `Quick test_insensitive_to_n;
+          Alcotest.test_case "rowa writes poor" `Quick test_rowa_write_availability_poor;
+          Alcotest.test_case "formula decomposition" `Quick test_dqvl_formula_decomposition;
+          Alcotest.test_case "read bound by irq" `Quick test_dqvl_read_limited_by_irq;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "scenario costs" `Quick test_scenario_costs;
+          Alcotest.test_case "peak at 0.5" `Quick test_peak_at_half;
+          Alcotest.test_case "worst case exceeds majority" `Quick
+            test_dqvl_worst_case_exceeds_majority;
+          Alcotest.test_case "comparable at low w" `Quick
+            test_dqvl_comparable_at_low_write_ratio;
+          Alcotest.test_case "bursts reduce overhead" `Quick test_bursts_reduce_overhead;
+          Alcotest.test_case "fig9b shape" `Quick test_fig9b_shape;
+          Alcotest.test_case "baseline costs" `Quick test_baseline_costs;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+module Qs = Dq_quorum.Quorum_system
+module Av = Dq_quorum.Availability
+
+let members n = List.init n Fun.id
+
+let check_close ?(rel = 1e-9) msg expected actual =
+  let ok =
+    if expected = 0. then abs_float actual < 1e-15
+    else abs_float (actual -. expected) /. abs_float expected < rel
+  in
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" msg expected actual) true ok
+
+let test_singleton () =
+  let qs = Qs.threshold ~name:"one" ~members:[ 0 ] ~read:1 ~write:1 in
+  check_close "read unavail = p" 0.01 (Av.unavailability qs ~mode:Av.Read ~p:0.01);
+  check_close "write avail = 1-p" 0.99 (Av.availability qs ~mode:Av.Write ~p:0.01)
+
+let test_rowa_closed_forms () =
+  let qs = Qs.rowa (members 3) in
+  let p = 0.1 in
+  (* Read-one: unavailable iff all 3 down. *)
+  check_close "read" (p ** 3.) (Av.unavailability qs ~mode:Av.Read ~p);
+  (* Write-all: unavailable iff any down. *)
+  check_close "write" (1. -. ((1. -. p) ** 3.)) (Av.unavailability qs ~mode:Av.Write ~p)
+
+let test_majority_3 () =
+  let qs = Qs.majority (members 3) in
+  let p = 0.1 in
+  (* Unavailable iff >= 2 of 3 down: 3 p^2 (1-p) + p^3. *)
+  let expected = (3. *. p *. p *. (1. -. p)) +. (p ** 3.) in
+  check_close "majority(3)" expected (Av.unavailability qs ~mode:Av.Read ~p)
+
+let test_closed_form_matches_enumeration () =
+  (* The closed-form binomial path and the exhaustive enumeration must
+     agree; compare via a grid system of the same min sizes vs direct
+     probability computation. Here: force enumeration by checking a
+     threshold system as Custom would - use a small grid where we can
+     compute by hand instead. *)
+  let qs = Qs.grid ~rows:1 ~cols:3 (members 3) in
+  (* 1x3 grid: read quorum = all three columns' single nodes = all 3;
+     write = full column (1 node) + cover (other 2) = all 3. *)
+  let p = 0.2 in
+  check_close "1x3 grid read = all up" (1. -. (0.8 ** 3.))
+    (Av.unavailability qs ~mode:Av.Read ~p)
+
+let test_grid_2x2 () =
+  let qs = Qs.grid ~rows:2 ~cols:2 (members 4) in
+  let p = 0.1 in
+  let q = 1. -. p in
+  (* Read quorum: one node from each column. Column covered prob:
+     1-p^2 each, independent: av_read = (1-p^2)^2. *)
+  check_close "grid read" (1. -. ((1. -. (p *. p)) ** 2.))
+    (Av.unavailability qs ~mode:Av.Read ~p);
+  (* Write quorum: a full column up and every column covered.
+     av_write = P(at least one full column up AND both columns covered).
+     Enumerate by hand: columns are {0,2} and {1,3} (row-major 2x2:
+     row0 = 0 1, row1 = 2 3; columns: {0,2}, {1,3}).
+     full0 = q^2, full1 = q^2.
+     av = P(full0 and cover1) + P(full1 and cover0) - P(full0 and full1)
+        = q^2 (1-p^2) + (1-p^2) q^2 - q^4. *)
+  let av = (2. *. (q ** 2.) *. (1. -. (p *. p))) -. (q ** 4.) in
+  check_close "grid write" (1. -. av) (Av.unavailability qs ~mode:Av.Write ~p)
+
+let test_avail_plus_unavail () =
+  List.iter
+    (fun qs ->
+      List.iter
+        (fun p ->
+          let a = Av.availability qs ~mode:Av.Read ~p in
+          let u = Av.unavailability qs ~mode:Av.Read ~p in
+          Alcotest.(check (float 1e-9)) (Qs.name qs) 1. (a +. u))
+        [ 0.01; 0.3; 0.9 ])
+    [ Qs.majority (members 5); Qs.rowa (members 4); Qs.grid ~rows:2 ~cols:3 (members 6) ]
+
+let test_extremes () =
+  let qs = Qs.majority (members 5) in
+  check_close "p=0" 0. (Av.unavailability qs ~mode:Av.Read ~p:0.);
+  check_close "p=1" 1. (Av.unavailability qs ~mode:Av.Read ~p:1.)
+
+let test_more_replicas_help_majority () =
+  let p = 0.01 in
+  let u n = Av.unavailability (Qs.majority (members n)) ~mode:Av.Read ~p in
+  Alcotest.(check bool) "u(5) < u(3)" true (u 5 < u 3);
+  Alcotest.(check bool) "u(15) < u(5)" true (u 15 < u 5);
+  (* Roughly exponential improvement: each +2 replicas shrinks
+     unavailability by about a factor p. *)
+  Alcotest.(check bool) "sharp drop" true (u 15 < u 3 *. 1e-5)
+
+let test_tiny_values_precise () =
+  (* The paper plots 10^-9 and below; those values must not collapse to
+     0 or lose precision to cancellation. majority(15), p=0.01:
+     unavailable iff >= 8 of 15 down; leading term C(15,8) p^8. *)
+  let u = Av.unavailability (Qs.majority (members 15)) ~mode:Av.Read ~p:0.01 in
+  let leading = Dq_util.Combin.choose 15 8 *. (0.01 ** 8.) *. (0.99 ** 7.) in
+  Alcotest.(check bool) "close to leading term" true
+    (u > leading && u < leading *. 1.2)
+
+let test_min_availability () =
+  let qs = Qs.rowa (members 3) in
+  let p = 0.1 in
+  check_close "min = write side" (Av.availability qs ~mode:Av.Write ~p)
+    (Av.min_availability qs ~p);
+  check_close "max unavail = write side"
+    (Av.unavailability qs ~mode:Av.Write ~p)
+    (Av.max_unavailability qs ~p)
+
+let test_monte_carlo_matches_exact () =
+  let rng = Dq_util.Rng.create 9L in
+  List.iter
+    (fun (qs, mode) ->
+      let exact = Av.unavailability qs ~mode ~p:0.2 in
+      let mc = Av.unavailability_mc qs ~mode ~p:0.2 ~rng ~samples:20_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mc %.4f vs exact %.4f" (Qs.name qs) mc exact)
+        true
+        (abs_float (mc -. exact) < 0.02))
+    [
+      (Qs.majority (members 5), Av.Read);
+      (Qs.rowa (members 4), Av.Write);
+      (Qs.grid ~rows:2 ~cols:3 (members 6), Av.Write);
+    ]
+
+let test_monte_carlo_scales_past_enumeration () =
+  (* 30 members is beyond the exact enumerator; the estimate must still
+     be a sane probability. *)
+  let rng = Dq_util.Rng.create 10L in
+  let qs = Qs.grid ~rows:5 ~cols:6 (members 30) in
+  let u = Av.unavailability_mc qs ~mode:Av.Write ~p:0.3 ~rng ~samples:5_000 in
+  Alcotest.(check bool) "probability" true (u >= 0. && u <= 1.);
+  Alcotest.(check bool) "nontrivial at p=0.3" true (u > 0.01)
+
+let prop_monotone_in_p =
+  QCheck.Test.make ~name:"unavailability is monotone in p" ~count:200
+    QCheck.(triple (int_range 1 12) (float_range 0.01 0.5) (float_range 0.01 0.4))
+    (fun (n, p, dp) ->
+      let qs = Qs.majority (members n) in
+      Av.unavailability qs ~mode:Av.Read ~p
+      <= Av.unavailability qs ~mode:Av.Read ~p:(p +. dp) +. 1e-12)
+
+let prop_write_harder_than_read_rowa =
+  QCheck.Test.make ~name:"rowa: writes no more available than reads" ~count:200
+    QCheck.(pair (int_range 1 10) (float_range 0.01 0.99))
+    (fun (n, p) ->
+      let qs = Qs.rowa (members n) in
+      Av.unavailability qs ~mode:Av.Write ~p >= Av.unavailability qs ~mode:Av.Read ~p -. 1e-12)
+
+let () =
+  Alcotest.run "availability"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "rowa closed forms" `Quick test_rowa_closed_forms;
+          Alcotest.test_case "majority(3)" `Quick test_majority_3;
+          Alcotest.test_case "1x3 grid" `Quick test_closed_form_matches_enumeration;
+          Alcotest.test_case "2x2 grid by hand" `Quick test_grid_2x2;
+          Alcotest.test_case "avail + unavail = 1" `Quick test_avail_plus_unavail;
+          Alcotest.test_case "extremes" `Quick test_extremes;
+          Alcotest.test_case "replicas help" `Quick test_more_replicas_help_majority;
+          Alcotest.test_case "tiny values" `Quick test_tiny_values_precise;
+          Alcotest.test_case "min availability" `Quick test_min_availability;
+          Alcotest.test_case "monte carlo vs exact" `Quick test_monte_carlo_matches_exact;
+          Alcotest.test_case "monte carlo scales" `Quick test_monte_carlo_scales_past_enumeration;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_monotone_in_p; prop_write_harder_than_read_rowa ] );
+    ]

@@ -1,0 +1,218 @@
+(* Unit tests of the regular-semantics checker on synthetic histories. *)
+
+module H = Dq_harness.History
+module C = Dq_harness.Regular_checker
+open Dq_storage
+
+let key = Key.make ~volume:0 ~index:0
+let key2 = Key.make ~volume:0 ~index:1
+
+let mk_op ~id ~kind ~value ~lc ~invoked ~responded =
+  {
+    H.id;
+    client = 0;
+    key;
+    kind;
+    value;
+    lc;
+    invoked;
+    responded;
+  }
+
+let lc c = Some (Lc.make ~count:c ~node:0)
+
+let write ~id ~value ~c ~invoked ~responded =
+  mk_op ~id ~kind:H.Write ~value ~lc:(lc c) ~invoked ~responded
+
+let read ~id ~value ~c ~invoked ~responded =
+  mk_op ~id ~kind:H.Read ~value ~lc:(lc c) ~invoked ~responded:(Some responded)
+
+let violations ops = List.length (C.check ops).C.violations
+
+let test_read_after_write_ok () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      read ~id:1 ~value:"a" ~c:1 ~invoked:20. ~responded:30.;
+    ]
+  in
+  Alcotest.(check int) "no violations" 0 (violations ops)
+
+let test_stale_read_flagged () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      write ~id:1 ~value:"b" ~c:2 ~invoked:20. ~responded:(Some 30.);
+      read ~id:2 ~value:"a" ~c:1 ~invoked:40. ~responded:50.;
+    ]
+  in
+  Alcotest.(check int) "stale read flagged" 1 (violations ops)
+
+let test_concurrent_write_either_value_ok () =
+  let ops v =
+    [
+      write ~id:0 ~value:"old" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      write ~id:1 ~value:"new" ~c:2 ~invoked:20. ~responded:(Some 60.);
+      (* Read overlaps the second write. *)
+      read ~id:2 ~value:v ~c:(if v = "old" then 1 else 2) ~invoked:30. ~responded:50.;
+    ]
+  in
+  Alcotest.(check int) "old ok" 0 (violations (ops "old"));
+  Alcotest.(check int) "new ok" 0 (violations (ops "new"))
+
+let test_value_from_before_last_completed_flagged_even_if_concurrent_exists () =
+  (* A write completed before the read; returning a yet older value is
+     stale even while another write is concurrent. *)
+  let ops =
+    [
+      write ~id:0 ~value:"ancient" ~c:1 ~invoked:0. ~responded:(Some 5.);
+      write ~id:1 ~value:"current" ~c:2 ~invoked:10. ~responded:(Some 20.);
+      write ~id:2 ~value:"inflight" ~c:3 ~invoked:30. ~responded:(Some 90.);
+      read ~id:3 ~value:"ancient" ~c:1 ~invoked:40. ~responded:50.;
+    ]
+  in
+  Alcotest.(check int) "ancient flagged" 1 (violations ops)
+
+let test_initial_value_before_writes_ok () =
+  let ops =
+    [
+      read ~id:0 ~value:"" ~c:0 ~invoked:0. ~responded:5.;
+      write ~id:1 ~value:"a" ~c:1 ~invoked:10. ~responded:(Some 20.);
+    ]
+  in
+  Alcotest.(check int) "initial ok" 0 (violations ops)
+
+let test_initial_value_after_write_flagged () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      read ~id:1 ~value:"" ~c:0 ~invoked:20. ~responded:30.;
+    ]
+  in
+  Alcotest.(check int) "stale initial flagged" 1 (violations ops)
+
+let test_unknown_value_flagged () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      read ~id:1 ~value:"phantom" ~c:9 ~invoked:20. ~responded:30.;
+    ]
+  in
+  Alcotest.(check int) "phantom flagged" 1 (violations ops)
+
+let test_incomplete_write_concurrent_with_later_reads () =
+  (* A write that never completed may become visible at any later time. *)
+  let ops =
+    [
+      mk_op ~id:0 ~kind:H.Write ~value:"w" ~lc:None ~invoked:0. ~responded:None;
+      read ~id:1 ~value:"w" ~c:1 ~invoked:1000. ~responded:1010.;
+    ]
+  in
+  Alcotest.(check int) "allowed" 0 (violations ops)
+
+let test_incomplete_write_does_not_force_staleness () =
+  (* An incomplete write does not oblige reads to observe it. *)
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      mk_op ~id:1 ~kind:H.Write ~value:"b" ~lc:(lc 2) ~invoked:20. ~responded:None;
+      read ~id:2 ~value:"a" ~c:1 ~invoked:30. ~responded:40.;
+    ]
+  in
+  Alcotest.(check int) "old value still ok" 0 (violations ops)
+
+let test_boundary_response_equals_invocation () =
+  (* Closed-loop clients invoke the next operation at the exact instant
+     the previous one responds; the write counts as completed. *)
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      read ~id:1 ~value:"a" ~c:1 ~invoked:10. ~responded:20.;
+    ]
+  in
+  Alcotest.(check int) "boundary ok" 0 (violations ops);
+  let stale =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      write ~id:1 ~value:"b" ~c:2 ~invoked:10. ~responded:(Some 20.);
+      read ~id:2 ~value:"a" ~c:1 ~invoked:20. ~responded:30.;
+    ]
+  in
+  Alcotest.(check int) "boundary stale flagged" 1 (violations stale)
+
+let test_keys_checked_independently () =
+  let on_key2 op = { op with H.key = key2 } in
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      on_key2 (write ~id:1 ~value:"b" ~c:5 ~invoked:0. ~responded:(Some 10.));
+      (* Reading key1 must not be affected by key2's write. *)
+      read ~id:2 ~value:"a" ~c:1 ~invoked:20. ~responded:30.;
+      on_key2 (read ~id:3 ~value:"b" ~c:5 ~invoked:20. ~responded:30.);
+    ]
+  in
+  Alcotest.(check int) "independent keys" 0 (violations ops)
+
+let test_incomplete_reads_not_checked () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      mk_op ~id:1 ~kind:H.Read ~value:"" ~lc:None ~invoked:20. ~responded:None;
+    ]
+  in
+  let report = C.check ops in
+  Alcotest.(check int) "one read seen" 1 report.C.reads;
+  Alcotest.(check int) "zero checked" 0 report.C.checked;
+  Alcotest.(check int) "no violations" 0 (List.length report.C.violations)
+
+let test_report_counts () =
+  let ops =
+    [
+      write ~id:0 ~value:"a" ~c:1 ~invoked:0. ~responded:(Some 10.);
+      read ~id:1 ~value:"a" ~c:1 ~invoked:20. ~responded:30.;
+      read ~id:2 ~value:"" ~c:0 ~invoked:40. ~responded:50.;
+    ]
+  in
+  let report = C.check ops in
+  Alcotest.(check int) "reads" 2 report.C.reads;
+  Alcotest.(check int) "checked" 2 report.C.checked;
+  Alcotest.(check int) "violations" 1 (List.length report.C.violations);
+  Alcotest.(check bool) "is_regular false" false (C.is_regular ops)
+
+let test_history_recording () =
+  let h = H.create () in
+  let id = H.begin_op h ~client:3 ~key ~kind:H.Write ~value:"v" ~now:1. in
+  Alcotest.(check int) "size" 1 (H.size h);
+  Alcotest.(check int) "completed" 0 (H.completed_count h);
+  H.complete_op h ~id ~value:"ignored-for-writes" ~lc:(Lc.make ~count:1 ~node:0) ~now:2.;
+  Alcotest.(check int) "completed" 1 (H.completed_count h);
+  match H.ops h with
+  | [ op ] ->
+    Alcotest.(check string) "write keeps its own value" "v" op.H.value;
+    Alcotest.(check (option (float 0.))) "responded" (Some 2.) op.H.responded
+  | _ -> Alcotest.fail "one op expected"
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "read after write" `Quick test_read_after_write_ok;
+          Alcotest.test_case "stale read" `Quick test_stale_read_flagged;
+          Alcotest.test_case "concurrent write" `Quick test_concurrent_write_either_value_ok;
+          Alcotest.test_case "older than last completed" `Quick
+            test_value_from_before_last_completed_flagged_even_if_concurrent_exists;
+          Alcotest.test_case "initial before writes" `Quick test_initial_value_before_writes_ok;
+          Alcotest.test_case "initial after write" `Quick test_initial_value_after_write_flagged;
+          Alcotest.test_case "unknown value" `Quick test_unknown_value_flagged;
+          Alcotest.test_case "incomplete write visible later" `Quick
+            test_incomplete_write_concurrent_with_later_reads;
+          Alcotest.test_case "incomplete write optional" `Quick
+            test_incomplete_write_does_not_force_staleness;
+          Alcotest.test_case "boundary instants" `Quick test_boundary_response_equals_invocation;
+          Alcotest.test_case "keys independent" `Quick test_keys_checked_independently;
+          Alcotest.test_case "incomplete reads" `Quick test_incomplete_reads_not_checked;
+          Alcotest.test_case "report counts" `Quick test_report_counts;
+          Alcotest.test_case "history recording" `Quick test_history_recording;
+        ] );
+    ]

@@ -1,0 +1,83 @@
+module Engine = Dq_sim.Engine
+module Clock = Dq_sim.Clock
+
+let test_perfect_tracks_virtual_time () =
+  let e = Engine.create () in
+  let c = Clock.perfect e in
+  Alcotest.(check (float 0.)) "t=0" 0. (Clock.now c);
+  ignore (Engine.schedule e ~delay:42. (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (float 0.)) "t=42" 42. (Clock.now c)
+
+let test_skew_and_offset () =
+  let e = Engine.create () in
+  let c = Clock.make e ~skew:0.1 ~offset:5. in
+  ignore (Engine.schedule e ~delay:100. (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "offset + 1.1 * 100" 115. (Clock.now c)
+
+let test_after () =
+  let e = Engine.create () in
+  let c = Clock.perfect e in
+  Alcotest.(check bool) "not after future" false (Clock.after c 10.);
+  ignore (Engine.schedule e ~delay:20. (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "after past deadline" true (Clock.after c 10.)
+
+let test_delay_until_inverts_now () =
+  let e = Engine.create () in
+  let c = Clock.make e ~skew:0.05 ~offset:3. in
+  ignore (Engine.schedule e ~delay:7. (fun () -> ()));
+  Engine.run e;
+  (* If we wait delay_until(d) of virtual time, the local clock reads d. *)
+  let local_deadline = 50. in
+  let wait = Clock.delay_until c local_deadline in
+  ignore (Engine.schedule e ~delay:wait (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (float 1e-6)) "clock reads deadline" local_deadline (Clock.now c)
+
+let test_delay_until_past_is_zero () =
+  let e = Engine.create () in
+  let c = Clock.perfect e in
+  ignore (Engine.schedule e ~delay:100. (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (float 0.)) "past deadline" 0. (Clock.delay_until c 10.)
+
+let test_random_within_bounds () =
+  let e = Engine.create () in
+  let rng = Dq_util.Rng.create 5L in
+  for _ = 1 to 100 do
+    let c = Clock.random e ~rng ~max_drift:0.01 ~max_offset:2. in
+    Alcotest.(check bool) "skew bounded" true (abs_float (Clock.skew c) <= 0.01);
+    let now = Clock.now c in
+    Alcotest.(check bool) "offset bounded" true (now >= 0. && now <= 2.)
+  done
+
+let test_drift_bound_preserved_over_time () =
+  (* Two clocks with drift <= d measure any duration within a (1+-d)
+     factor of each other (to first order) - the property lease expiry
+     arithmetic relies on. *)
+  let e = Engine.create () in
+  let c1 = Clock.make e ~skew:0.001 ~offset:0. in
+  let c2 = Clock.make e ~skew:(-0.001) ~offset:9. in
+  let s1 = Clock.now c1 and s2 = Clock.now c2 in
+  ignore (Engine.schedule e ~delay:10_000. (fun () -> ()));
+  Engine.run e;
+  let d1 = Clock.now c1 -. s1 and d2 = Clock.now c2 -. s2 in
+  Alcotest.(check bool) "durations within drift bound" true
+    (abs_float (d1 -. d2) <= 0.002 *. 10_000. +. 1e-9)
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect_tracks_virtual_time;
+          Alcotest.test_case "skew and offset" `Quick test_skew_and_offset;
+          Alcotest.test_case "after" `Quick test_after;
+          Alcotest.test_case "delay_until inverts now" `Quick test_delay_until_inverts_now;
+          Alcotest.test_case "delay_until past" `Quick test_delay_until_past_is_zero;
+          Alcotest.test_case "random bounds" `Quick test_random_within_bounds;
+          Alcotest.test_case "drift bound" `Quick test_drift_bound_preserved_over_time;
+        ] );
+    ]

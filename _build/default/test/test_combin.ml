@@ -1,0 +1,99 @@
+module C = Dq_util.Combin
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_choose_small () =
+  check_float "5C0" 1. (C.choose 5 0);
+  check_float "5C2" 10. (C.choose 5 2);
+  check_float "5C5" 1. (C.choose 5 5);
+  check_float "out of range" 0. (C.choose 5 6);
+  check_float "negative" 0. (C.choose 5 (-1))
+
+let test_choose_symmetry () =
+  for n = 0 to 20 do
+    for k = 0 to n do
+      let a = C.choose n k and b = C.choose n (n - k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "C(%d,%d) = C(%d,%d)" n k n (n - k))
+        true
+        (abs_float (a -. b) /. Float.max 1. a < 1e-12)
+    done
+  done
+
+let test_pascal () =
+  for n = 1 to 25 do
+    for k = 1 to n - 1 do
+      let lhs = C.choose n k in
+      let rhs = C.choose (n - 1) (k - 1) +. C.choose (n - 1) k in
+      Alcotest.(check bool)
+        (Printf.sprintf "Pascal n=%d k=%d" n k)
+        true
+        (abs_float (lhs -. rhs) /. rhs < 1e-10)
+    done
+  done
+
+let test_pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0. in
+      for k = 0 to n do
+        total := !total +. C.binomial_pmf ~n ~p k
+      done;
+      check_float ~eps:1e-9 (Printf.sprintf "sum n=%d p=%g" n p) 1. !total)
+    [ (1, 0.5); (10, 0.01); (15, 0.3); (40, 0.99) ]
+
+let test_pmf_extremes () =
+  check_float "p=0, k=0" 1. (C.binomial_pmf ~n:10 ~p:0. 0);
+  check_float "p=0, k=1" 0. (C.binomial_pmf ~n:10 ~p:0. 1);
+  check_float "p=1, k=n" 1. (C.binomial_pmf ~n:10 ~p:1. 10)
+
+let test_tails_complement () =
+  let n = 15 and p = 0.2 in
+  for k = 0 to n do
+    let le = C.binomial_tail_le ~n ~p k in
+    let ge = C.binomial_tail_ge ~n ~p (k + 1) in
+    check_float ~eps:1e-9 (Printf.sprintf "complement at k=%d" k) 1. (le +. ge)
+  done
+
+let test_tail_tiny_values () =
+  (* P(X <= 7) for X ~ Bin(15, 0.99): needs 8 failures at 0.01 each;
+     must be a sane tiny positive number, not 0 or garbage. *)
+  let u = C.binomial_tail_le ~n:15 ~p:0.99 7 in
+  Alcotest.(check bool) "positive" true (u > 0.);
+  Alcotest.(check bool) "tiny" true (u < 1e-10)
+
+let prop_pmf_nonneg =
+  QCheck.Test.make ~name:"pmf is in [0,1]" ~count:500
+    QCheck.(triple (int_range 0 60) (float_range 0. 1.) (int_range (-5) 65))
+    (fun (n, p, k) ->
+      let x = C.binomial_pmf ~n ~p k in
+      x >= 0. && x <= 1. +. 1e-12)
+
+let prop_tail_monotone =
+  QCheck.Test.make ~name:"tail_le is monotone in k" ~count:300
+    QCheck.(pair (int_range 1 40) (float_range 0.01 0.99))
+    (fun (n, p) ->
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if C.binomial_tail_le ~n ~p k > C.binomial_tail_le ~n ~p (k + 1) +. 1e-12 then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "combin"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "choose small" `Quick test_choose_small;
+          Alcotest.test_case "choose symmetry" `Quick test_choose_symmetry;
+          Alcotest.test_case "pascal identity" `Quick test_pascal;
+          Alcotest.test_case "pmf sums to one" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "pmf extremes" `Quick test_pmf_extremes;
+          Alcotest.test_case "tails complement" `Quick test_tails_complement;
+          Alcotest.test_case "tiny tails" `Quick test_tail_tiny_values;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_pmf_nonneg; prop_tail_monotone ] );
+    ]

@@ -1,0 +1,366 @@
+(* DQVL protocol behaviour (Section 3.2): leases, delayed
+   invalidations, epochs, bounded write-blocking under failures. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Cluster = Dq_core.Cluster
+module Config = Dq_core.Config
+module Oqs = Dq_core.Oqs_server
+module Iqs = Dq_core.Iqs_server
+module R = Dq_intf.Replication
+open Dq_storage
+
+let key = Key.make ~volume:0 ~index:0
+
+let lease = 2_000.
+
+let setup ?(n_servers = 5) ?(proactive = false) ?config_map () =
+  let engine = Engine.create ~seed:33L () in
+  let topology = Topology.make ~n_servers ~n_clients:2 () in
+  let servers = Topology.servers topology in
+  let config =
+    Config.dqvl ~servers ~volume_lease_ms:lease ~proactive_renew:proactive ()
+  in
+  let config = match config_map with Some f -> f config | None -> config in
+  let cluster = Cluster.create engine topology config in
+  (engine, topology, cluster, Cluster.api cluster)
+
+let client_a = 5 (* closest to server 0 *)
+let client_b = 6 (* closest to server 1 *)
+
+let test_write_then_read () =
+  let engine, _, _, api = setup () in
+  let got = ref None in
+  api.R.submit_write ~client:client_a ~server:0 key "x" (fun _ ->
+      api.R.submit_read ~client:client_b ~server:1 key (fun r -> got := Some r.R.read_value));
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check (option string)) "value" (Some "x") !got
+
+let test_read_hit_after_miss () =
+  let engine, _, cluster, api = setup () in
+  let latencies = ref [] in
+  let valid_after_hit = ref None in
+  let timed_read server k =
+    let start = Engine.now engine in
+    api.R.submit_read ~client:client_a ~server key (fun _ ->
+        latencies := (Engine.now engine -. start) :: !latencies;
+        k ())
+  in
+  timed_read 0 (fun () ->
+      timed_read 0 (fun () ->
+          (* Check condition C while the leases are still fresh. *)
+          match Cluster.oqs_server cluster 0 with
+          | Some oqs -> valid_after_hit := Some (Oqs.is_locally_valid oqs key)
+          | None -> ()));
+  Engine.run ~until:30_000. engine;
+  (match List.rev !latencies with
+  | [ miss; hit ] ->
+    Alcotest.(check bool) (Printf.sprintf "miss %.1f > 100" miss) true (miss > 100.);
+    Alcotest.(check bool) (Printf.sprintf "hit %.1f < 20" hit) true (hit < 20.)
+  | _ -> Alcotest.fail "two reads expected");
+  Alcotest.(check (option bool)) "condition C holds" (Some true) !valid_after_hit
+
+let test_lease_expires_without_renewal () =
+  let engine, _, cluster, api = setup () in
+  let valid_after = ref None in
+  api.R.submit_read ~client:client_a ~server:0 key (fun _ ->
+      (* Let more than a lease length pass with no renewals. *)
+      ignore
+        (Engine.schedule engine ~delay:(lease *. 1.5) (fun () ->
+             match Cluster.oqs_server cluster 0 with
+             | Some oqs -> valid_after := Some (Oqs.is_locally_valid oqs key)
+             | None -> ())));
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check (option bool)) "lease expired" (Some false) !valid_after
+
+let test_proactive_renewal_keeps_hits () =
+  let engine, _, cluster, api = setup ~proactive:true () in
+  let valid_later = ref None in
+  api.R.submit_read ~client:client_a ~server:0 key (fun _ ->
+      ignore
+        (Engine.schedule engine ~delay:(lease *. 5.) (fun () ->
+             match Cluster.oqs_server cluster 0 with
+             | Some oqs -> valid_later := Some (Oqs.is_locally_valid oqs key)
+             | None -> ())));
+  Engine.run ~until:(lease *. 6.) engine;
+  Alcotest.(check (option bool)) "still valid after 5 leases" (Some true) !valid_later;
+  api.R.quiesce ()
+
+let test_write_completes_despite_crashed_oqs_node () =
+  (* THE volume-lease property: with a reader's replica crashed, a
+     write blocks at most about one lease length - not forever. *)
+  let engine, _, _, api = setup () in
+  let write_latency = ref None in
+  api.R.submit_read ~client:client_a ~server:4 key (fun _ ->
+      api.R.crash_server 4;
+      let start = Engine.now engine in
+      api.R.submit_write ~client:client_b ~server:1 key "v2" (fun _ ->
+          write_latency := Some (Engine.now engine -. start)));
+  Engine.run ~until:120_000. engine;
+  match !write_latency with
+  | Some latency ->
+    Alcotest.(check bool)
+      (Printf.sprintf "write blocked %.0f ms, about one lease" latency)
+      true
+      (latency < (2.5 *. lease) +. 1000.)
+  | None -> Alcotest.fail "write never completed"
+
+let test_delayed_invalidation_via_partition () =
+  (* Partition an OQS node that holds valid leases; a write then
+     completes after the lease expires by queueing a delayed
+     invalidation; after healing, a read through the partitioned node
+     must see the new value (delivered with the volume renewal). *)
+  let engine, topology, cluster, api = setup () in
+  let net = Cluster.net cluster in
+  let stale_node = 4 in
+  let got = ref None in
+  let delayed_at_iqs = ref (-1) in
+  api.R.submit_read ~client:client_a ~server:stale_node key (fun _ ->
+      (* stale_node now caches the initial value under valid leases. *)
+      let clients = Topology.clients topology in
+      let others = List.filter (fun n -> n <> stale_node) (Topology.servers topology) in
+      Net.partition net [ [ stale_node ]; others @ clients ];
+      api.R.submit_write ~client:client_b ~server:1 key "fresh" (fun _ ->
+          (match Cluster.iqs_server cluster 1 with
+          | Some iqs -> delayed_at_iqs := Iqs.delayed_count iqs ~volume:0 ~oqs:stale_node
+          | None -> ());
+          Net.heal net;
+          api.R.submit_read ~client:client_a ~server:stale_node key (fun r ->
+              got := Some r.R.read_value)));
+  Engine.run ~until:300_000. engine;
+  Alcotest.(check bool) "a delayed invalidation was queued" true (!delayed_at_iqs >= 1);
+  Alcotest.(check (option string)) "no stale read after heal" (Some "fresh") !got
+
+let test_epoch_advances_when_delayed_queue_overflows () =
+  let engine, topology, cluster, api =
+    setup ~config_map:(fun c -> { c with Config.max_delayed = 2 }) ()
+  in
+  let net = Cluster.net cluster in
+  let stale_node = 4 in
+  let keys = List.init 4 (fun i -> Key.make ~volume:0 ~index:i) in
+  let epoch_after = ref (-1) in
+  let reads_ok = ref 0 in
+  (* Warm the cache for all four objects on the stale node. *)
+  let rec warm = function
+    | [] ->
+      let others = List.filter (fun n -> n <> stale_node) (Topology.servers topology) in
+      Net.partition net [ [ stale_node ]; others @ Topology.clients topology ];
+      write_all keys
+    | k :: rest -> api.R.submit_read ~client:client_a ~server:stale_node k (fun _ -> warm rest)
+  and write_all = function
+    | [] ->
+      (match Cluster.iqs_server cluster 1 with
+      | Some iqs -> epoch_after := Iqs.epoch iqs ~volume:0 ~oqs:stale_node
+      | None -> ());
+      Net.heal net;
+      read_back keys
+    | k :: rest ->
+      api.R.submit_write ~client:client_b ~server:1 k "new" (fun _ -> write_all rest)
+  and read_back = function
+    | [] -> ()
+    | k :: rest ->
+      api.R.submit_read ~client:client_a ~server:stale_node k (fun r ->
+          if r.R.read_value = "new" then incr reads_ok;
+          read_back rest)
+  in
+  warm keys;
+  Engine.run ~until:600_000. engine;
+  Alcotest.(check bool) "epoch advanced" true (!epoch_after >= 1);
+  Alcotest.(check int) "all reads fresh after epoch recovery" 4 !reads_ok
+
+let test_regular_after_iqs_minority_crash () =
+  let engine, _, _, api = setup () in
+  let got = ref None in
+  api.R.submit_write ~client:client_a ~server:0 key "v1" (fun _ ->
+      (* Crash a minority of the IQS (2 of 5); writes and reads must
+         still complete. *)
+      api.R.crash_server 3;
+      api.R.crash_server 4;
+      api.R.submit_write ~client:client_b ~server:1 key "v2" (fun _ ->
+          api.R.submit_read ~client:client_a ~server:0 key (fun r ->
+              got := Some r.R.read_value)));
+  Engine.run ~until:120_000. engine;
+  Alcotest.(check (option string)) "survives minority crash" (Some "v2") !got
+
+let test_oqs_cache_volatile_across_crash () =
+  let engine, _, cluster, api = setup () in
+  let second_value = ref None in
+  api.R.submit_read ~client:client_a ~server:0 key (fun _ ->
+      api.R.crash_server 0;
+      api.R.recover_server 0;
+      (match Cluster.oqs_server cluster 0 with
+      | Some oqs ->
+        Alcotest.(check bool) "cache cleared on recovery" false (Oqs.is_locally_valid oqs key)
+      | None -> ());
+      api.R.submit_read ~client:client_a ~server:0 key (fun r ->
+          second_value := Some r.R.read_value));
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check (option string)) "read after recovery works" (Some "") !second_value
+
+let test_iqs_state_durable_across_crash () =
+  let engine, _, cluster, api = setup () in
+  let got = ref None in
+  api.R.submit_write ~client:client_a ~server:0 key "persist" (fun _ ->
+      api.R.crash_server 1;
+      api.R.recover_server 1;
+      (match Cluster.iqs_server cluster 1 with
+      | Some iqs ->
+        got := Some (Iqs.stored iqs key).Versioned.value
+      | None -> ()));
+  Engine.run ~until:60_000. engine;
+  (* Server 1 is in the IQS write quorum with high probability; but the
+     quorum is random, so only check when it received the write. *)
+  match !got with
+  | Some v -> Alcotest.(check bool) "durable or absent" true (v = "persist" || v = "")
+  | None -> Alcotest.fail "introspection failed"
+
+let test_write_suppress_and_through_counts () =
+  let engine, _, cluster, api = setup () in
+  let inval_count () =
+    match
+      List.assoc_opt "inval" (Dq_net.Msg_stats.by_label (Net.stats (Cluster.net cluster)))
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let observations = ref [] in
+  api.R.submit_write ~client:client_a ~server:0 key "w1" (fun _ ->
+      let c1 = inval_count () in
+      api.R.submit_write ~client:client_a ~server:0 key "w2" (fun _ ->
+          let c2 = inval_count () in
+          observations := [ ("suppress", c2 - c1) ];
+          api.R.submit_read ~client:client_b ~server:1 key (fun _ ->
+              let c3 = inval_count () in
+              api.R.submit_write ~client:client_a ~server:0 key "w3" (fun _ ->
+                  let c4 = inval_count () in
+                  observations := ("through", c4 - c3) :: !observations))));
+  Engine.run ~until:120_000. engine;
+  match List.rev !observations with
+  | [ ("suppress", s); ("through", t) ] ->
+    Alcotest.(check int) "suppressed write sends no invalidations" 0 s;
+    Alcotest.(check bool) "write after read invalidates" true (t > 0)
+  | _ -> Alcotest.fail "missing observations"
+
+let test_reads_survive_iqs_partition_under_leases () =
+  (* With valid leases in hand, an OQS node keeps serving local reads
+     even when every IQS node is unreachable - the availability payoff
+     of leases. Writes block during the partition and resume after. *)
+  let engine = Engine.create ~seed:35L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:2 () in
+  let servers = Topology.servers topology in
+  let config =
+    Config.dqvl ~servers ~volume_lease_ms:60_000. ~proactive_renew:false ()
+  in
+  let cluster = Cluster.create engine topology config in
+  let api = Cluster.api cluster in
+  let net = Cluster.net cluster in
+  let reads_during = ref 0 in
+  let write_during = ref false in
+  let write_after = ref false in
+  api.R.submit_read ~client:client_a ~server:0 key (fun _ ->
+      (* Cut server 0 (the reader's OQS node) plus its client off from
+         the rest: the IQS majority is unreachable from node 0. *)
+      Net.partition net [ [ 0; client_a ]; [ 1; 2; 3; 4; client_b ] ];
+      let rec read_loop n =
+        if n > 0 then
+          api.R.submit_read ~client:client_a ~server:0 key (fun _ ->
+              incr reads_during;
+              read_loop (n - 1))
+      in
+      read_loop 5;
+      (* A write into the majority side cannot invalidate node 0 and
+         must wait out the lease; it stays blocked within our window. *)
+      api.R.submit_write ~client:client_b ~server:1 key "w" (fun _ -> write_during := true);
+      ignore
+        (Engine.schedule engine ~delay:20_000. (fun () ->
+             Alcotest.(check int) "leased reads served in partition" 5 !reads_during;
+             Alcotest.(check bool) "write still blocked" false !write_during;
+             Net.heal net)));
+  ignore
+    (Engine.schedule engine ~delay:100_000. (fun () ->
+         api.R.submit_write ~client:client_b ~server:1 key "w2" (fun _ -> write_after := true)));
+  Engine.run ~until:200_000. engine;
+  Alcotest.(check bool) "write completed after heal" true (!write_during || !write_after)
+
+let test_high_clock_drift_still_regular () =
+  (* Stress the lease arithmetic: 5% drift rate (50x the default) with
+     short leases; regular semantics must hold regardless. *)
+  let engine = Engine.create ~seed:36L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+  let servers = Topology.servers topology in
+  let config =
+    {
+      (Config.dqvl ~servers ~volume_lease_ms:800. ~proactive_renew:false ()) with
+      Config.max_drift = 0.05;
+      renew_margin_ms = 200.;
+    }
+  in
+  let cluster = Cluster.create engine topology config in
+  let api = Cluster.api cluster in
+  let history = Dq_harness.History.create () in
+  let done_ops = ref 0 in
+  let rec client_loop ~client ~server n =
+    if n = 0 then incr done_ops
+    else begin
+      let start = Engine.now engine in
+      if n mod 3 = 0 then begin
+        let value = Printf.sprintf "c%d-%d" client n in
+        let id =
+          Dq_harness.History.begin_op history ~client ~key ~kind:Dq_harness.History.Write
+            ~value ~now:start
+        in
+        api.R.submit_write ~client ~server key value (fun w ->
+            Dq_harness.History.complete_op history ~id ~value ~lc:w.R.write_lc
+              ~now:(Engine.now engine);
+            client_loop ~client ~server (n - 1))
+      end
+      else begin
+        let id =
+          Dq_harness.History.begin_op history ~client ~key ~kind:Dq_harness.History.Read
+            ~value:"" ~now:start
+        in
+        api.R.submit_read ~client ~server key (fun r ->
+            Dq_harness.History.complete_op history ~id ~value:r.R.read_value ~lc:r.R.read_lc
+              ~now:(Engine.now engine);
+            client_loop ~client ~server (n - 1))
+      end
+    end
+  in
+  client_loop ~client:5 ~server:0 30;
+  client_loop ~client:6 ~server:1 30;
+  client_loop ~client:7 ~server:2 30;
+  Engine.run_while engine (fun () -> !done_ops < 3);
+  api.R.quiesce ();
+  let report = Dq_harness.Regular_checker.check (Dq_harness.History.ops history) in
+  Alcotest.(check int) "regular under heavy drift" 0
+    (List.length report.Dq_harness.Regular_checker.violations)
+
+let () =
+  Alcotest.run "dqvl"
+    [
+      ( "basic behaviour",
+        [
+          Alcotest.test_case "write then read" `Quick test_write_then_read;
+          Alcotest.test_case "read hit after miss" `Quick test_read_hit_after_miss;
+          Alcotest.test_case "lease expiry" `Quick test_lease_expires_without_renewal;
+          Alcotest.test_case "proactive renewal" `Quick test_proactive_renewal_keeps_hits;
+          Alcotest.test_case "suppress and through" `Quick
+            test_write_suppress_and_through_counts;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "write unblocked by lease expiry" `Quick
+            test_write_completes_despite_crashed_oqs_node;
+          Alcotest.test_case "delayed invalidations" `Quick
+            test_delayed_invalidation_via_partition;
+          Alcotest.test_case "epoch overflow" `Quick
+            test_epoch_advances_when_delayed_queue_overflows;
+          Alcotest.test_case "IQS minority crash" `Quick test_regular_after_iqs_minority_crash;
+          Alcotest.test_case "reads survive IQS partition" `Quick
+            test_reads_survive_iqs_partition_under_leases;
+          Alcotest.test_case "heavy clock drift" `Quick test_high_clock_drift_still_regular;
+          Alcotest.test_case "OQS cache volatile" `Quick test_oqs_cache_volatile_across_crash;
+          Alcotest.test_case "IQS durable" `Quick test_iqs_state_durable_across_crash;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Property-based end-to-end consistency: random workloads, random
+   fault schedules (message loss, duplication, jitter, crashes of an
+   IQS minority, transient partitions) - the quorum protocols must
+   never violate regular semantics, and must keep serving requests. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Spec = Dq_workload.Spec
+module Driver = Dq_harness.Driver
+module Registry = Dq_harness.Registry
+module Checker = Dq_harness.Regular_checker
+
+type scenario = {
+  seed : int64;
+  n_servers : int;
+  write_ratio : float;
+  objects : int;
+  loss : float;
+  duplicate : float;
+  jitter_ms : float;
+  crashes : bool;
+  partition : bool;
+}
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = map Int64.of_int (int_range 1 1_000_000) in
+    let* n_servers = int_range 3 7 in
+    let* write_ratio = float_range 0.1 0.6 in
+    let* objects = int_range 1 3 in
+    let* loss = float_range 0. 0.15 in
+    let* duplicate = float_range 0. 0.15 in
+    let* jitter_ms = float_range 0. 40. in
+    let* crashes = bool in
+    let* partition = bool in
+    return
+      { seed; n_servers; write_ratio; objects; loss; duplicate; jitter_ms; crashes; partition })
+
+let print_scenario s =
+  Printf.sprintf
+    "{seed=%Ld n=%d w=%.2f objs=%d loss=%.2f dup=%.2f jitter=%.0f crash=%b part=%b}" s.seed
+    s.n_servers s.write_ratio s.objects s.loss s.duplicate s.jitter_ms s.crashes s.partition
+
+let scenario_arb = QCheck.make ~print:print_scenario scenario_gen
+
+(* Crash a strict IQS minority for a while, and/or cut one server off. *)
+let fault_events s =
+  let minority = (s.n_servers - 1) / 2 in
+  let crash_events =
+    if s.crashes && minority >= 1 then
+      List.concat
+        (List.init minority (fun i ->
+             [
+               { Driver.at_ms = 2_000. +. (500. *. float_of_int i); action = `Crash i };
+               { Driver.at_ms = 20_000. +. (500. *. float_of_int i); action = `Recover i };
+             ]))
+    else []
+  in
+  let partition_events =
+    if s.partition then
+      [
+        {
+          Driver.at_ms = 8_000.;
+          action = `Partition [ [ s.n_servers - 1 ] ];
+        };
+        { Driver.at_ms = 25_000.; action = `Heal };
+      ]
+    else []
+  in
+  crash_events @ partition_events
+
+let run_scenario (builder : Registry.builder) s =
+  let engine = Engine.create ~seed:s.seed () in
+  let topology = Topology.make ~n_servers:s.n_servers ~n_clients:3 () in
+  let faults = { Net.loss = s.loss; duplicate = s.duplicate; jitter_ms = s.jitter_ms } in
+  let instance = builder.Registry.build engine topology ~faults () in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = s.write_ratio;
+      sharing = Spec.Shared_uniform { objects = s.objects };
+    }
+  in
+  let config =
+    {
+      (Driver.default_config spec) with
+      Driver.ops_per_client = 40;
+      timeout_ms = 8_000.;
+      horizon_ms = 1.2e6;
+    }
+  in
+  let result =
+    Driver.run_with_events engine topology instance.Registry.api config
+      ~events:(fault_events s)
+      ~on_net_event:(function
+        | `Partition groups -> instance.Registry.partition groups
+        | `Heal -> instance.Registry.heal ())
+  in
+  result
+
+let regular_under_faults builder =
+  QCheck.Test.make
+    ~name:(builder.Registry.name ^ " is regular under faults")
+    ~count:15 scenario_arb
+    (fun s ->
+      let result = run_scenario builder s in
+      let report = Checker.check result.Driver.history in
+      if report.Checker.violations <> [] then
+        QCheck.Test.fail_reportf "violations: %a" Checker.pp_report report
+      else if result.Driver.completed = 0 then
+        QCheck.Test.fail_report "no operation ever completed"
+      else true)
+
+let props =
+  [
+    regular_under_faults (Registry.dqvl ~volume_lease_ms:3_000. ());
+    regular_under_faults Registry.dq_basic;
+    regular_under_faults Registry.majority;
+  ]
+
+(* A deterministic heavier scenario exercised as a plain unit test. *)
+let test_dqvl_long_mixed_run () =
+  let s =
+    {
+      seed = 4242L;
+      n_servers = 9;
+      write_ratio = 0.3;
+      objects = 2;
+      loss = 0.05;
+      duplicate = 0.05;
+      jitter_ms = 20.;
+      crashes = true;
+      partition = true;
+    }
+  in
+  let result = run_scenario (Registry.dqvl ()) s in
+  let report = Checker.check result.Driver.history in
+  Alcotest.(check int) "no violations" 0 (List.length report.Checker.violations);
+  Alcotest.(check bool) "most operations completed" true
+    (result.Driver.completed > (result.Driver.issued * 2) / 3)
+
+let test_dqvl_heavy_contention () =
+  (* All clients hammer one object at 50% writes with no faults: the
+     worst interleaving for the caching machinery. *)
+  let s =
+    {
+      seed = 777L;
+      n_servers = 5;
+      write_ratio = 0.5;
+      objects = 1;
+      loss = 0.;
+      duplicate = 0.;
+      jitter_ms = 0.;
+      crashes = false;
+      partition = false;
+    }
+  in
+  let result = run_scenario (Registry.dqvl ()) s in
+  let report = Checker.check result.Driver.history in
+  Alcotest.(check int) "no violations" 0 (List.length report.Checker.violations);
+  Alcotest.(check int) "no failures" 0 result.Driver.failed
+
+let () =
+  Alcotest.run "dqvl_consistency"
+    [
+      ( "deterministic",
+        [
+          Alcotest.test_case "long mixed run" `Slow test_dqvl_long_mixed_run;
+          Alcotest.test_case "heavy contention" `Quick test_dqvl_heavy_contention;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest props);
+    ]

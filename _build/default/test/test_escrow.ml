@@ -1,0 +1,177 @@
+(* Escrow inventory counters (the paper's commutative-write,
+   approximate-read object category from Section 1): never oversell,
+   conserve stock through transfers, local-latency purchases. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Escrow = Dq_proto.Escrow
+open Dq_storage
+
+let item = Key.make ~volume:0 ~index:0
+
+let setup ?(n_servers = 3) ?(stock = 90) () =
+  let engine = Engine.create ~seed:81L () in
+  let topology = Topology.make ~n_servers ~n_clients:3 () in
+  let counters = Escrow.create engine topology ~stock:(fun _ -> stock) () in
+  (engine, topology, counters)
+
+let test_initial_split () =
+  let _, _, counters = setup ~stock:10 ~n_servers:3 () in
+  (* 10 over 3 servers: 4 + 3 + 3, conserved exactly. *)
+  Alcotest.(check int) "conserved" 10 (Escrow.exact_remaining counters item);
+  Alcotest.(check int) "nothing sold" 0 (Escrow.total_sold counters item)
+
+let test_local_buy_is_fast () =
+  let engine, _, counters = setup () in
+  let latency = ref None in
+  let start = Engine.now engine in
+  Escrow.buy counters ~client:3 ~server:0 item ~amount:1 (fun ok ->
+      Alcotest.(check bool) "sold" true ok;
+      latency := Some (Engine.now engine -. start));
+  Engine.run ~until:10_000. engine;
+  Escrow.quiesce counters;
+  match !latency with
+  | Some l -> Alcotest.(check bool) (Printf.sprintf "local (%.1f ms)" l) true (l < 20.)
+  | None -> Alcotest.fail "no reply"
+
+let test_conservation_under_load () =
+  let engine, _, counters = setup ~stock:90 () in
+  let oks = ref 0 and fails = ref 0 in
+  (* Three clients hammer their local servers: 40 purchases each = 120
+     demanded > 90 stocked. *)
+  let rec shop ~client ~server n =
+    if n > 0 then
+      Escrow.buy counters ~client ~server item ~amount:1 (fun ok ->
+          if ok then incr oks else incr fails;
+          shop ~client ~server (n - 1))
+  in
+  shop ~client:3 ~server:0 40;
+  shop ~client:4 ~server:1 40;
+  shop ~client:5 ~server:2 40;
+  Engine.run ~until:600_000. engine;
+  Escrow.quiesce counters;
+  Alcotest.(check int) "every purchase answered" 120 (!oks + !fails);
+  Alcotest.(check bool) "never oversells" true (!oks <= 90);
+  Alcotest.(check int) "sold matches acks" !oks (Escrow.total_sold counters item);
+  Alcotest.(check int) "stock conserved" 90
+    (Escrow.total_sold counters item + Escrow.exact_remaining counters item)
+
+let test_transfers_serve_hot_replica () =
+  (* All demand lands on server 0; its 30-unit share runs dry and
+     transfers must bring most of the remaining stock over. *)
+  let engine, _, counters = setup ~stock:90 () in
+  let oks = ref 0 in
+  let rec shop n =
+    if n > 0 then
+      Escrow.buy counters ~client:3 ~server:0 item ~amount:1 (fun ok ->
+          if ok then incr oks;
+          shop (n - 1))
+  in
+  shop 80;
+  Engine.run ~until:600_000. engine;
+  Escrow.quiesce counters;
+  Alcotest.(check bool)
+    (Printf.sprintf "most of the stock sold through one edge (%d)" !oks)
+    true (!oks >= 70);
+  Alcotest.(check int) "conserved" 90
+    (Escrow.total_sold counters item + Escrow.exact_remaining counters item)
+
+let test_sold_out_refused () =
+  let engine, _, counters = setup ~stock:3 () in
+  let replies = ref [] in
+  let rec shop n =
+    if n > 0 then
+      Escrow.buy counters ~client:3 ~server:0 item ~amount:1 (fun ok ->
+          replies := ok :: !replies;
+          shop (n - 1))
+  in
+  shop 6;
+  Engine.run ~until:600_000. engine;
+  Escrow.quiesce counters;
+  let sold = List.length (List.filter Fun.id !replies) in
+  Alcotest.(check int) "exactly the stock sold" 3 sold;
+  Alcotest.(check int) "the rest refused" 3 (List.length !replies - sold)
+
+let test_conservation_with_crashes () =
+  (* Crash a replica mid-run (possibly with grants in transit); stock
+     must still be conserved, counting in-transit units. *)
+  let engine, _, counters = setup ~stock:60 () in
+  let answered = ref 0 in
+  let rec shop ~client ~server n =
+    if n > 0 then
+      Escrow.buy counters ~client ~server item ~amount:1 (fun _ ->
+          incr answered;
+          shop ~client ~server (n - 1))
+  in
+  shop ~client:3 ~server:0 30;
+  shop ~client:4 ~server:1 30;
+  ignore (Engine.schedule engine ~delay:1_000. (fun () -> Escrow.crash counters 2));
+  ignore (Engine.schedule engine ~delay:15_000. (fun () -> Escrow.recover counters 2));
+  Engine.run ~until:600_000. engine;
+  Escrow.quiesce counters;
+  Alcotest.(check int) "conserved under crash" 60
+    (Escrow.total_sold counters item + Escrow.exact_remaining counters item);
+  Alcotest.(check bool) "never oversells" true (Escrow.total_sold counters item <= 60)
+
+let test_approx_read_converges () =
+  let engine, _, counters = setup ~stock:90 () in
+  let rec shop n =
+    if n > 0 then
+      Escrow.buy counters ~client:3 ~server:0 item ~amount:1 (fun _ -> shop (n - 1))
+  in
+  shop 30;
+  Engine.run ~until:60_000. engine;
+  Escrow.quiesce counters;
+  (* Let gossip settle, then every replica's estimate equals the truth. *)
+  let truth = Escrow.exact_remaining counters item in
+  List.iter
+    (fun server ->
+      Alcotest.(check int)
+        (Printf.sprintf "server %d estimate" server)
+        truth
+        (Escrow.approx_count counters ~server item))
+    [ 0; 1; 2 ]
+
+let prop_conservation_random =
+  QCheck.Test.make ~name:"conservation under random demand and crashes" ~count:20
+    QCheck.(
+      quad (int_range 1 1_000_000) (int_range 10 120) (int_range 1 3) bool)
+    (fun (seed, stock, amount, crash) ->
+      let engine = Engine.create ~seed:(Int64.of_int seed) () in
+      let topology = Topology.make ~n_servers:3 ~n_clients:3 () in
+      let counters = Escrow.create engine topology ~stock:(fun _ -> stock) () in
+      let oks = ref 0 in
+      let rec shop ~client ~server n =
+        if n > 0 then
+          Escrow.buy counters ~client ~server item ~amount (fun ok ->
+              if ok then incr oks;
+              shop ~client ~server (n - 1))
+      in
+      shop ~client:3 ~server:0 20;
+      shop ~client:4 ~server:1 20;
+      shop ~client:5 ~server:2 20;
+      if crash then begin
+        ignore (Engine.schedule engine ~delay:500. (fun () -> Escrow.crash counters 2));
+        ignore (Engine.schedule engine ~delay:8_000. (fun () -> Escrow.recover counters 2))
+      end;
+      Engine.run ~until:600_000. engine;
+      Escrow.quiesce counters;
+      let sold = Escrow.total_sold counters item in
+      let remaining = Escrow.exact_remaining counters item in
+      sold = !oks * amount && sold + remaining = stock && sold <= stock)
+
+let () =
+  Alcotest.run "escrow"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial split" `Quick test_initial_split;
+          Alcotest.test_case "local buy" `Quick test_local_buy_is_fast;
+          Alcotest.test_case "conservation under load" `Quick test_conservation_under_load;
+          Alcotest.test_case "transfers" `Quick test_transfers_serve_hot_replica;
+          Alcotest.test_case "sold out" `Quick test_sold_out_refused;
+          Alcotest.test_case "crashes" `Quick test_conservation_with_crashes;
+          Alcotest.test_case "approximate reads converge" `Quick test_approx_read_converges;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_conservation_random ]);
+    ]

@@ -1,0 +1,210 @@
+(* Shape assertions for the paper's figures: who wins, by roughly what
+   factor, and where the crossovers fall. Small operation counts keep
+   the suite fast; the bench harness runs the full versions. *)
+
+module E = Dq_harness.Experiment
+
+let find rows name =
+  match List.find_opt (fun r -> r.E.protocol = name) rows with
+  | Some r -> r
+  | None -> Alcotest.failf "protocol %s missing" name
+
+let test_fig6a_shapes () =
+  let rows = E.fig6a ~ops:60 () in
+  Alcotest.(check int) "five protocols" 5 (List.length rows);
+  let dqvl = find rows "dqvl" in
+  let majority = find rows "majority" in
+  let pb = find rows "primary-backup" in
+  let rowa = find rows "rowa" in
+  let rowa_async = find rows "rowa-async" in
+  (* Headline claim: >= 6x read response time improvement over
+     primary/backup and majority. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dqvl reads (%.1f) 6x better than majority (%.1f)" dqvl.E.read_ms
+       majority.E.read_ms)
+    true
+    (majority.E.read_ms >= 6. *. dqvl.E.read_ms);
+  Alcotest.(check bool) "6x better than primary-backup" true
+    (pb.E.read_ms >= 5. *. dqvl.E.read_ms);
+  (* Competitive with the ROWA family on reads (within 2.5x of local). *)
+  Alcotest.(check bool) "reads near rowa-async" true
+    (dqvl.E.read_ms <= 2.5 *. rowa_async.E.read_ms);
+  Alcotest.(check bool) "rowa reads local too" true (rowa.E.read_ms < 20.);
+  (* Everyone completes everything; quorum protocols stay regular. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.E.protocol ^ " failures") 0 r.E.failed;
+      if r.E.protocol <> "rowa-async" then
+        Alcotest.(check int) (r.E.protocol ^ " violations") 0 r.E.violations)
+    rows
+
+let test_fig6b_write_dominated_end () =
+  let sweep = E.fig6b ~ops:40 ~write_ratios:[ 1.0 ] () in
+  match sweep with
+  | [ (_, rows) ] ->
+    let dqvl = find rows "dqvl" in
+    let majority = find rows "majority" in
+    let pb = find rows "primary-backup" in
+    let rowa = find rows "rowa" in
+    (* "DQVL's response time approximates that of the majority quorum
+       protocol and becomes higher than those of primary/backup and
+       ROWA" (write bursts are suppressed, so two IQS round trips). *)
+    Alcotest.(check bool) "dqvl ~ majority" true
+      (dqvl.E.overall_ms < 1.3 *. majority.E.overall_ms
+      && dqvl.E.overall_ms > 0.7 *. majority.E.overall_ms);
+    Alcotest.(check bool) "dqvl > pb" true (dqvl.E.overall_ms > pb.E.overall_ms);
+    Alcotest.(check bool) "dqvl > rowa" true (dqvl.E.overall_ms > rowa.E.overall_ms)
+  | _ -> Alcotest.fail "one sweep point expected"
+
+let test_fig7a_locality_90 () =
+  let rows = E.fig7a ~ops:60 () in
+  let dqvl = find rows "dqvl" in
+  let majority = find rows "majority" in
+  let pb = find rows "primary-backup" in
+  (* DQVL still outperforms both strong-consistency baselines at 90%
+     locality. *)
+  Alcotest.(check bool) "beats majority" true (dqvl.E.overall_ms < majority.E.overall_ms);
+  Alcotest.(check bool) "beats primary-backup" true (dqvl.E.overall_ms < pb.E.overall_ms)
+
+let test_fig7b_crossover () =
+  let sweep = E.fig7b ~ops:60 ~localities:[ 0.0; 0.9 ] () in
+  let at locality =
+    match List.assoc_opt locality sweep with
+    | Some rows -> rows
+    | None -> Alcotest.fail "missing locality point"
+  in
+  let dqvl_low = find (at 0.0) "dqvl" in
+  let dqvl_high = find (at 0.9) "dqvl" in
+  let majority_low = find (at 0.0) "majority" in
+  let majority_high = find (at 0.9) "majority" in
+  (* DQVL improves with locality much more than the majority quorum
+     (whose only locality-sensitive part is the client-to-front-end
+     hop); at low locality DQVL loses its advantage, at high locality
+     it is clearly better (the paper's ~70% crossover). *)
+  Alcotest.(check bool) "dqvl improves with locality" true
+    (dqvl_high.E.overall_ms < 0.7 *. dqvl_low.E.overall_ms);
+  Alcotest.(check bool) "majority much less sensitive" true
+    (majority_low.E.overall_ms -. majority_high.E.overall_ms
+    < 0.7 *. (dqvl_low.E.overall_ms -. dqvl_high.E.overall_ms));
+  Alcotest.(check bool) "dqvl wins at high locality" true
+    (dqvl_high.E.overall_ms < majority_high.E.overall_ms);
+  Alcotest.(check bool) "no dqvl win at zero locality" true
+    (dqvl_low.E.overall_ms > 0.85 *. majority_low.E.overall_ms)
+
+let test_fig8a_orderings () =
+  let sweep = E.fig8a () in
+  List.iter
+    (fun (w, series) ->
+      let u name =
+        match List.assoc_opt name series with
+        | Some v -> v
+        | None -> Alcotest.failf "missing %s" name
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dqvl tracks majority at w=%.2f" w)
+        true
+        (u "dqvl" <= 10. *. u "majority" && u "dqvl" >= u "majority" /. 10.);
+      Alcotest.(check bool)
+        (Printf.sprintf "stale rowa-async best at w=%.2f" w)
+        true
+        (u "rowa-async" <= u "dqvl" && u "rowa-async" <= u "primary-backup");
+      Alcotest.(check bool)
+        (Printf.sprintf "no-stale much worse at w=%.2f" w)
+        true
+        (u "rowa-async-nostale" > 100. *. u "majority"))
+    sweep
+
+let test_fig8b_replica_scaling () =
+  let sweep = E.fig8b ~ns:[ 5; 15 ] () in
+  let at n = List.assoc n sweep in
+  let u n name = List.assoc name (at n) in
+  Alcotest.(check bool) "dqvl improves with replicas" true (u 15 "dqvl" < u 5 "dqvl" /. 100.);
+  Alcotest.(check bool) "pb flat" true (u 15 "primary-backup" = u 5 "primary-backup");
+  Alcotest.(check bool) "nostale flat" true
+    (u 15 "rowa-async-nostale" = u 5 "rowa-async-nostale")
+
+let test_fig9a_model_peak () =
+  let sweep = E.fig9a () in
+  let dqvl_at w = List.assoc "dqvl" (List.assoc w sweep) in
+  Alcotest.(check bool) "peak at 0.5" true
+    (dqvl_at 0.5 > dqvl_at 0.05 && dqvl_at 0.5 > dqvl_at 0.9);
+  let mj_at w = List.assoc "majority" (List.assoc w sweep) in
+  Alcotest.(check bool) "worst case above majority" true (dqvl_at 0.5 > 2. *. mj_at 0.5)
+
+let test_fig9a_measured_matches_model () =
+  let measured = E.fig9a_measured ~ops:150 ~write_ratios:[ 0.05; 0.5 ] () in
+  let model w =
+    let sizes = Dq_analysis.Overhead_model.dqvl_sizes ~n_iqs:9 ~n_oqs:9 in
+    Dq_analysis.Overhead_model.dqvl sizes ~w
+  in
+  List.iter
+    (fun (w, m) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%.2f measured %.1f vs model %.1f" w m (model w))
+        true
+        (m > 0.4 *. model w && m < 1.6 *. model w))
+    measured;
+  (* The measured curve also peaks toward the middle. *)
+  match measured with
+  | [ (_, low); (_, mid) ] -> Alcotest.(check bool) "interleaving costs more" true (mid > low)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_ablation_leases () =
+  let rows = E.ablation_leases ~ops:40 () in
+  let dqvl = find rows "dqvl" in
+  let basic = find rows "dq-basic" in
+  (* Without failures both protocols behave similarly on the target
+     workload. *)
+  Alcotest.(check int) "dqvl failures" 0 dqvl.E.failed;
+  Alcotest.(check int) "basic failures" 0 basic.E.failed;
+  Alcotest.(check bool) "similar reads" true (dqvl.E.read_ms < 2. *. basic.E.read_ms +. 20.)
+
+let test_ablation_orq () =
+  let rows = E.ablation_orq ~ops:40 ~read_quorums:[ 1; 2 ] () in
+  match rows with
+  | [ (1, r1); (2, r2) ] ->
+    (* A read quorum of one is served locally; two forces a WAN hop. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "orq=1 local (%.1f)" r1.E.read_ms)
+      true (r1.E.read_ms < 60.);
+    Alcotest.(check bool)
+      (Printf.sprintf "orq=2 remote (%.1f)" r2.E.read_ms)
+      true (r2.E.read_ms > 2. *. r1.E.read_ms)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_ablation_grid () =
+  let rows = E.ablation_grid ~ns:[ 9 ] () in
+  match rows with
+  | [ (9, series) ] ->
+    let grid = List.assoc "grid" series in
+    let majority = List.assoc "majority" series in
+    Alcotest.(check bool) "both highly available" true (grid < 1e-2 && majority < 1e-2)
+  | _ -> Alcotest.fail "one row expected"
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ( "response time",
+        [
+          Alcotest.test_case "fig6a shapes" `Slow test_fig6a_shapes;
+          Alcotest.test_case "fig6b write end" `Slow test_fig6b_write_dominated_end;
+          Alcotest.test_case "fig7a" `Slow test_fig7a_locality_90;
+          Alcotest.test_case "fig7b crossover" `Slow test_fig7b_crossover;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "fig8a orderings" `Quick test_fig8a_orderings;
+          Alcotest.test_case "fig8b scaling" `Quick test_fig8b_replica_scaling;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "fig9a model" `Quick test_fig9a_model_peak;
+          Alcotest.test_case "fig9a measured" `Slow test_fig9a_measured_matches_model;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "leases" `Slow test_ablation_leases;
+          Alcotest.test_case "orq size" `Slow test_ablation_orq;
+          Alcotest.test_case "grid" `Quick test_ablation_grid;
+        ] );
+    ]

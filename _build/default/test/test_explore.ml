@@ -1,0 +1,192 @@
+(* Schedule exploration: systematic and randomized message-ordering
+   search over the real DQVL implementation, with regular-semantics
+   checking on every explored schedule. *)
+
+module Ex = Dq_harness.Explore
+module Net = Dq_net.Net
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+
+(* --- manual-delivery network mode ---------------------------------------- *)
+
+type msg = Tag of int
+
+let classify (Tag _) = "tag"
+
+let manual_net () =
+  let engine = Engine.create ~seed:1L () in
+  let topo = Topology.make ~n_servers:3 ~n_clients:0 () in
+  let net = Net.create engine topo ~classify () in
+  Net.set_manual net true;
+  (engine, net)
+
+let test_manual_parks_messages () =
+  let engine, net = manual_net () in
+  let received = ref [] in
+  Net.register net ~node:1 (fun ~src:_ (Tag i) -> received := i :: !received);
+  Net.send net ~src:0 ~dst:1 (Tag 1);
+  Net.send net ~src:0 ~dst:1 (Tag 2);
+  Engine.run engine;
+  Alcotest.(check (list int)) "nothing delivered" [] !received;
+  Alcotest.(check int) "two pending" 2 (List.length (Net.pending net))
+
+let test_manual_delivery_order_is_chosen () =
+  let _, net = manual_net () in
+  let received = ref [] in
+  Net.register net ~node:1 (fun ~src:_ (Tag i) -> received := i :: !received);
+  Net.send net ~src:0 ~dst:1 (Tag 1);
+  Net.send net ~src:0 ~dst:1 (Tag 2);
+  (* Deliver the newest first: the controller owns the order. *)
+  Net.deliver_pending net 1;
+  Net.deliver_pending net 0;
+  Alcotest.(check (list int)) "chosen order" [ 2; 1 ] (List.rev !received)
+
+let test_manual_drop () =
+  let _, net = manual_net () in
+  let received = ref [] in
+  Net.register net ~node:1 (fun ~src:_ (Tag i) -> received := i :: !received);
+  Net.send net ~src:0 ~dst:1 (Tag 1);
+  Net.drop_pending net 0;
+  Alcotest.(check int) "pool empty" 0 (List.length (Net.pending net));
+  Alcotest.(check (list int)) "nothing delivered" [] !received
+
+let test_manual_out_of_range () =
+  let _, net = manual_net () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Net.deliver_pending net 0;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- exploration ----------------------------------------------------------- *)
+
+let test_dfs_explores_cleanly () =
+  let o = Ex.explore ~budget:400 Ex.default_scenario in
+  Alcotest.(check int) "budget respected" 400 o.Ex.runs;
+  Alcotest.(check int) "all runs complete" o.Ex.runs o.Ex.complete_runs;
+  Alcotest.(check int) "no violations" 0 (List.length o.Ex.violations);
+  Alcotest.(check bool)
+    (Printf.sprintf "multiple distinct outcomes (%d)" o.Ex.distinct_outcomes)
+    true (o.Ex.distinct_outcomes >= 2)
+
+let test_random_explores_cleanly () =
+  let o = Ex.explore_random ~runs:120 ~seed:77L Ex.default_scenario in
+  Alcotest.(check int) "all runs complete" o.Ex.runs o.Ex.complete_runs;
+  Alcotest.(check int) "no violations" 0 (List.length o.Ex.violations);
+  Alcotest.(check bool) "distinct outcomes" true (o.Ex.distinct_outcomes >= 2)
+
+let test_basic_protocol_explored () =
+  let config servers =
+    { (Dq_core.Config.basic ~servers ()) with Dq_core.Config.retry_timeout_ms = 400. }
+  in
+  let o = Ex.explore ~config ~budget:200 Ex.default_scenario in
+  Alcotest.(check int) "no violations" 0 (List.length o.Ex.violations);
+  Alcotest.(check int) "all complete" o.Ex.runs o.Ex.complete_runs
+
+let test_run_choices_replays () =
+  let config = Dq_core.Config.dqvl ~volume_lease_ms:5_000. ~proactive_renew:false in
+  let config servers = config ~servers () in
+  let a = Ex.run_choices ~config Ex.default_scenario [ 1; 0; 2 ] in
+  let b = Ex.run_choices ~config Ex.default_scenario [ 1; 0; 2 ] in
+  let values ops =
+    List.map (fun (op : Dq_harness.History.op) -> (op.Dq_harness.History.id, op.value)) ops
+  in
+  Alcotest.(check (list (pair int string))) "replay identical" (values a) (values b)
+
+let test_crash_choices () =
+  (* Crash alternatives inject a fail-stop into the explored schedules;
+     with one crash of an IQS-minority member and eventual recovery,
+     regular semantics must hold and every run must still finish. *)
+  let scenario =
+    { Ex.default_scenario with Ex.max_crashes = 1; max_decisions = 2_000 }
+  in
+  let o = Ex.explore_random ~runs:80 ~seed:101L scenario in
+  Alcotest.(check int) "no violations" 0 (List.length o.Ex.violations);
+  Alcotest.(check int) "all complete" o.Ex.runs o.Ex.complete_runs;
+  let dfs = Ex.explore ~budget:150 scenario in
+  Alcotest.(check int) "dfs no violations" 0 (List.length dfs.Ex.violations)
+
+let test_heavier_scenario () =
+  (* Three concurrent writers and three readers on one object. *)
+  let scenario =
+    {
+      Ex.default_scenario with
+      Ex.n_clients = 3;
+      ops =
+        [
+          { Ex.client = 3; server = 0; kind = `Write "a" };
+          { Ex.client = 4; server = 1; kind = `Write "b" };
+          { Ex.client = 5; server = 2; kind = `Write "c" };
+          { Ex.client = 3; server = 0; kind = `Read };
+          { Ex.client = 4; server = 1; kind = `Read };
+          { Ex.client = 5; server = 2; kind = `Read };
+        ];
+      max_decisions = 600;
+    }
+  in
+  let o = Ex.explore_random ~runs:60 ~seed:99L scenario in
+  Alcotest.(check int) "no violations" 0 (List.length o.Ex.violations);
+  Alcotest.(check int) "all complete" o.Ex.runs o.Ex.complete_runs
+
+(* Random scenario shapes: any mix of concurrent reads and writes from
+   any clients through any front ends stays regular under random
+   schedules. *)
+let prop_random_scenarios_regular =
+  let gen =
+    QCheck.Gen.(
+      let* n_ops = int_range 2 5 in
+      let* seed = map Int64.of_int (int_range 1 100_000) in
+      let* ops =
+        list_repeat n_ops
+          (let* client = int_range 3 4 in
+           let* server = int_range 0 2 in
+           let* write = bool in
+           return
+             {
+               Ex.client;
+               server;
+               kind = (if write then `Write (Printf.sprintf "v%d" client) else `Read);
+             })
+      in
+      return (seed, ops))
+  in
+  let print (seed, ops) =
+    Printf.sprintf "seed=%Ld ops=[%s]" seed
+      (String.concat "; "
+         (List.map
+            (fun (o : Ex.op_spec) ->
+              Printf.sprintf "%d->%d:%s" o.Ex.client o.Ex.server
+                (match o.Ex.kind with `Read -> "R" | `Write v -> "W" ^ v))
+            ops))
+  in
+  QCheck.Test.make ~name:"random scenarios stay regular under random schedules" ~count:15
+    (QCheck.make ~print gen)
+    (fun (seed, ops) ->
+      let scenario = { Ex.default_scenario with Ex.ops; max_decisions = 800 } in
+      let o = Ex.explore_random ~runs:15 ~seed scenario in
+      if o.Ex.violations <> [] then
+        QCheck.Test.fail_reportf "violation on %s: %s" (print (seed, ops))
+          (String.concat "; " (List.map (fun v -> v.Ex.detail) o.Ex.violations))
+      else o.Ex.complete_runs = o.Ex.runs)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "manual net",
+        [
+          Alcotest.test_case "parks messages" `Quick test_manual_parks_messages;
+          Alcotest.test_case "chosen order" `Quick test_manual_delivery_order_is_chosen;
+          Alcotest.test_case "drop" `Quick test_manual_drop;
+          Alcotest.test_case "out of range" `Quick test_manual_out_of_range;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "dfs clean" `Slow test_dfs_explores_cleanly;
+          Alcotest.test_case "random clean" `Slow test_random_explores_cleanly;
+          Alcotest.test_case "basic protocol" `Slow test_basic_protocol_explored;
+          Alcotest.test_case "replay" `Quick test_run_choices_replays;
+          Alcotest.test_case "heavier scenario" `Slow test_heavier_scenario;
+          Alcotest.test_case "crash choices" `Slow test_crash_choices;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_random_scenarios_regular ]);
+    ]

@@ -1,0 +1,50 @@
+(* Smoke tests of the fuzzing harness itself (bin/fuzz.exe runs larger
+   campaigns): scenarios derive deterministically from seeds, replay
+   identically, and small campaigns pass for every quorum protocol. *)
+
+module Fuzz = Dq_harness.Fuzz
+module Registry = Dq_harness.Registry
+
+let test_scenario_deterministic () =
+  let a = Fuzz.scenario_of_seed 123L and b = Fuzz.scenario_of_seed 123L in
+  Alcotest.(check bool) "identical" true (a = b);
+  let c = Fuzz.scenario_of_seed 124L in
+  Alcotest.(check bool) "different seeds differ" true (a <> c)
+
+let test_run_replays () =
+  let builder = Registry.dqvl ~volume_lease_ms:3_000. () in
+  let s = Fuzz.scenario_of_seed 2024L in
+  let a = Fuzz.run builder s and b = Fuzz.run builder s in
+  Alcotest.(check int) "completed equal" a.Fuzz.completed b.Fuzz.completed;
+  Alcotest.(check int) "failed equal" a.Fuzz.failed b.Fuzz.failed;
+  Alcotest.(check (list string)) "violations equal" a.Fuzz.violations b.Fuzz.violations
+
+let campaign_passes name builder =
+  let seeds = List.init 5 (fun i -> Int64.of_int (5000 + i)) in
+  let failures = Fuzz.campaign builder ~seeds in
+  List.iter
+    (fun o ->
+      Format.printf "%s counterexample: %a %s@." name Fuzz.pp_scenario o.Fuzz.scenario
+        (String.concat "; " o.Fuzz.violations))
+    failures;
+  Alcotest.(check int) (name ^ " campaign clean") 0 (List.length failures)
+
+let test_campaign_dqvl () = campaign_passes "dqvl" (Registry.dqvl ~volume_lease_ms:3_000. ())
+let test_campaign_majority () = campaign_passes "majority" Registry.majority
+let test_campaign_atomic () = campaign_passes "atomic-majority" Registry.atomic_majority
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "scenario determinism" `Quick test_scenario_deterministic;
+          Alcotest.test_case "run replays" `Slow test_run_replays;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "dqvl" `Slow test_campaign_dqvl;
+          Alcotest.test_case "majority" `Slow test_campaign_majority;
+          Alcotest.test_case "atomic majority" `Slow test_campaign_atomic;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+module Heap = Dq_sim.Heap
+
+let drain heap =
+  let rec go acc = match Heap.pop heap with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let test_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (drain h)
+
+let test_duplicates () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 2; 1; 2; 1 ];
+  Alcotest.(check (list int)) "sorted with dups" [ 1; 1; 2; 2 ] (drain h)
+
+let test_peek_does_not_remove () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 9;
+  Alcotest.(check (option int)) "peek" (Some 9) (Heap.peek h);
+  Alcotest.(check int) "size unchanged" 1 (Heap.size h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "pop 0" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h)
+
+let test_custom_comparator () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 1; 3; 2 ];
+  Alcotest.(check (list int)) "max-heap order" [ 3; 2; 1 ] (drain h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"drain equals sort" ~count:500
+    QCheck.(list (int_range (-1000) 1000))
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      drain h = List.sort compare xs)
+
+let prop_size_tracks =
+  QCheck.Test.make ~name:"size tracks pushes and pops" ~count:200
+    QCheck.(list (int_range 0 100))
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iteri (fun i x -> Heap.push h x; ignore i) xs;
+      let n = List.length xs in
+      let ok = ref (Heap.size h = n) in
+      let rec pop_all k =
+        match Heap.pop h with
+        | None -> if k <> 0 then ok := false
+        | Some _ ->
+          if Heap.size h <> k - 1 then ok := false;
+          pop_all (k - 1)
+      in
+      pop_all n;
+      !ok)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_heapsort; prop_size_tracks ] );
+    ]

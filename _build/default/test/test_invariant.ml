@@ -1,0 +1,144 @@
+(* The DQVL safety invariant, checked live across nodes while
+   fault-injected workloads run: if an OQS node holds valid volume and
+   object leases from an IQS node, that IQS node must still account for
+   them. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Cluster = Dq_core.Cluster
+module Config = Dq_core.Config
+module Invariant = Dq_harness.Invariant
+module Driver = Dq_harness.Driver
+module Registry = Dq_harness.Registry
+module Spec = Dq_workload.Spec
+open Dq_storage
+
+let keys = List.init 3 (fun i -> Key.make ~volume:0 ~index:i)
+
+let test_holds_on_fresh_cluster () =
+  let engine = Engine.create ~seed:1L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:1 () in
+  let cluster = Cluster.create engine topology (Config.dqvl ~servers:[ 0; 1; 2; 3; 4 ] ()) in
+  Alcotest.(check int) "no violations" 0 (List.length (Invariant.check cluster ~keys))
+
+let test_holds_after_traffic () =
+  let engine = Engine.create ~seed:2L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:2 () in
+  let cluster = Cluster.create engine topology (Config.dqvl ~servers:[ 0; 1; 2; 3; 4 ] ()) in
+  let api = Cluster.api cluster in
+  let module R = Dq_intf.Replication in
+  List.iteri
+    (fun idx key ->
+      api.R.submit_write ~client:5 ~server:0 key (Printf.sprintf "v%d" idx) (fun _ ->
+          api.R.submit_read ~client:6 ~server:1 key (fun _ -> ())))
+    keys;
+  Engine.run ~until:30_000. engine;
+  api.R.quiesce ();
+  Alcotest.(check int) "no violations" 0 (List.length (Invariant.check cluster ~keys))
+
+(* Drive a faulty workload through a cluster while sampling the
+   invariant every 100 ms of virtual time. *)
+let run_with_periodic_checks ~seed ~faults ~events =
+  let engine = Engine.create ~seed () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+  let servers = Topology.servers topology in
+  let config = Config.dqvl ~servers ~volume_lease_ms:2_000. ~proactive_renew:false () in
+  let cluster = Cluster.create engine topology ?faults:None config in
+  (match faults with Some f -> Net.set_faults (Cluster.net cluster) f | None -> ());
+  let api = Cluster.api cluster in
+  let violations =
+    Invariant.install_periodic engine cluster ~keys ~every_ms:100. ~until_ms:200_000.
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = 0.4;
+      sharing = Spec.Shared_uniform { objects = 3 };
+    }
+  in
+  let dconfig =
+    { (Driver.default_config spec) with Driver.ops_per_client = 60; timeout_ms = 8_000. }
+  in
+  List.iter
+    (fun (at_ms, action) -> ignore (Engine.schedule_at engine ~time:at_ms action))
+    events;
+  let result =
+    Driver.run engine topology api dconfig
+  in
+  (result, !violations)
+
+let test_holds_under_faults () =
+  let faults = Some { Net.loss = 0.1; duplicate = 0.1; jitter_ms = 25. } in
+  let _, violations = run_with_periodic_checks ~seed:77L ~faults ~events:[] in
+  List.iter (fun v -> Format.printf "%a@." Invariant.pp v) violations;
+  Alcotest.(check int) "no violations under loss/dup/jitter" 0 (List.length violations)
+
+let test_holds_under_crashes () =
+  (* Crash/recover two servers mid-run. *)
+  let engine = Engine.create ~seed:78L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+  let servers = Topology.servers topology in
+  let config = Config.dqvl ~servers ~volume_lease_ms:2_000. ~proactive_renew:false () in
+  let cluster = Cluster.create engine topology config in
+  let api = Cluster.api cluster in
+  let module R = Dq_intf.Replication in
+  ignore (Engine.schedule_at engine ~time:3_000. (fun () -> api.R.crash_server 3));
+  ignore (Engine.schedule_at engine ~time:4_000. (fun () -> api.R.crash_server 4));
+  ignore (Engine.schedule_at engine ~time:12_000. (fun () -> api.R.recover_server 3));
+  ignore (Engine.schedule_at engine ~time:13_000. (fun () -> api.R.recover_server 4));
+  let violations =
+    Invariant.install_periodic engine cluster ~keys ~every_ms:100. ~until_ms:120_000.
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = 0.4;
+      sharing = Spec.Shared_uniform { objects = 3 };
+    }
+  in
+  let dconfig =
+    { (Driver.default_config spec) with Driver.ops_per_client = 50; timeout_ms = 8_000. }
+  in
+  let result = Driver.run engine topology api dconfig in
+  Alcotest.(check bool) "progress" true (result.Driver.completed > 0);
+  Alcotest.(check int) "no violations under crashes" 0 (List.length !violations)
+
+let test_holds_with_finite_object_leases () =
+  let engine = Engine.create ~seed:79L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+  let servers = Topology.servers topology in
+  let config =
+    Dq_core.Config.dqvl ~servers ~volume_lease_ms:2_000. ~proactive_renew:false
+      ~object_lease_ms:700. ()
+  in
+  let cluster = Cluster.create engine topology config in
+  let api = Cluster.api cluster in
+  let violations =
+    Invariant.install_periodic engine cluster ~keys ~every_ms:100. ~until_ms:120_000.
+  in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = 0.4;
+      sharing = Spec.Shared_uniform { objects = 3 };
+      think_time_ms = 150.;
+    }
+  in
+  let dconfig = { (Driver.default_config spec) with Driver.ops_per_client = 50 } in
+  let result = Driver.run engine topology api dconfig in
+  Alcotest.(check int) "no failures" 0 result.Driver.failed;
+  Alcotest.(check int) "no violations with finite leases" 0 (List.length !violations)
+
+let () =
+  Alcotest.run "invariant"
+    [
+      ( "safety invariant",
+        [
+          Alcotest.test_case "fresh cluster" `Quick test_holds_on_fresh_cluster;
+          Alcotest.test_case "after traffic" `Quick test_holds_after_traffic;
+          Alcotest.test_case "under faults" `Slow test_holds_under_faults;
+          Alcotest.test_case "under crashes" `Slow test_holds_under_crashes;
+          Alcotest.test_case "finite object leases" `Slow test_holds_with_finite_object_leases;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Multi-writer single-reader mailboxes (the paper's customer-order
+   object category from Section 1): local-latency appends with
+   exactly-once delivery to the single consumer. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Mailbox = Dq_proto.Mailbox
+
+let setup ?(n_servers = 4) ?faults () =
+  let engine = Engine.create ~seed:91L () in
+  let topology = Topology.make ~n_servers ~n_clients:2 () in
+  let mailbox = Mailbox.create engine topology ~home:0 () in
+  (match faults with
+  | Some _ ->
+    (* Faults apply to the mailbox's own network: rebuild with them. *)
+    ()
+  | None -> ());
+  (engine, topology, mailbox)
+
+let test_append_is_local () =
+  let engine, topology, mailbox = setup () in
+  (* Client 4's closest edge is server 0... which is the home; use
+     client 5 -> server 1 for a pure edge append. *)
+  ignore topology;
+  let latency = ref None in
+  let start = Engine.now engine in
+  Mailbox.append mailbox ~client:5 ~server:1 "order-1" (fun () ->
+      latency := Some (Engine.now engine -. start));
+  Engine.run ~until:30_000. engine;
+  Mailbox.quiesce mailbox;
+  (match !latency with
+  | Some l -> Alcotest.(check bool) (Printf.sprintf "local ack (%.1f ms)" l) true (l < 20.)
+  | None -> Alcotest.fail "no ack");
+  Alcotest.(check int) "delivered to home" 1 (Mailbox.delivered_count mailbox);
+  Alcotest.(check (list string)) "consumable" [ "order-1" ] (Mailbox.consume mailbox 10)
+
+let test_all_edges_feed_the_home () =
+  let engine, _, mailbox = setup () in
+  let acked = ref 0 in
+  for i = 1 to 10 do
+    Mailbox.append mailbox ~client:4 ~server:1 (Printf.sprintf "a%d" i) (fun () -> incr acked);
+    Mailbox.append mailbox ~client:5 ~server:2 (Printf.sprintf "b%d" i) (fun () -> incr acked)
+  done;
+  Engine.run ~until:60_000. engine;
+  Mailbox.quiesce mailbox;
+  Alcotest.(check int) "all acked" 20 !acked;
+  Alcotest.(check int) "all delivered" 20 (Mailbox.delivered_count mailbox);
+  Alcotest.(check int) "no stragglers" 0 (Mailbox.unforwarded_count mailbox);
+  let entries = Mailbox.consume mailbox 100 in
+  Alcotest.(check int) "distinct entries" 20 (List.length (List.sort_uniq compare entries))
+
+let test_consume_in_batches () =
+  let engine, _, mailbox = setup () in
+  for i = 1 to 5 do
+    Mailbox.append mailbox ~client:4 ~server:1 (Printf.sprintf "e%d" i) (fun () -> ())
+  done;
+  Engine.run ~until:30_000. engine;
+  Mailbox.quiesce mailbox;
+  let first = Mailbox.consume mailbox 2 in
+  let rest = Mailbox.consume mailbox 10 in
+  Alcotest.(check int) "first batch" 2 (List.length first);
+  Alcotest.(check int) "rest" 3 (List.length rest);
+  Alcotest.(check int) "drained" 0 (List.length (Mailbox.consume mailbox 10))
+
+let test_exactly_once_under_loss_and_duplication () =
+  let engine = Engine.create ~seed:92L () in
+  let topology = Topology.make ~n_servers:4 ~n_clients:1 () in
+  let mailbox = Mailbox.create engine topology ~home:0 ~retransmit_ms:300. () in
+  (* Inject loss and duplication on the mailbox's network after the
+     fact: crash/recover churn on the home plus lossy links. *)
+  ignore
+    (Engine.schedule engine ~delay:500. (fun () -> Mailbox.crash mailbox 0));
+  ignore
+    (Engine.schedule engine ~delay:5_000. (fun () -> Mailbox.recover mailbox 0));
+  let acked = ref 0 in
+  for i = 1 to 15 do
+    Mailbox.append mailbox ~client:4 ~server:1 (Printf.sprintf "x%d" i) (fun () -> incr acked)
+  done;
+  Engine.run ~until:120_000. engine;
+  Mailbox.quiesce mailbox;
+  Alcotest.(check int) "all acked locally" 15 !acked;
+  Alcotest.(check int) "each delivered exactly once" 15 (Mailbox.delivered_count mailbox);
+  let entries = Mailbox.consume mailbox 100 in
+  Alcotest.(check int) "no duplicates" 15 (List.length (List.sort_uniq compare entries))
+
+let test_edge_crash_preserves_acked_appends () =
+  (* The outbox is durable: appends acknowledged before the edge crash
+     still reach the home after recovery. *)
+  let engine, _, mailbox = setup () in
+  let acked = ref 0 in
+  for i = 1 to 5 do
+    Mailbox.append mailbox ~client:4 ~server:1 (Printf.sprintf "d%d" i) (fun () -> incr acked)
+  done;
+  (* Crash the edge after the appends arrive (86 ms WAN) but before the
+     forward acknowledgments return (~246 ms), so the outbox still
+     holds every entry at crash time. *)
+  ignore (Engine.schedule engine ~delay:200. (fun () -> Mailbox.crash mailbox 1));
+  ignore (Engine.schedule engine ~delay:10_000. (fun () -> Mailbox.recover mailbox 1));
+  Engine.run ~until:120_000. engine;
+  Mailbox.quiesce mailbox;
+  Alcotest.(check int) "delivered after recovery" 5 (Mailbox.delivered_count mailbox)
+
+let test_home_must_be_server () =
+  let engine = Engine.create ~seed:93L () in
+  let topology = Topology.make ~n_servers:2 ~n_clients:1 () in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Mailbox.create engine topology ~home:7 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mailbox"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "local append" `Quick test_append_is_local;
+          Alcotest.test_case "edges feed home" `Quick test_all_edges_feed_the_home;
+          Alcotest.test_case "consume batches" `Quick test_consume_in_batches;
+          Alcotest.test_case "exactly once" `Quick test_exactly_once_under_loss_and_duplication;
+          Alcotest.test_case "durable outbox" `Quick test_edge_crash_preserves_acked_appends;
+          Alcotest.test_case "home validation" `Quick test_home_must_be_server;
+        ] );
+    ]

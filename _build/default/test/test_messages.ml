@@ -1,0 +1,164 @@
+(* The wire-protocol metadata: classification labels, wire-size model,
+   pretty-printing, and configuration validation. *)
+
+module M = Dq_core.Message
+module BM = Dq_proto.Base_msg
+module Config = Dq_core.Config
+module Qs = Dq_quorum.Quorum_system
+open Dq_storage
+
+let key = Key.make ~volume:1 ~index:2
+
+let lc = Lc.make ~count:3 ~node:4
+
+let grant value =
+  { M.g_key = key; g_epoch = 1; g_lc = lc; g_value = value; g_lease_ms = infinity; g_t0 = 0. }
+
+let dq_messages value =
+  [
+    M.Client_read_req { op = 1; key };
+    M.Client_read_reply { op = 1; key; value; lc };
+    M.Client_write_req { op = 2; key; value };
+    M.Client_write_reply { op = 2; key; lc };
+    M.Oqs_read_req { op = 3; key };
+    M.Oqs_read_reply { op = 3; key; value; lc };
+    M.Lc_read_req { op = 4 };
+    M.Lc_read_reply { op = 4; lc };
+    M.Iqs_write_req { op = 5; key; value; lc };
+    M.Iqs_write_ack { op = 5; key; lc };
+    M.Obj_renew_req { key; t0 = 0. };
+    M.Obj_renew_reply { grant = grant value };
+    M.Vol_renew_req { volume = 1; t0 = 0.; want = Some key };
+    M.Vol_renew_reply
+      { volume = 1; lease_ms = 1000.; epoch = 0; t0 = 0.; delayed = [ (key, lc) ];
+        grant = Some (grant value) };
+    M.Vol_renew_ack { volume = 1; upto = lc };
+    M.Inval { key; lc };
+    M.Inval_ack { key; lc };
+  ]
+
+let test_labels_distinct () =
+  let labels = List.map M.classify (dq_messages "v") in
+  Alcotest.(check int) "all labels distinct" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let test_sizes_positive () =
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool) (M.classify msg ^ " size positive") true (M.size_of msg > 0))
+    (dq_messages "v")
+
+let test_size_grows_with_payload () =
+  let small = M.Iqs_write_req { op = 1; key; value = "x"; lc } in
+  let large = M.Iqs_write_req { op = 1; key; value = String.make 1000 'x'; lc } in
+  Alcotest.(check int) "payload accounted" 999 (M.size_of large - M.size_of small)
+
+let test_vol_reply_size_grows_with_delayed () =
+  let reply delayed =
+    M.Vol_renew_reply { volume = 0; lease_ms = 1.; epoch = 0; t0 = 0.; delayed; grant = None }
+  in
+  let none = M.size_of (reply []) in
+  let three = M.size_of (reply [ (key, lc); (key, lc); (key, lc) ]) in
+  Alcotest.(check bool) "delayed invals accounted" true (three > none)
+
+let test_pp_total () =
+  List.iter
+    (fun msg ->
+      let s = Format.asprintf "%a" M.pp msg in
+      Alcotest.(check bool) "pp non-empty" true (String.length s > 0))
+    (dq_messages "v")
+
+let test_base_msg_sizes () =
+  let msgs =
+    [
+      BM.Client_read_req { op = 1; key; floor = lc };
+      BM.Read_req { op = 1; key };
+      BM.Write_req { op = 1; key; value = "v"; lc };
+      BM.Propagate { key; value = "v"; lc };
+      BM.Gossip { entries = [ (key, "v", lc) ] };
+    ]
+  in
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool) (BM.classify msg ^ " size positive") true (BM.size_of msg > 0))
+    msgs;
+  let g n = BM.size_of (BM.Gossip { entries = List.init n (fun _ -> (key, "v", lc)) }) in
+  Alcotest.(check bool) "gossip grows with entries" true (g 10 > g 1)
+
+(* --- configuration validation ------------------------------------------- *)
+
+let servers = [ 0; 1; 2; 3; 4 ]
+
+let invalid f = try ignore (f ()); false with Invalid_argument _ -> true
+
+let test_config_defaults_valid () =
+  Config.validate (Config.dqvl ~servers ());
+  Config.validate (Config.basic ~servers ());
+  Config.validate (Config.dqvl ~servers ~object_lease_ms:500. ())
+
+let test_config_rejects_bad_lease () =
+  Alcotest.(check bool) "zero lease" true
+    (invalid (fun () -> Config.dqvl ~servers ~volume_lease_ms:0. ()));
+  Alcotest.(check bool) "negative object lease" true
+    (invalid (fun () -> Config.dqvl ~servers ~object_lease_ms:(-1.) ()))
+
+let test_config_rejects_bad_drift () =
+  let base = Config.dqvl ~servers () in
+  Alcotest.(check bool) "drift >= 1" true
+    (invalid (fun () -> Config.validate { base with Config.max_drift = 1.0 }));
+  Alcotest.(check bool) "negative drift" true
+    (invalid (fun () -> Config.validate { base with Config.max_drift = -0.1 }))
+
+let test_config_rejects_bad_margin () =
+  let base = Config.dqvl ~servers () in
+  Alcotest.(check bool) "margin >= lease" true
+    (invalid (fun () ->
+         Config.validate { base with Config.renew_margin_ms = base.Config.volume_lease_ms }))
+
+let test_config_rejects_bad_retry () =
+  let base = Config.dqvl ~servers () in
+  Alcotest.(check bool) "zero timeout" true
+    (invalid (fun () -> Config.validate { base with Config.retry_timeout_ms = 0. }));
+  Alcotest.(check bool) "backoff < 1" true
+    (invalid (fun () -> Config.validate { base with Config.retry_backoff = 0.5 }))
+
+let test_config_names () =
+  Alcotest.(check string) "dqvl" "dqvl" (Config.name (Config.dqvl ~servers ()));
+  Alcotest.(check string) "basic" "dq-basic" (Config.name (Config.basic ~servers ()));
+  Alcotest.(check string) "atomic" "dqvl-atomic"
+    (Config.name { (Config.dqvl ~servers ()) with Config.atomic_reads = true })
+
+let test_custom_quorum_shapes () =
+  (* The config accepts any pair of quorum systems with the right
+     intersection properties, e.g. a grid IQS (paper future work). *)
+  let config =
+    {
+      (Config.dqvl ~servers:(List.init 9 Fun.id) ()) with
+      Config.iqs = Qs.grid ~rows:3 ~cols:3 (List.init 9 Fun.id);
+    }
+  in
+  Config.validate config
+
+let () =
+  Alcotest.run "messages"
+    [
+      ( "wire model",
+        [
+          Alcotest.test_case "labels distinct" `Quick test_labels_distinct;
+          Alcotest.test_case "sizes positive" `Quick test_sizes_positive;
+          Alcotest.test_case "payload size" `Quick test_size_grows_with_payload;
+          Alcotest.test_case "delayed invals size" `Quick test_vol_reply_size_grows_with_delayed;
+          Alcotest.test_case "pp" `Quick test_pp_total;
+          Alcotest.test_case "base messages" `Quick test_base_msg_sizes;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults valid" `Quick test_config_defaults_valid;
+          Alcotest.test_case "bad lease" `Quick test_config_rejects_bad_lease;
+          Alcotest.test_case "bad drift" `Quick test_config_rejects_bad_drift;
+          Alcotest.test_case "bad margin" `Quick test_config_rejects_bad_margin;
+          Alcotest.test_case "bad retry" `Quick test_config_rejects_bad_retry;
+          Alcotest.test_case "names" `Quick test_config_names;
+          Alcotest.test_case "custom quorum shapes" `Quick test_custom_quorum_shapes;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Msg_stats = Dq_net.Msg_stats
+
+type msg = Ping of int
+
+let classify (Ping _) = "ping"
+
+let make ?faults () =
+  let engine = Engine.create ~seed:1L () in
+  let topo = Topology.make ~n_servers:4 ~n_clients:1 () in
+  let net = Net.create engine topo ?faults ~classify () in
+  (engine, net)
+
+let collect net node =
+  let received = ref [] in
+  Net.register net ~node (fun ~src msg -> received := (src, msg) :: !received);
+  received
+
+let test_delivery_and_delay () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  let arrival = ref 0. in
+  Net.register net ~node:1 (fun ~src msg ->
+      arrival := Engine.now engine;
+      ignore src;
+      ignore msg);
+  Net.send net ~src:0 ~dst:1 (Ping 7);
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "server-server delay" 80. !arrival;
+  ignore received
+
+let test_local_delivery () =
+  let engine, net = make () in
+  let arrival = ref (-1.) in
+  Net.register net ~node:2 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Net.send net ~src:2 ~dst:2 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "local delay" 0.05 !arrival
+
+let test_sender_id_passed () =
+  let engine, net = make () in
+  let received = collect net 3 in
+  Net.send net ~src:1 ~dst:3 (Ping 9);
+  Engine.run engine;
+  match !received with
+  | [ (src, Ping 9) ] -> Alcotest.(check int) "src" 1 src
+  | _ -> Alcotest.fail "expected exactly one message"
+
+let test_loss () =
+  let engine, net = make ~faults:{ Net.loss = 1.0; duplicate = 0.; jitter_ms = 0. } () in
+  let received = collect net 1 in
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 (Ping 0)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all lost" 0 (List.length !received);
+  (* Lost messages still count as sent. *)
+  Alcotest.(check int) "counted as sent" 20 (Msg_stats.remote_total (Net.stats net))
+
+let test_duplication () =
+  let engine, net = make ~faults:{ Net.loss = 0.; duplicate = 1.0; jitter_ms = 0. } () in
+  let received = collect net 1 in
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "delivered twice" 2 (List.length !received)
+
+let test_jitter_reorders () =
+  let engine, net = make ~faults:{ Net.loss = 0.; duplicate = 0.; jitter_ms = 200. } () in
+  let order = ref [] in
+  Net.register net ~node:1 (fun ~src:_ (Ping i) -> order := i :: !order);
+  for i = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run engine;
+  let arrived = List.rev !order in
+  Alcotest.(check int) "all delivered" 50 (List.length arrived);
+  Alcotest.(check bool) "some reordering happened" true (arrived <> List.init 50 (fun i -> i + 1))
+
+let test_crash_drops_inbound () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  Net.crash net 1;
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "nothing received" 0 (List.length !received)
+
+let test_crash_drops_outbound () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  Net.crash net 0;
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "nothing received" 0 (List.length !received);
+  Alcotest.(check int) "not even counted" 0 (Msg_stats.remote_total (Net.stats net))
+
+let test_in_flight_message_dropped_if_dest_crashes () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  (* Crash the destination while the message is in flight. *)
+  ignore (Engine.schedule engine ~delay:10. (fun () -> Net.crash net 1));
+  Engine.run engine;
+  Alcotest.(check int) "dropped at delivery" 0 (List.length !received)
+
+let test_recovery_restores_delivery () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  Net.crash net 1;
+  Net.recover net 1;
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "received after recovery" 1 (List.length !received)
+
+let test_status_watchers () =
+  let _engine, net = make () in
+  let log = ref [] in
+  Net.on_status_change net ~node:2 (fun ~up -> log := up :: !log);
+  Net.crash net 2;
+  Net.crash net 2 (* idempotent: no second notification *);
+  Net.recover net 2;
+  Alcotest.(check (list bool)) "down then up" [ false; true ] (List.rev !log)
+
+let test_timer_skipped_when_down () =
+  let engine, net = make () in
+  let fired = ref false in
+  ignore (Net.timer net ~node:0 ~delay_ms:10. (fun () -> fired := true));
+  Net.crash net 0;
+  Engine.run engine;
+  Alcotest.(check bool) "timer skipped" false !fired
+
+let test_timer_from_old_incarnation_skipped () =
+  let engine, net = make () in
+  let fired = ref false in
+  ignore (Net.timer net ~node:0 ~delay_ms:10. (fun () -> fired := true));
+  Net.crash net 0;
+  Net.recover net 0;
+  Engine.run engine;
+  Alcotest.(check bool) "old incarnation timer skipped" false !fired
+
+let test_timer_fires_normally () =
+  let engine, net = make () in
+  let fired_at = ref (-1.) in
+  ignore (Net.timer net ~node:0 ~delay_ms:10. (fun () -> fired_at := Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "fires at 10" 10. !fired_at
+
+let test_service_time_fifo_queueing () =
+  let engine, net = make () in
+  Net.set_service_time net ~ms:10.;
+  let deliveries = ref [] in
+  Net.register net ~node:1 (fun ~src:_ (Ping i) -> deliveries := (i, Engine.now engine) :: !deliveries);
+  (* Three messages arrive together at t=80; the node serves them one
+     at a time: completions at 90, 100, 110. *)
+  for i = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run engine;
+  (match List.rev !deliveries with
+  | [ (1, t1); (2, t2); (3, t3) ] ->
+    Alcotest.(check (float 1e-9)) "first" 90. t1;
+    Alcotest.(check (float 1e-9)) "second" 100. t2;
+    Alcotest.(check (float 1e-9)) "third" 110. t3
+  | _ -> Alcotest.fail "three deliveries in order expected")
+
+let test_service_time_idle_resets () =
+  let engine, net = make () in
+  Net.set_service_time net ~ms:10.;
+  let times = ref [] in
+  Net.register net ~node:1 (fun ~src:_ _ -> times := Engine.now engine :: !times);
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  (* Second message sent long after the first completes: no queueing. *)
+  ignore (Engine.schedule engine ~delay:500. (fun () -> Net.send net ~src:0 ~dst:1 (Ping 2)));
+  Engine.run engine;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-9)) "first served" 90. t1;
+    Alcotest.(check (float 1e-9)) "second not queued" 590. t2
+  | _ -> Alcotest.fail "two deliveries expected"
+
+let test_partition_blocks_cross_group () =
+  let engine, net = make () in
+  let received = collect net 3 in
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "0-1 reachable" true (Net.reachable net ~src:0 ~dst:1);
+  Alcotest.(check bool) "0-3 blocked" false (Net.reachable net ~src:0 ~dst:3);
+  Net.send net ~src:0 ~dst:3 (Ping 0);
+  Net.send net ~src:2 ~dst:3 (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "only same-group delivered" 1 (List.length !received)
+
+let test_heal () =
+  let engine, net = make () in
+  let received = collect net 3 in
+  Net.partition net [ [ 0 ]; [ 1; 2; 3 ] ];
+  Net.heal net;
+  Net.send net ~src:0 ~dst:3 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "delivered after heal" 1 (List.length !received)
+
+let test_unlisted_nodes_form_implicit_group () =
+  let _engine, net = make () in
+  Net.partition net [ [ 0 ] ];
+  Alcotest.(check bool) "1 and 2 together" true (Net.reachable net ~src:1 ~dst:2);
+  Alcotest.(check bool) "0 isolated" false (Net.reachable net ~src:0 ~dst:1)
+
+let test_stats_by_label () =
+  let engine, net = make () in
+  ignore (collect net 1);
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Net.send net ~src:0 ~dst:0 (Ping 0);
+  Engine.run engine;
+  let stats = Net.stats net in
+  Alcotest.(check int) "remote" 1 (Msg_stats.remote_total stats);
+  Alcotest.(check int) "local" 1 (Msg_stats.local_total stats);
+  Alcotest.(check int) "total" 2 (Msg_stats.total stats);
+  Alcotest.(check (list (pair string int))) "labels" [ ("ping", 1) ] (Msg_stats.by_label stats)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "delay" `Quick test_delivery_and_delay;
+          Alcotest.test_case "local" `Quick test_local_delivery;
+          Alcotest.test_case "sender id" `Quick test_sender_id_passed;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "loss" `Quick test_loss;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "jitter reorders" `Quick test_jitter_reorders;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "inbound dropped" `Quick test_crash_drops_inbound;
+          Alcotest.test_case "outbound dropped" `Quick test_crash_drops_outbound;
+          Alcotest.test_case "in-flight dropped" `Quick
+            test_in_flight_message_dropped_if_dest_crashes;
+          Alcotest.test_case "recovery" `Quick test_recovery_restores_delivery;
+          Alcotest.test_case "status watchers" `Quick test_status_watchers;
+          Alcotest.test_case "timer skipped when down" `Quick test_timer_skipped_when_down;
+          Alcotest.test_case "old incarnation timer" `Quick
+            test_timer_from_old_incarnation_skipped;
+          Alcotest.test_case "timer fires" `Quick test_timer_fires_normally;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "blocks cross group" `Quick test_partition_blocks_cross_group;
+          Alcotest.test_case "heal" `Quick test_heal;
+          Alcotest.test_case "implicit group" `Quick test_unlisted_nodes_form_implicit_group;
+        ] );
+      ("stats", [ Alcotest.test_case "by label" `Quick test_stats_by_label ]);
+      ( "queueing",
+        [
+          Alcotest.test_case "fifo service" `Quick test_service_time_fifo_queueing;
+          Alcotest.test_case "idle resets" `Quick test_service_time_idle_resets;
+        ] );
+    ]

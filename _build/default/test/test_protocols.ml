@@ -1,0 +1,243 @@
+(* Baseline protocols: primary/backup, majority quorum, ROWA,
+   ROWA-Async, and the grid quorum system. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module BC = Dq_proto.Base_cluster
+module Qs = Dq_quorum.Quorum_system
+module R = Dq_intf.Replication
+open Dq_storage
+
+let key = Key.make ~volume:0 ~index:0
+
+let setup ?(n_servers = 5) protocol =
+  let engine = Engine.create ~seed:17L () in
+  let topology = Topology.make ~n_servers ~n_clients:2 () in
+  let cluster = BC.create engine topology protocol in
+  (engine, topology, cluster, BC.api cluster)
+
+let client_a = 5
+let client_b = 6
+
+let write_then_read ?(read_delay_ms = 0.) protocol =
+  let engine, _, _, api = setup protocol in
+  let got = ref None in
+  api.R.submit_write ~client:client_a ~server:0 key "payload" (fun w ->
+      Alcotest.(check bool) "timestamp assigned" true Lc.(w.R.write_lc > Lc.zero);
+      let read () =
+        api.R.submit_read ~client:client_b ~server:1 key (fun r -> got := Some r.R.read_value)
+      in
+      if read_delay_ms > 0. then ignore (Engine.schedule engine ~delay:read_delay_ms read)
+      else read ());
+  Engine.run ~until:120_000. engine;
+  api.R.quiesce ();
+  Alcotest.(check (option string)) "read back" (Some "payload") !got
+
+let test_wtr_primary_backup () = write_then_read (BC.Primary_backup { primary = 0 })
+let test_wtr_majority () = write_then_read BC.Majority_quorum
+let test_wtr_rowa () = write_then_read BC.Rowa
+let test_wtr_rowa_async () =
+  (* ROWA-Async only converges eventually: read after propagation. *)
+  write_then_read ~read_delay_ms:2_000. (BC.Rowa_async { anti_entropy_ms = 500. })
+
+let test_wtr_grid () =
+  let engine, _, _, api = setup ~n_servers:4 (BC.Custom_quorum (Qs.grid ~rows:2 ~cols:2 [ 0; 1; 2; 3 ])) in
+  let got = ref None in
+  api.R.submit_write ~client:4 ~server:0 key "g" (fun _ ->
+      api.R.submit_read ~client:5 ~server:1 key (fun r -> got := Some r.R.read_value));
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check (option string)) "grid read back" (Some "g") !got
+
+let test_majority_survives_minority_crash () =
+  let engine, _, _, api = setup BC.Majority_quorum in
+  let got = ref None in
+  api.R.crash_server 3;
+  api.R.crash_server 4;
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ ->
+      api.R.submit_read ~client:client_b ~server:1 key (fun r -> got := Some r.R.read_value));
+  Engine.run ~until:120_000. engine;
+  Alcotest.(check (option string)) "still available" (Some "v") !got
+
+let test_majority_blocks_without_majority () =
+  let engine, _, _, api = setup BC.Majority_quorum in
+  api.R.crash_server 2;
+  api.R.crash_server 3;
+  api.R.crash_server 4;
+  let done_ = ref false in
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ -> done_ := true);
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check bool) "write blocked" false !done_
+
+let test_rowa_write_blocks_with_one_node_down () =
+  let engine, _, _, api = setup BC.Rowa in
+  api.R.crash_server 4;
+  let write_done = ref false in
+  let read_done = ref false in
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ -> write_done := true);
+  api.R.submit_read ~client:client_b ~server:1 key (fun _ -> read_done := true);
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check bool) "write-all blocked" false !write_done;
+  Alcotest.(check bool) "read-one still fine" true !read_done
+
+let test_primary_backup_blocks_without_primary () =
+  let engine, _, _, api = setup (BC.Primary_backup { primary = 0 }) in
+  api.R.crash_server 0;
+  let done_ = ref false in
+  api.R.submit_read ~client:client_a ~server:1 key (fun _ -> done_ := true);
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check bool) "read blocked without primary" false !done_
+
+let test_primary_backup_tolerates_backup_crash () =
+  let engine, _, _, api = setup (BC.Primary_backup { primary = 0 }) in
+  api.R.crash_server 1;
+  api.R.crash_server 2;
+  let got = ref None in
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ ->
+      api.R.submit_read ~client:client_b ~server:3 key (fun r -> got := Some r.R.read_value));
+  Engine.run ~until:60_000. engine;
+  Alcotest.(check (option string)) "backups are not needed" (Some "v") !got
+
+let test_rowa_async_local_write_is_fast () =
+  let engine, _, _, api = setup (BC.Rowa_async { anti_entropy_ms = 500. }) in
+  let latency = ref None in
+  let start = Engine.now engine in
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ ->
+      latency := Some (Engine.now engine -. start));
+  Engine.run ~until:10_000. engine;
+  api.R.quiesce ();
+  match !latency with
+  | Some l -> Alcotest.(check bool) (Printf.sprintf "local write %.1f ms" l) true (l < 20.)
+  | None -> Alcotest.fail "write did not complete"
+
+let test_rowa_async_propagates () =
+  let engine, _, cluster, api = setup (BC.Rowa_async { anti_entropy_ms = 500. }) in
+  api.R.submit_write ~client:client_a ~server:0 key "v" (fun _ -> ());
+  Engine.run ~until:5_000. engine;
+  api.R.quiesce ();
+  (* After the push, every replica holds the write. *)
+  List.iter
+    (fun node ->
+      match BC.replica cluster node with
+      | Some replica ->
+        Alcotest.(check string)
+          (Printf.sprintf "replica %d" node)
+          "v"
+          (Dq_proto.Replica.stored replica key).Versioned.value
+      | None -> Alcotest.fail "missing replica")
+    [ 0; 1; 2; 3; 4 ]
+
+let test_rowa_async_anti_entropy_heals_loss () =
+  (* Drop the direct propagation; periodic gossip must still converge. *)
+  let engine = Engine.create ~seed:19L () in
+  let topology = Topology.make ~n_servers:3 ~n_clients:1 () in
+  let cluster = BC.create engine topology (BC.Rowa_async { anti_entropy_ms = 300. }) in
+  let api = BC.api cluster in
+  let net = BC.net cluster in
+  Dq_net.Net.set_faults net { Dq_net.Net.loss = 1.0; duplicate = 0.; jitter_ms = 0. };
+  (* With full loss nothing works; instead: lose propagation only by
+     crashing the peers during the write, then recovering them. *)
+  Dq_net.Net.set_faults net Dq_net.Net.no_faults;
+  api.R.crash_server 1;
+  api.R.crash_server 2;
+  api.R.submit_write ~client:3 ~server:0 key "late" (fun _ -> ());
+  ignore
+    (Engine.schedule engine ~delay:1_000. (fun () ->
+         api.R.recover_server 1;
+         api.R.recover_server 2));
+  Engine.run ~until:10_000. engine;
+  api.R.quiesce ();
+  List.iter
+    (fun node ->
+      match BC.replica cluster node with
+      | Some replica ->
+        Alcotest.(check string)
+          (Printf.sprintf "replica %d converged" node)
+          "late"
+          (Dq_proto.Replica.stored replica key).Versioned.value
+      | None -> Alcotest.fail "missing replica")
+    [ 0; 1; 2 ]
+
+let test_rowa_async_can_serve_stale_reads () =
+  (* The weakness DQVL exists to avoid: with cross-site traffic on a
+     shared object, ROWA-Async returns stale values. *)
+  let engine = Engine.create ~seed:23L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+  let cluster = BC.create engine topology (BC.Rowa_async { anti_entropy_ms = 2_000. }) in
+  let api = BC.api cluster in
+  let spec =
+    {
+      Dq_workload.Spec.default with
+      Dq_workload.Spec.write_ratio = 0.5;
+      sharing = Dq_workload.Spec.Shared_uniform { objects = 1 };
+    }
+  in
+  let config =
+    { (Dq_harness.Driver.default_config spec) with Dq_harness.Driver.ops_per_client = 60 }
+  in
+  let result = Dq_harness.Driver.run engine topology api config in
+  let report = Dq_harness.Regular_checker.check result.Dq_harness.Driver.history in
+  Alcotest.(check bool) "stale reads observed" true
+    (List.length report.Dq_harness.Regular_checker.violations > 0)
+
+let test_quorum_protocols_are_regular_on_shared_object () =
+  List.iter
+    (fun (name, protocol) ->
+      let engine = Engine.create ~seed:29L () in
+      let topology = Topology.make ~n_servers:5 ~n_clients:3 () in
+      let cluster = BC.create engine topology protocol in
+      let api = BC.api cluster in
+      let spec =
+        {
+          Dq_workload.Spec.default with
+          Dq_workload.Spec.write_ratio = 0.5;
+          sharing = Dq_workload.Spec.Shared_uniform { objects = 1 };
+        }
+      in
+      let config =
+        { (Dq_harness.Driver.default_config spec) with Dq_harness.Driver.ops_per_client = 60 }
+      in
+      let result = Dq_harness.Driver.run engine topology api config in
+      let report = Dq_harness.Regular_checker.check result.Dq_harness.Driver.history in
+      Alcotest.(check int) (name ^ " regular") 0
+        (List.length report.Dq_harness.Regular_checker.violations))
+    [
+      ("majority", BC.Majority_quorum);
+      ("rowa", BC.Rowa);
+      ("primary-backup", BC.Primary_backup { primary = 0 });
+    ]
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "write then read",
+        [
+          Alcotest.test_case "primary-backup" `Quick test_wtr_primary_backup;
+          Alcotest.test_case "majority" `Quick test_wtr_majority;
+          Alcotest.test_case "rowa" `Quick test_wtr_rowa;
+          Alcotest.test_case "rowa-async" `Quick test_wtr_rowa_async;
+          Alcotest.test_case "grid" `Quick test_wtr_grid;
+        ] );
+      ( "availability behaviour",
+        [
+          Alcotest.test_case "majority survives minority" `Quick
+            test_majority_survives_minority_crash;
+          Alcotest.test_case "majority blocks without majority" `Quick
+            test_majority_blocks_without_majority;
+          Alcotest.test_case "rowa write blocks" `Quick test_rowa_write_blocks_with_one_node_down;
+          Alcotest.test_case "pb needs primary" `Quick test_primary_backup_blocks_without_primary;
+          Alcotest.test_case "pb tolerates backup crash" `Quick
+            test_primary_backup_tolerates_backup_crash;
+        ] );
+      ( "rowa-async",
+        [
+          Alcotest.test_case "local write fast" `Quick test_rowa_async_local_write_is_fast;
+          Alcotest.test_case "propagates" `Quick test_rowa_async_propagates;
+          Alcotest.test_case "anti-entropy heals" `Quick test_rowa_async_anti_entropy_heals_loss;
+          Alcotest.test_case "stale reads happen" `Quick test_rowa_async_can_serve_stale_reads;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "quorum protocols regular" `Quick
+            test_quorum_protocols_are_regular_on_shared_object;
+        ] );
+    ]

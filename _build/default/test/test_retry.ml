@@ -1,0 +1,181 @@
+module Engine = Dq_sim.Engine
+module Retry = Dq_rpc.Retry
+
+let engine_timer engine ~delay_ms action = Engine.schedule engine ~delay:delay_ms action
+
+let test_completes_synchronously_if_condition_holds () =
+  let engine = Engine.create () in
+  let attempts = ref 0 in
+  let completed = ref false in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> incr attempts)
+      ~complete:(fun () -> true)
+      ~on_complete:(fun () -> completed := true)
+      ()
+  in
+  Alcotest.(check bool) "done immediately" true (Retry.is_done t);
+  Alcotest.(check bool) "callback fired" true !completed;
+  Alcotest.(check int) "one attempt" 1 !attempts;
+  Engine.run engine;
+  Alcotest.(check int) "no retries" 1 !attempts
+
+let test_retries_with_backoff () =
+  let engine = Engine.create () in
+  let times = ref [] in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> times := Engine.now engine :: !times)
+      ~complete:(fun () -> false)
+      ~on_complete:(fun () -> ())
+      ~timeout_ms:100. ~backoff:2. ~max_rounds:4 ()
+  in
+  Engine.run engine;
+  (* max_rounds = 4 attempts: t = 0, then retries after 100, 200, 400 ms
+     (exponential backoff), then the loop gives up. *)
+  Alcotest.(check (list (float 0.)))
+    "attempt times" [ 0.; 100.; 300.; 700. ] (List.rev !times);
+  Alcotest.(check bool) "gave up" true (Retry.is_done t)
+
+let test_poke_completes () =
+  let engine = Engine.create () in
+  let flag = ref false in
+  let completed = ref false in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> ())
+      ~complete:(fun () -> !flag)
+      ~on_complete:(fun () -> completed := true)
+      ()
+  in
+  Alcotest.(check bool) "not done" false (Retry.is_done t);
+  flag := true;
+  Retry.poke t;
+  Alcotest.(check bool) "done after poke" true (Retry.is_done t);
+  Alcotest.(check bool) "callback" true !completed
+
+let test_on_complete_fires_once () =
+  let engine = Engine.create () in
+  let flag = ref false in
+  let count = ref 0 in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> ())
+      ~complete:(fun () -> !flag)
+      ~on_complete:(fun () -> incr count)
+      ()
+  in
+  flag := true;
+  Retry.poke t;
+  Retry.poke t;
+  Engine.run engine;
+  Alcotest.(check int) "exactly once" 1 !count
+
+let test_cancel_stops_everything () =
+  let engine = Engine.create () in
+  let attempts = ref 0 in
+  let completed = ref false in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> incr attempts)
+      ~complete:(fun () -> false)
+      ~on_complete:(fun () -> completed := true)
+      ~timeout_ms:10. ()
+  in
+  Retry.cancel t;
+  Engine.run engine;
+  Alcotest.(check int) "no more attempts" 1 !attempts;
+  Alcotest.(check bool) "no completion" false !completed;
+  Alcotest.(check bool) "done" true (Retry.is_done t);
+  Alcotest.(check int) "no pending events" 0 (Engine.pending_events engine)
+
+let test_give_up_callback () =
+  let engine = Engine.create () in
+  let gave_up = ref false in
+  ignore
+    (Retry.start
+       ~timer:(engine_timer engine)
+       ~attempt:(fun ~round:_ -> ())
+       ~complete:(fun () -> false)
+       ~on_complete:(fun () -> Alcotest.fail "must not complete")
+       ~timeout_ms:10. ~max_rounds:2
+       ~on_give_up:(fun () -> gave_up := true)
+       ());
+  Engine.run engine;
+  Alcotest.(check bool) "give up called" true !gave_up
+
+let test_completion_during_later_round () =
+  let engine = Engine.create () in
+  let rounds = ref 0 in
+  let completed_at = ref (-1.) in
+  ignore
+    (Retry.start
+       ~timer:(engine_timer engine)
+       ~attempt:(fun ~round -> rounds := round)
+       ~complete:(fun () -> !rounds >= 2)
+       ~on_complete:(fun () -> completed_at := Engine.now engine)
+       ~timeout_ms:50. ~backoff:1. ());
+  Engine.run engine;
+  (* Round 1 at t=50, round 2 at t=100 satisfies the condition. *)
+  Alcotest.(check (float 0.)) "completed at second retry" 100. !completed_at;
+  Alcotest.(check int) "no events left" 0 (Engine.pending_events engine)
+
+let test_rerun_reattempts_immediately () =
+  let engine = Engine.create () in
+  let attempts = ref 0 in
+  let flag = ref false in
+  let t =
+    Retry.start
+      ~timer:(engine_timer engine)
+      ~attempt:(fun ~round:_ -> incr attempts)
+      ~complete:(fun () -> !flag)
+      ~on_complete:(fun () -> ())
+      ~timeout_ms:1_000. ()
+  in
+  Alcotest.(check int) "initial attempt" 1 !attempts;
+  Retry.rerun t;
+  Alcotest.(check int) "rerun attempts now" 2 !attempts;
+  (* rerun also notices completion. *)
+  flag := true;
+  Retry.rerun t;
+  Alcotest.(check bool) "completed" true (Retry.is_done t);
+  Retry.rerun t;
+  Alcotest.(check int) "no attempts after done" 3 !attempts;
+  Engine.run engine
+
+let test_rerun_keeps_timer_schedule () =
+  let engine = Engine.create () in
+  let attempt_times = ref [] in
+  ignore
+    (Retry.start
+       ~timer:(engine_timer engine)
+       ~attempt:(fun ~round:_ -> attempt_times := Engine.now engine :: !attempt_times)
+       ~complete:(fun () -> List.length !attempt_times >= 3)
+       ~on_complete:(fun () -> ())
+       ~timeout_ms:100. ~backoff:1. ());
+  Engine.run engine;
+  (* Timer cadence unchanged: attempts at 0, 100, 200. *)
+  Alcotest.(check (list (float 0.))) "cadence" [ 0.; 100.; 200. ] (List.rev !attempt_times)
+
+let () =
+  Alcotest.run "retry"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "synchronous completion" `Quick
+            test_completes_synchronously_if_condition_holds;
+          Alcotest.test_case "backoff schedule" `Quick test_retries_with_backoff;
+          Alcotest.test_case "poke" `Quick test_poke_completes;
+          Alcotest.test_case "completes once" `Quick test_on_complete_fires_once;
+          Alcotest.test_case "cancel" `Quick test_cancel_stops_everything;
+          Alcotest.test_case "give up" `Quick test_give_up_callback;
+          Alcotest.test_case "late completion" `Quick test_completion_during_later_round;
+          Alcotest.test_case "rerun" `Quick test_rerun_reattempts_immediately;
+          Alcotest.test_case "rerun cadence" `Quick test_rerun_keeps_timer_schedule;
+        ] );
+    ]

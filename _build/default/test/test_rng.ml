@@ -1,0 +1,129 @@
+module Rng = Dq_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 7L in
+  let b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_copy_replays () =
+  let a = Rng.create 9L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_independent () =
+  let a = Rng.create 3L in
+  let b = Rng.split a in
+  (* After splitting, the parent's and the child's next outputs differ
+     and each stream still works. *)
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "streams differ" true (not (Int64.equal xa xb))
+
+let test_int_range () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_covers_values () =
+  let rng = Rng.create 12L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Array.iteri (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true b) seen
+
+let test_float_range () =
+  let rng = Rng.create 13L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0. && x < 3.5)
+  done
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create 14L in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "freq %.3f close to 0.3" freq)
+    true
+    (abs_float (freq -. 0.3) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 15L in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_exponential_mean () =
+  let rng = Rng.create 16L in
+  let n = 100_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:5.
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 5" mean)
+    true
+    (abs_float (mean -. 5.) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 17L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 18L in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample rng xs 8 in
+  Alcotest.(check int) "size" 8 (List.length s);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) s
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int n is within [0, n)" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_sample_size =
+  QCheck.Test.make ~name:"sample returns k distinct members" ~count:200
+    QCheck.(pair int64 (int_range 0 30))
+    (fun (seed, k) ->
+      let rng = Rng.create seed in
+      let xs = List.init 30 Fun.id in
+      let s = Rng.sample rng xs k in
+      List.length s = k && List.length (List.sort_uniq compare s) = k)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy replays" `Quick test_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int covers values" `Quick test_int_covers_values;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample" `Quick test_sample_without_replacement;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_int_in_bounds; prop_sample_size ] );
+    ]

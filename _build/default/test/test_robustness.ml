@@ -1,0 +1,157 @@
+(* Robustness: the server state machines must tolerate arbitrary
+   (well-typed) message sequences — unexpected, duplicated, stale or
+   contradictory — without raising, and their monotone state (logical
+   clocks, acknowledgment floors, lease expiries) must never regress.
+   The network can reorder and duplicate arbitrarily, so handlers are
+   exposed to exactly this. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Clock = Dq_sim.Clock
+module Config = Dq_core.Config
+module M = Dq_core.Message
+module Iqs = Dq_core.Iqs_server
+module Oqs = Dq_core.Oqs_server
+module Rng = Dq_util.Rng
+open Dq_storage
+
+let keys = [ Key.make ~volume:0 ~index:0; Key.make ~volume:0 ~index:1; Key.make ~volume:1 ~index:0 ]
+
+let random_key rng = List.nth keys (Rng.int rng 3)
+
+let random_lc rng = Lc.make ~count:(Rng.int rng 8) ~node:(Rng.int rng 4)
+
+let random_grant rng =
+  {
+    M.g_key = random_key rng;
+    g_epoch = Rng.int rng 3;
+    g_lc = random_lc rng;
+    g_value = String.make (Rng.int rng 5) 'x';
+    g_lease_ms = (if Rng.bool rng then infinity else float_of_int (Rng.int rng 2000));
+    g_t0 = float_of_int (Rng.int rng 1000);
+  }
+
+(* Any protocol message with random contents. *)
+let random_message rng =
+  match Rng.int rng 12 with
+  | 0 -> M.Lc_read_req { op = Rng.int rng 5 }
+  | 1 ->
+    M.Iqs_write_req
+      { op = Rng.int rng 5; key = random_key rng; value = "w"; lc = random_lc rng }
+  | 2 -> M.Obj_renew_req { key = random_key rng; t0 = float_of_int (Rng.int rng 1000) }
+  | 3 ->
+    M.Vol_renew_req
+      {
+        volume = Rng.int rng 2;
+        t0 = float_of_int (Rng.int rng 1000);
+        want = (if Rng.bool rng then Some (random_key rng) else None);
+      }
+  | 4 -> M.Vol_renew_ack { volume = Rng.int rng 2; upto = random_lc rng }
+  | 5 -> M.Inval_ack { key = random_key rng; lc = random_lc rng }
+  | 6 -> M.Inval { key = random_key rng; lc = random_lc rng }
+  | 7 -> M.Obj_renew_reply { grant = random_grant rng }
+  | 8 ->
+    M.Vol_renew_reply
+      {
+        volume = Rng.int rng 2;
+        lease_ms = float_of_int (1 + Rng.int rng 2000);
+        epoch = Rng.int rng 3;
+        t0 = float_of_int (Rng.int rng 1000);
+        delayed = List.init (Rng.int rng 3) (fun _ -> (random_key rng, random_lc rng));
+        grant = (if Rng.bool rng then Some (random_grant rng) else None);
+      }
+  | 9 -> M.Vols_renew_req { volumes = [ 0; 1 ]; t0 = float_of_int (Rng.int rng 1000) }
+  | 10 ->
+    M.Vols_renew_reply
+      {
+        t0 = float_of_int (Rng.int rng 1000);
+        lease_ms = float_of_int (1 + Rng.int rng 2000);
+        grants = [ (Rng.int rng 2, Rng.int rng 3, [ (random_key rng, random_lc rng) ]) ];
+      }
+  | _ -> M.Oqs_read_req { op = Rng.int rng 5; key = random_key rng }
+
+let world () =
+  let engine = Engine.create ~seed:111L () in
+  let topology = Topology.make ~n_servers:3 ~n_clients:1 () in
+  let servers = Topology.servers topology in
+  let config = Config.dqvl ~servers ~volume_lease_ms:500. ~proactive_renew:false () in
+  let net = Net.create engine topology ~classify:M.classify () in
+  List.iter (fun node -> Net.register net ~node (fun ~src:_ _ -> ())) [ 0; 1; 2; 3 ];
+  (engine, net, config)
+
+let prop_iqs_survives_random_messages =
+  QCheck.Test.make ~name:"IQS survives arbitrary message sequences" ~count:100
+    QCheck.(pair int64 (int_range 10 120))
+    (fun (seed, n) ->
+      let engine, net, config = world () in
+      let rng = Rng.create seed in
+      let iqs = Iqs.create ~net ~clock:(Clock.perfect engine) ~config ~me:0 in
+      let clock_floor = ref Lc.zero in
+      let ok = ref true in
+      for _ = 1 to n do
+        let src = 1 + Rng.int rng 2 in
+        Iqs.handle iqs ~src (random_message rng);
+        (* The global logical clock never regresses. *)
+        if Lc.(Iqs.logical_clock iqs < !clock_floor) then ok := false;
+        clock_floor := Iqs.logical_clock iqs;
+        (* Drain any network activity the message triggered. *)
+        Engine.run ~until:(Engine.now engine +. 50.) engine
+      done;
+      Engine.run ~until:(Engine.now engine +. 100_000.) engine;
+      !ok)
+
+let prop_oqs_survives_random_messages =
+  QCheck.Test.make ~name:"OQS survives arbitrary message sequences" ~count:100
+    QCheck.(pair int64 (int_range 10 120))
+    (fun (seed, n) ->
+      let engine, net, config = world () in
+      let rng = Rng.create seed in
+      let oqs =
+        Oqs.create ~net ~clock:(Clock.perfect engine) ~config ~rng:(Engine.split_rng engine)
+          ~me:0
+      in
+      let value_floor = ref Lc.zero in
+      let ok = ref true in
+      for _ = 1 to n do
+        let src = 1 + Rng.int rng 2 in
+        Oqs.handle oqs ~src (random_message rng);
+        (* The cached value's clock never regresses. *)
+        let lc = (Oqs.cached oqs (List.hd keys)).Versioned.lc in
+        if Lc.(lc < !value_floor) then ok := false;
+        value_floor := lc;
+        Engine.run ~until:(Engine.now engine +. 50.) engine
+      done;
+      Oqs.quiesce oqs;
+      Engine.run ~until:(Engine.now engine +. 100_000.) engine;
+      !ok)
+
+let prop_iqs_ack_floor_monotone =
+  QCheck.Test.make ~name:"IQS acknowledgment floors are monotone" ~count:100
+    QCheck.(pair int64 (small_list (pair (int_range 0 7) (int_range 0 3))))
+    (fun (seed, acks) ->
+      let engine, net, config = world () in
+      ignore seed;
+      let iqs = Iqs.create ~net ~clock:(Clock.perfect engine) ~config ~me:0 in
+      let key = List.hd keys in
+      let floor = ref Lc.zero in
+      List.for_all
+        (fun (count, node) ->
+          Iqs.handle iqs ~src:1 (M.Inval_ack { key; lc = Lc.make ~count ~node });
+          let current = Iqs.last_ack_lc iqs key ~oqs:1 in
+          let monotone = Lc.(current >= !floor) in
+          floor := current;
+          monotone)
+        acks)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_iqs_survives_random_messages;
+            prop_oqs_survives_random_messages;
+            prop_iqs_ack_floor_monotone;
+          ] );
+    ]

@@ -1,0 +1,189 @@
+(* QRPC target-selection policies: the latency-aware peer tracker
+   (paper Section 2: "track which nodes have responded quickly in the
+   past and first try sending to them"). *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Qs = Dq_quorum.Quorum_system
+module Qrpc = Dq_rpc.Qrpc
+module Tracker = Dq_rpc.Peer_tracker
+
+(* --- unit: the tracker ---------------------------------------------- *)
+
+let test_estimate_ewma () =
+  let clock = ref 0. in
+  let t = Tracker.create ~now:(fun () -> !clock) in
+  Alcotest.(check (option (float 0.))) "unknown" None (Tracker.estimate_ms t 1);
+  Tracker.note_sent t 1;
+  clock := 100.;
+  Tracker.note_reply t 1;
+  Alcotest.(check (option (float 1e-9))) "first sample" (Some 100.) (Tracker.estimate_ms t 1);
+  (* Second sample of 200 ms: EWMA = 0.8 * 100 + 0.2 * 200 = 120. *)
+  Tracker.note_sent t 1;
+  clock := 300.;
+  Tracker.note_reply t 1;
+  Alcotest.(check (option (float 1e-9))) "ewma" (Some 120.) (Tracker.estimate_ms t 1)
+
+let test_reply_without_send_ignored () =
+  let t = Tracker.create ~now:(fun () -> 0.) in
+  Tracker.note_reply t 5;
+  Alcotest.(check (option (float 0.))) "still unknown" None (Tracker.estimate_ms t 5);
+  Alcotest.(check int) "no observed peers" 0 (Tracker.observed_peers t)
+
+let test_rank_orders_fastest_first () =
+  let clock = ref 0. in
+  let t = Tracker.create ~now:(fun () -> !clock) in
+  let observe id latency =
+    clock := 0.;
+    Tracker.note_sent t id;
+    clock := latency;
+    Tracker.note_reply t id
+  in
+  observe 1 300.;
+  observe 2 10.;
+  observe 3 150.;
+  Alcotest.(check (list int)) "fastest first" [ 2; 3; 1 ] (Tracker.rank t [ 1; 2; 3 ]);
+  (* Unexplored peers come before everything (exploration). *)
+  Alcotest.(check (list int)) "unexplored first" [ 9; 2; 3; 1 ] (Tracker.rank t [ 1; 2; 3; 9 ])
+
+(* --- integration: tracked QRPC converges on the fast quorum ----------- *)
+
+type msg = Req | Rep
+
+let classify = function Req -> "req" | Rep -> "rep"
+
+let test_tracker_converges_to_fast_members () =
+  (* Coordinator node 0; members 1 and 2 are 10 ms away, member 3 is
+     200 ms away. A majority (2 of 3) from {1,2} costs ~20 ms; any
+     quorum touching 3 costs ~400 ms. After exploration the tracked
+     policy must stick to {1,2}. *)
+  let engine = Engine.create ~seed:61L () in
+  let delay ~src ~dst =
+    let d node = if node = 3 then 200. else 10. in
+    if src = dst then 0.05 else Float.max (d src) (d dst) /. 2.
+  in
+  let topo = Topology.custom ~n_servers:4 ~n_clients:0 ~delay ~closest:(fun c -> c) in
+  let net = Net.create engine topo ~classify () in
+  Net.register net ~node:0 (fun ~src:_ _ -> ());
+  for node = 1 to 3 do
+    Net.register net ~node (fun ~src msg ->
+        match msg with Req -> Net.send net ~src:node ~dst:src Rep | Rep -> ())
+  done;
+  let system = Qs.majority [ 1; 2; 3 ] in
+  let tracker = Tracker.create ~now:(fun () -> Engine.now engine) in
+  let latencies = ref [] in
+  let current = ref None in
+  Net.register net ~node:0 (fun ~src msg ->
+      match msg, !current with
+      | Rep, Some c -> Qrpc.deliver c ~src Rep
+      | _ -> ());
+  let rec run_call i =
+    if i < 20 then begin
+      let start = Engine.now engine in
+      let c =
+        Qrpc.call
+          ~timer:(fun ~delay_ms action -> Net.timer net ~node:0 ~delay_ms action)
+          ~rng:(Engine.split_rng engine) ~system ~mode:Qrpc.Read
+          ~send:(fun dst -> Net.send net ~src:0 ~dst Req)
+          ~on_quorum:(fun _ ->
+            latencies := (Engine.now engine -. start) :: !latencies;
+            run_call (i + 1))
+          ~tracker ~timeout_ms:5_000. ()
+      in
+      current := Some c
+    end
+  in
+  run_call 0;
+  Engine.run engine;
+  let all = List.rev !latencies in
+  Alcotest.(check int) "all calls completed" 20 (List.length all);
+  (* After the exploration phase, calls settle at the fast-quorum cost. *)
+  let tail = List.filteri (fun i _ -> i >= 10) all in
+  List.iter
+    (fun l -> Alcotest.(check bool) (Printf.sprintf "settled call %.0f ms" l) true (l < 50.))
+    tail;
+  Alcotest.(check int) "all peers eventually observed" 3 (Tracker.observed_peers tracker)
+
+let test_untracked_policy_keeps_hitting_slow_member () =
+  (* Control experiment: the random policy keeps paying the slow member
+     in some rounds. *)
+  let engine = Engine.create ~seed:61L () in
+  let delay ~src ~dst =
+    let d node = if node = 3 then 200. else 10. in
+    if src = dst then 0.05 else Float.max (d src) (d dst) /. 2.
+  in
+  let topo = Topology.custom ~n_servers:4 ~n_clients:0 ~delay ~closest:(fun c -> c) in
+  let net = Net.create engine topo ~classify () in
+  Net.register net ~node:0 (fun ~src:_ _ -> ());
+  for node = 1 to 3 do
+    Net.register net ~node (fun ~src msg ->
+        match msg with Req -> Net.send net ~src:node ~dst:src Rep | Rep -> ())
+  done;
+  let system = Qs.majority [ 1; 2; 3 ] in
+  let latencies = ref [] in
+  let current = ref None in
+  Net.register net ~node:0 (fun ~src msg ->
+      match msg, !current with
+      | Rep, Some c -> Qrpc.deliver c ~src Rep
+      | _ -> ());
+  let rec run_call i =
+    if i < 20 then begin
+      let start = Engine.now engine in
+      let c =
+        Qrpc.call
+          ~timer:(fun ~delay_ms action -> Net.timer net ~node:0 ~delay_ms action)
+          ~rng:(Engine.split_rng engine) ~system ~mode:Qrpc.Read
+          ~send:(fun dst -> Net.send net ~src:0 ~dst Req)
+          ~on_quorum:(fun _ ->
+            latencies := (Engine.now engine -. start) :: !latencies;
+            run_call (i + 1))
+          ~timeout_ms:5_000. ()
+      in
+      current := Some c
+    end
+  in
+  run_call 0;
+  Engine.run engine;
+  let slow_calls = List.filter (fun l -> l > 100.) !latencies in
+  Alcotest.(check bool) "random policy pays the slow member sometimes" true
+    (List.length slow_calls > 0)
+
+let test_dqvl_latency_aware_end_to_end () =
+  (* The config flag wires the tracker into the front ends; the cluster
+     must still behave correctly. *)
+  let engine = Engine.create ~seed:62L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:2 () in
+  let servers = Topology.servers topology in
+  let config =
+    { (Dq_core.Config.dqvl ~servers ()) with Dq_core.Config.latency_aware = true }
+  in
+  let cluster = Dq_core.Cluster.create engine topology config in
+  let api = Dq_core.Cluster.api cluster in
+  let module R = Dq_intf.Replication in
+  let key = Dq_storage.Key.make ~volume:0 ~index:0 in
+  let got = ref None in
+  api.R.submit_write ~client:5 ~server:0 key "x" (fun _ ->
+      api.R.submit_read ~client:6 ~server:1 key (fun r -> got := Some r.R.read_value));
+  Engine.run ~until:60_000. engine;
+  api.R.quiesce ();
+  Alcotest.(check (option string)) "works with tracker" (Some "x") !got
+
+let () =
+  Alcotest.run "rpc_policies"
+    [
+      ( "tracker",
+        [
+          Alcotest.test_case "ewma" `Quick test_estimate_ewma;
+          Alcotest.test_case "reply without send" `Quick test_reply_without_send_ignored;
+          Alcotest.test_case "rank" `Quick test_rank_orders_fastest_first;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "converges to fast quorum" `Quick
+            test_tracker_converges_to_fast_members;
+          Alcotest.test_case "random policy control" `Quick
+            test_untracked_policy_keeps_hitting_slow_member;
+          Alcotest.test_case "dqvl end to end" `Quick test_dqvl_latency_aware_end_to_end;
+        ] );
+    ]

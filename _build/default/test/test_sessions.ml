@@ -1,0 +1,161 @@
+(* Bayou-style session guarantees (the paper's reference [26]):
+   ROWA-Async with per-client floors gives read-your-writes and
+   monotonic reads without paying for regular semantics. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module BC = Dq_proto.Base_cluster
+module C = Dq_harness.Regular_checker
+module H = Dq_harness.History
+module Driver = Dq_harness.Driver
+module Spec = Dq_workload.Spec
+module R = Dq_intf.Replication
+open Dq_storage
+
+(* --- checker unit tests -------------------------------------------------- *)
+
+let key = Key.make ~volume:0 ~index:0
+
+let mk ~id ~client ~kind ~value ~c ~invoked ~responded =
+  {
+    H.id;
+    client;
+    key;
+    kind;
+    value;
+    lc = Some (Lc.make ~count:c ~node:0);
+    invoked;
+    responded = Some responded;
+  }
+
+let test_checker_detects_ryw () =
+  let ops =
+    [
+      mk ~id:0 ~client:1 ~kind:H.Write ~value:"mine" ~c:5 ~invoked:0. ~responded:10.;
+      (* The same client then reads an older version. *)
+      mk ~id:1 ~client:1 ~kind:H.Read ~value:"old" ~c:3 ~invoked:20. ~responded:30.;
+    ]
+  in
+  let r = C.check_sessions ops in
+  Alcotest.(check int) "ryw" 1 r.C.ryw_violations;
+  Alcotest.(check int) "monotonic" 0 r.C.monotonic_violations
+
+let test_checker_detects_monotonic () =
+  let ops =
+    [
+      mk ~id:0 ~client:1 ~kind:H.Read ~value:"new" ~c:5 ~invoked:0. ~responded:10.;
+      mk ~id:1 ~client:1 ~kind:H.Read ~value:"old" ~c:3 ~invoked:20. ~responded:30.;
+    ]
+  in
+  let r = C.check_sessions ops in
+  Alcotest.(check int) "ryw" 0 r.C.ryw_violations;
+  Alcotest.(check int) "monotonic" 1 r.C.monotonic_violations
+
+let test_checker_other_clients_irrelevant () =
+  let ops =
+    [
+      mk ~id:0 ~client:1 ~kind:H.Write ~value:"theirs" ~c:9 ~invoked:0. ~responded:10.;
+      (* A different client reading older data is not a session issue. *)
+      mk ~id:1 ~client:2 ~kind:H.Read ~value:"old" ~c:3 ~invoked:20. ~responded:30.;
+    ]
+  in
+  let r = C.check_sessions ops in
+  Alcotest.(check int) "ryw" 0 r.C.ryw_violations;
+  Alcotest.(check int) "monotonic" 0 r.C.monotonic_violations
+
+(* --- protocol-level ------------------------------------------------------- *)
+
+(* A mobile client: writes at its home edge server, then (redirected)
+   reads at a distant one before propagation can land. *)
+let mobile_client_scenario protocol =
+  let engine = Engine.create ~seed:71L () in
+  (* Server-to-server propagation (500 ms) is slower than the client's
+     hop to a distant edge server (86 ms), so a mobile client can beat
+     its own write's propagation - the classic session-guarantee gap. *)
+  let topology = Topology.make ~n_servers:5 ~n_clients:1 ~server_ms:500. () in
+  let cluster = BC.create engine topology protocol in
+  let api = BC.api cluster in
+  let observed = ref [] in
+  api.R.submit_write ~client:5 ~server:0 key "v1" (fun w ->
+      ignore w;
+      (* Immediately read via a distant server: the propagation (80 ms)
+         has not arrived yet. *)
+      api.R.submit_read ~client:5 ~server:3 key (fun r ->
+          observed := ("read1", r.R.read_value) :: !observed;
+          api.R.submit_read ~client:5 ~server:3 key (fun r ->
+              observed := ("read2", r.R.read_value) :: !observed)));
+  Engine.run ~until:60_000. engine;
+  api.R.quiesce ();
+  List.rev !observed
+
+let test_plain_rowa_async_breaks_ryw () =
+  match mobile_client_scenario (BC.Rowa_async { anti_entropy_ms = 5_000. }) with
+  | (_, first) :: _ ->
+    Alcotest.(check string) "client misses its own write" "" first
+  | [] -> Alcotest.fail "no reads completed"
+
+let test_session_variant_waits_for_own_write () =
+  match mobile_client_scenario (BC.Rowa_async_session { anti_entropy_ms = 5_000. }) with
+  | [ (_, first); (_, second) ] ->
+    Alcotest.(check string) "read-your-writes" "v1" first;
+    Alcotest.(check string) "monotonic" "v1" second
+  | _ -> Alcotest.fail "two reads expected"
+
+let run_workload protocol =
+  let engine = Engine.create ~seed:72L () in
+  let topology = Topology.make ~n_servers:5 ~n_clients:3 ~server_ms:500. () in
+  let cluster = BC.create engine topology protocol in
+  let api = BC.api cluster in
+  let spec =
+    {
+      Spec.default with
+      Spec.write_ratio = 0.4;
+      locality = 0.4 (* clients hop between edge servers *);
+      sharing = Spec.Shared_uniform { objects = 2 };
+    }
+  in
+  let config = { (Driver.default_config spec) with Driver.ops_per_client = 80 } in
+  Driver.run engine topology api config
+
+let test_workload_session_guarantees () =
+  let plain = run_workload (BC.Rowa_async { anti_entropy_ms = 500. }) in
+  let session = run_workload (BC.Rowa_async_session { anti_entropy_ms = 500. }) in
+  let plain_sessions = C.check_sessions plain.Driver.history in
+  let session_sessions = C.check_sessions session.Driver.history in
+  Alcotest.(check bool) "plain rowa-async violates session guarantees" true
+    (plain_sessions.C.ryw_violations + plain_sessions.C.monotonic_violations > 0);
+  Alcotest.(check int) "session variant: no ryw" 0 session_sessions.C.ryw_violations;
+  Alcotest.(check int) "session variant: no monotonic" 0
+    session_sessions.C.monotonic_violations;
+  Alcotest.(check int) "session variant completes everything" 0 session.Driver.failed;
+  (* Still not regular: cross-client staleness remains possible. *)
+  ignore (C.check session.Driver.history)
+
+let test_quorum_protocols_satisfy_sessions () =
+  List.iter
+    (fun protocol ->
+      let result = run_workload protocol in
+      let s = C.check_sessions result.Driver.history in
+      Alcotest.(check int) "ryw" 0 s.C.ryw_violations;
+      Alcotest.(check int) "monotonic" 0 s.C.monotonic_violations)
+    [ BC.Majority_quorum; BC.Primary_backup { primary = 4 } ]
+
+let () =
+  Alcotest.run "sessions"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "ryw" `Quick test_checker_detects_ryw;
+          Alcotest.test_case "monotonic" `Quick test_checker_detects_monotonic;
+          Alcotest.test_case "cross-client" `Quick test_checker_other_clients_irrelevant;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "plain breaks ryw" `Quick test_plain_rowa_async_breaks_ryw;
+          Alcotest.test_case "session variant waits" `Quick
+            test_session_variant_waits_for_own_write;
+          Alcotest.test_case "workload comparison" `Slow test_workload_session_guarantees;
+          Alcotest.test_case "quorum protocols pass" `Slow
+            test_quorum_protocols_satisfy_sessions;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+module Table = Dq_util.Table
+
+let test_render_alignment () =
+  let t = Table.create ~header:[ "proto"; "ms" ] in
+  Table.add_row t [ "dqvl"; "16" ];
+  Table.add_row t [ "majority"; "176" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: _sep :: row1 :: row2 :: _ ->
+    Alcotest.(check bool) "header has both columns" true
+      (String.length header >= String.length "proto     ms");
+    Alcotest.(check bool) "row1 mentions dqvl" true (String.length row1 > 0);
+    Alcotest.(check bool) "row2 mentions majority" true (String.length row2 > 0)
+  | _ -> Alcotest.fail "expected at least four lines");
+  (* All data lines share the same column offsets: the second column of
+     every row starts at the same index. *)
+  let second_col_start line =
+    let rec scan i in_gap =
+      if i >= String.length line then -1
+      else if line.[i] = ' ' then scan (i + 1) true
+      else if in_gap then i
+      else scan (i + 1) false
+    in
+    scan 0 false
+  in
+  let offsets =
+    List.filter_map
+      (fun l -> if String.trim l = "" then None else Some (second_col_start l))
+      lines
+  in
+  (match offsets with
+  | first :: rest ->
+    List.iter (fun o -> Alcotest.(check int) "aligned" first o) rest
+  | [] -> Alcotest.fail "no lines")
+
+let test_short_row_padded () =
+  let t = Table.create ~header:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_too_long_row_rejected () =
+  let t = Table.create ~header:[ "a" ] in
+  Alcotest.check_raises "too many columns" (Invalid_argument "Table.add_row: too many columns")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_float_row () =
+  let t = Table.create ~header:[ "label"; "v1"; "v2" ] in
+  Table.add_float_row t "row" [ 1.5; 2.25 ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains 1.5" true (contains ~needle:"1.5" out);
+  Alcotest.(check bool) "contains 2.25" true (contains ~needle:"2.25" out)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "short row padded" `Quick test_short_row_padded;
+          Alcotest.test_case "long row rejected" `Quick test_too_long_row_rejected;
+          Alcotest.test_case "float row" `Quick test_float_row;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+module Topology = Dq_net.Topology
+
+let topo = Topology.make ~n_servers:9 ~n_clients:3 ()
+
+let test_counts () =
+  Alcotest.(check int) "nodes" 12 (Topology.n_nodes topo);
+  Alcotest.(check (list int)) "servers" (List.init 9 Fun.id) (Topology.servers topo);
+  Alcotest.(check (list int)) "clients" [ 9; 10; 11 ] (Topology.clients topo)
+
+let test_roles () =
+  Alcotest.(check bool) "0 is server" true (Topology.role topo 0 = Topology.Server);
+  Alcotest.(check bool) "8 is server" true (Topology.role topo 8 = Topology.Server);
+  Alcotest.(check bool) "9 is client" true (Topology.role topo 9 = Topology.Client)
+
+let test_closest () =
+  Alcotest.(check int) "client 9 -> server 0" 0 (Topology.closest_server topo 9);
+  Alcotest.(check int) "client 10 -> server 1" 1 (Topology.closest_server topo 10);
+  Alcotest.(check int) "server is its own closest" 4 (Topology.closest_server topo 4)
+
+let test_paper_delays () =
+  (* 8 ms LAN to the closest edge, 86 ms WAN to others, 80 ms between
+     servers (Section 4.1). *)
+  Alcotest.(check (float 0.)) "client->closest" 8. (Topology.delay topo ~src:9 ~dst:0);
+  Alcotest.(check (float 0.)) "closest->client" 8. (Topology.delay topo ~src:0 ~dst:9);
+  Alcotest.(check (float 0.)) "client->distant" 86. (Topology.delay topo ~src:9 ~dst:3);
+  Alcotest.(check (float 0.)) "server->server" 80. (Topology.delay topo ~src:0 ~dst:5);
+  Alcotest.(check (float 0.)) "local delivery" 0.05 (Topology.delay topo ~src:4 ~dst:4)
+
+let test_symmetry () =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "delay %d<->%d" src dst)
+            (Topology.delay topo ~src ~dst)
+            (Topology.delay topo ~src:dst ~dst:src))
+        (Topology.nodes topo))
+    (Topology.nodes topo)
+
+let test_custom_closest () =
+  let t = Topology.make ~n_servers:3 ~n_clients:2 ~closest:(fun _ -> 2) () in
+  Alcotest.(check int) "custom closest" 2 (Topology.closest_server t 3);
+  Alcotest.(check (float 0.)) "lan to custom closest" 8. (Topology.delay t ~src:3 ~dst:2);
+  Alcotest.(check (float 0.)) "wan to others" 86. (Topology.delay t ~src:3 ~dst:0)
+
+let test_custom_delays () =
+  let t = Topology.make ~n_servers:2 ~n_clients:1 ~lan_ms:1. ~wan_ms:2. ~server_ms:3. () in
+  Alcotest.(check (float 0.)) "lan" 1. (Topology.delay t ~src:2 ~dst:0);
+  Alcotest.(check (float 0.)) "wan" 2. (Topology.delay t ~src:2 ~dst:1);
+  Alcotest.(check (float 0.)) "server" 3. (Topology.delay t ~src:0 ~dst:1)
+
+let test_bad_role_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Topology.role topo 99);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "roles" `Quick test_roles;
+          Alcotest.test_case "closest" `Quick test_closest;
+          Alcotest.test_case "paper delays" `Quick test_paper_delays;
+          Alcotest.test_case "symmetry" `Quick test_symmetry;
+          Alcotest.test_case "custom closest" `Quick test_custom_closest;
+          Alcotest.test_case "custom delays" `Quick test_custom_delays;
+          Alcotest.test_case "bad node id" `Quick test_bad_role_rejected;
+        ] );
+    ]

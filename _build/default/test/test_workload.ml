@@ -1,0 +1,189 @@
+module Spec = Dq_workload.Spec
+module Generator = Dq_workload.Generator
+module Zipf = Dq_workload.Zipf
+open Dq_storage
+
+let sample_ops spec n =
+  let rng = Dq_util.Rng.create 7L in
+  let gen = Generator.create ~spec ~rng ~client_index:1 in
+  List.init n (fun _ -> Generator.next gen)
+
+let write_fraction ops =
+  let writes =
+    List.length (List.filter (fun op -> op.Generator.kind = Generator.Write) ops)
+  in
+  float_of_int writes /. float_of_int (List.length ops)
+
+let test_write_ratio_respected () =
+  List.iter
+    (fun w ->
+      let ops = sample_ops { Spec.default with Spec.write_ratio = w } 20_000 in
+      let actual = write_fraction ops in
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio %.2f measured %.3f" w actual)
+        true
+        (abs_float (actual -. w) < 0.02))
+    [ 0.; 0.05; 0.5; 1. ]
+
+let test_private_object () =
+  let ops = sample_ops Spec.default 100 in
+  List.iter
+    (fun op ->
+      Alcotest.(check int) "own object" 1 (Key.index op.Generator.key);
+      Alcotest.(check int) "volume 0" 0 (Key.volume op.Generator.key))
+    ops
+
+let test_locality () =
+  let ops = sample_ops { Spec.default with Spec.locality = 0.9 } 20_000 in
+  let close = List.length (List.filter (fun op -> op.Generator.use_closest) ops) in
+  let frac = float_of_int close /. float_of_int (List.length ops) in
+  Alcotest.(check bool) (Printf.sprintf "locality %.3f" frac) true (abs_float (frac -. 0.9) < 0.02)
+
+let test_locality_extremes () =
+  let all_close = sample_ops { Spec.default with Spec.locality = 1. } 100 in
+  Alcotest.(check bool) "always closest" true
+    (List.for_all (fun op -> op.Generator.use_closest) all_close);
+  let never_close = sample_ops { Spec.default with Spec.locality = 0. } 100 in
+  Alcotest.(check bool) "never closest" true
+    (List.for_all (fun op -> not op.Generator.use_closest) never_close)
+
+let test_shared_uniform_coverage () =
+  let spec = { Spec.default with Spec.sharing = Spec.Shared_uniform { objects = 5 } } in
+  let ops = sample_ops spec 5_000 in
+  let seen = Array.make 5 0 in
+  List.iter (fun op -> seen.(Key.index op.Generator.key) <- seen.(Key.index op.Generator.key) + 1) ops;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool) (Printf.sprintf "object %d used roughly uniformly" i) true
+        (n > 800 && n < 1200))
+    seen
+
+let test_zipf_skew () =
+  let spec =
+    { Spec.default with Spec.sharing = Spec.Shared_zipf { objects = 10; exponent = 1.2 } }
+  in
+  let ops = sample_ops spec 10_000 in
+  let seen = Array.make 10 0 in
+  List.iter (fun op -> seen.(Key.index op.Generator.key) <- seen.(Key.index op.Generator.key) + 1) ops;
+  Alcotest.(check bool) "rank 0 most popular" true (seen.(0) > seen.(5));
+  Alcotest.(check bool) "heavily skewed" true (seen.(0) > 3 * seen.(9))
+
+let test_zipf_pmf () =
+  let z = Zipf.create ~n:4 ~s:1. in
+  (* Weights 1, 1/2, 1/3, 1/4 normalized by 25/12. *)
+  let h = 25. /. 12. in
+  Alcotest.(check (float 1e-9)) "pmf 0" (1. /. h) (Zipf.pmf z 0);
+  Alcotest.(check (float 1e-9)) "pmf 3" (0.25 /. h) (Zipf.pmf z 3);
+  let total = List.fold_left (fun acc k -> acc +. Zipf.pmf z k) 0. [ 0; 1; 2; 3 ] in
+  Alcotest.(check (float 1e-9)) "sums to one" 1. total
+
+let test_zipf_zero_exponent_uniform () =
+  let z = Zipf.create ~n:5 ~s:0. in
+  for k = 0 to 4 do
+    Alcotest.(check (float 1e-9)) "uniform pmf" 0.2 (Zipf.pmf z k)
+  done
+
+let test_zipf_sample_range () =
+  let z = Zipf.create ~n:7 ~s:0.8 in
+  let rng = Dq_util.Rng.create 8L in
+  for _ = 1 to 1000 do
+    let k = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7)
+  done
+
+let run_lengths ops =
+  (* Lengths of maximal same-kind runs. *)
+  let rec go acc current_kind current_len = function
+    | [] -> List.rev (current_len :: acc)
+    | op :: rest ->
+      if op.Generator.kind = current_kind then go acc current_kind (current_len + 1) rest
+      else go (current_len :: acc) op.Generator.kind 1 rest
+  in
+  match ops with [] -> [] | op :: rest -> go [] op.Generator.kind 1 rest
+
+let test_bursts_lengthen_runs () =
+  let independent = sample_ops { Spec.default with Spec.write_ratio = 0.5 } 10_000 in
+  let bursty =
+    sample_ops { Spec.default with Spec.write_ratio = 0.5; burst_mean = Some 10. } 10_000
+  in
+  let mean xs = float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs) in
+  let mi = mean (run_lengths independent) and mb = mean (run_lengths bursty) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty runs (%.1f) longer than independent (%.1f)" mb mi)
+    true (mb > 3. *. mi)
+
+let test_bursts_preserve_ratio () =
+  let ops =
+    sample_ops { Spec.default with Spec.write_ratio = 0.3; burst_mean = Some 8. } 50_000
+  in
+  let actual = write_fraction ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio preserved %.3f" actual)
+    true
+    (abs_float (actual -. 0.3) < 0.03)
+
+let test_spec_validation () =
+  let invalid f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad write ratio" true
+    (invalid (fun () -> Spec.validate { Spec.default with Spec.write_ratio = 1.5 }));
+  Alcotest.(check bool) "bad locality" true
+    (invalid (fun () -> Spec.validate { Spec.default with Spec.locality = -0.1 }));
+  Alcotest.(check bool) "bad burst" true
+    (invalid (fun () -> Spec.validate { Spec.default with Spec.burst_mean = Some 0.5 }));
+  Alcotest.(check bool) "bad objects" true
+    (invalid (fun () ->
+         Spec.validate { Spec.default with Spec.sharing = Spec.Shared_uniform { objects = 0 } }))
+
+let test_volume_mapping () =
+  let spec = { Spec.default with Spec.volume_of = (fun i -> i mod 3) } in
+  let rng = Dq_util.Rng.create 9L in
+  let gen = Generator.create ~spec ~rng ~client_index:7 in
+  let op = Generator.next gen in
+  Alcotest.(check int) "volume of object 7" 1 (Key.volume op.Generator.key)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"generator is deterministic in the seed" ~count:50
+    QCheck.(pair int64 (float_range 0. 1.))
+    (fun (seed, w) ->
+      let make () =
+        let rng = Dq_util.Rng.create seed in
+        Generator.create
+          ~spec:{ Spec.default with Spec.write_ratio = w }
+          ~rng ~client_index:0
+      in
+      let a = make () and b = make () in
+      List.for_all
+        (fun _ ->
+          let x = Generator.next a and y = Generator.next b in
+          x.Generator.kind = y.Generator.kind
+          && Key.equal x.Generator.key y.Generator.key
+          && x.Generator.use_closest = y.Generator.use_closest)
+        (List.init 50 Fun.id))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "write ratio" `Quick test_write_ratio_respected;
+          Alcotest.test_case "private object" `Quick test_private_object;
+          Alcotest.test_case "locality" `Quick test_locality;
+          Alcotest.test_case "locality extremes" `Quick test_locality_extremes;
+          Alcotest.test_case "shared uniform" `Quick test_shared_uniform_coverage;
+          Alcotest.test_case "volume mapping" `Quick test_volume_mapping;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "pmf" `Quick test_zipf_pmf;
+          Alcotest.test_case "zero exponent" `Quick test_zipf_zero_exponent_uniform;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+        ] );
+      ( "bursts",
+        [
+          Alcotest.test_case "longer runs" `Quick test_bursts_lengthen_runs;
+          Alcotest.test_case "ratio preserved" `Quick test_bursts_preserve_ratio;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_deterministic ]);
+    ]
