@@ -1,7 +1,16 @@
 (* The benchmark harness: regenerates every table/figure of the paper's
    evaluation (Section 4) and then runs Bechamel microbenchmarks - one
    Test.make per figure (measuring the computation that regenerates it)
-   plus microbenchmarks of the hot paths. *)
+   plus microbenchmarks of the hot paths.
+
+   Usage: main.exe [-j N] [--smoke] [--out BENCH_<n>.json]
+
+   [-j N] sizes the experiment worker pool (default: DQ_JOBS, else the
+   machine's recommended domain count). With N > 1 every figure is
+   regenerated a second time on the pool and the serial/parallel
+   wall-clocks land in a machine-readable BENCH_<n>.json so the perf
+   trajectory is tracked across PRs. [--smoke] runs a tiny-op sanity pass
+   (serial vs parallel bit-equality) and exits. *)
 
 module E = Dq_harness.Experiment
 module Render = Dq_harness.Render
@@ -209,33 +218,211 @@ let run_benchmarks () =
     Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let measured =
+    List.map
+      (fun (name, ols_result) ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> Some x
+          | Some [] | None -> None
+        in
+        let r2 = Analyze.OLS.r_square ols_result in
+        (name, ns, r2))
+      rows
+  in
   List.iter
-    (fun (name, ols_result) ->
-      let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Printf.sprintf "%.0f" x
-        | Some [] | None -> "-"
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"
-      in
-      Table.add_row table [ name; estimate; r2 ])
-    rows;
-  Table.print table
+    (fun (name, ns, r2) ->
+      let fmt_opt f = function Some x -> Printf.sprintf f x | None -> "-" in
+      Table.add_row table [ name; fmt_opt "%.0f" ns; fmt_opt "%.3f" r2 ])
+    measured;
+  Table.print table;
+  measured
+
+(* --- figure regeneration wall-clock, serial vs parallel ----------------- *)
+
+(* Each figure: its printing function (used for the serial pass, so the
+   tables appear exactly once) and a silent compute thunk doing the same
+   work (used for the timed parallel pass). *)
+let figures =
+  [
+    ("fig6a", print_fig6a, fun () -> ignore (E.fig6a ()));
+    ("fig6b", print_fig6b, fun () -> ignore (E.fig6b ()));
+    ("fig7a", print_fig7a, fun () -> ignore (E.fig7a ()));
+    ("fig7b", print_fig7b, fun () -> ignore (E.fig7b ()));
+    ("fig8a", print_fig8a, fun () -> ignore (E.fig8a ()));
+    ("fig8b", print_fig8b, fun () -> ignore (E.fig8b ()));
+    ("fig8_measured", print_fig8_measured, fun () -> ignore (E.fig8_measured ()));
+    ( "fig9a",
+      print_fig9a,
+      fun () ->
+        ignore (E.fig9a ());
+        ignore (E.fig9a_measured ()) );
+    ("fig9b", print_fig9b, fun () -> ignore (E.fig9b ()));
+    ("bandwidth", print_bandwidth, fun () -> ignore (E.bandwidth ()));
+    ("saturation", print_saturation, fun () -> ignore (E.saturation ()));
+    ( "ablations",
+      print_ablations,
+      fun () ->
+        ignore (E.ablation_leases ());
+        ignore (E.ablation_lease_len ());
+        ignore (E.ablation_bursts ());
+        ignore (E.ablation_orq ());
+        ignore (E.ablation_grid ());
+        ignore (E.ablation_object_lease ());
+        ignore (E.ablation_batch_renewals ());
+        ignore (E.ablation_atomic ());
+        ignore (E.ablation_staleness ()) );
+  ]
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* --- BENCH_<n>.json ------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let json_opt = function Some x -> json_float x | None -> "null"
+
+let write_bench_json ~out ~jobs ~serial ~parallel ~micro =
+  let oc = open_out out in
+  let total xs = List.fold_left (fun acc (_, s) -> acc +. s) 0. xs in
+  let parallel_of name = List.assoc_opt name parallel in
+  let fig_entries =
+    List.map
+      (fun (name, serial_s) ->
+        let par = parallel_of name in
+        let speedup = Option.map (fun p -> serial_s /. p) par in
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}"
+          (json_escape name) (json_float serial_s) (json_opt par) (json_opt speedup))
+      serial
+  in
+  let micro_entries =
+    List.map
+      (fun (name, ns, r2) ->
+        Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}"
+          (json_escape name) (json_opt ns) (json_opt r2))
+      micro
+  in
+  let total_serial = total serial in
+  let total_parallel = if parallel = [] then None else Some (total parallel) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": 1,\n\
+    \  \"generated_by\": \"bench/main.exe\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"total\": {\"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s},\n\
+    \  \"figures\": [\n%s\n  ],\n\
+    \  \"microbench_ns_per_run\": [\n%s\n  ]\n\
+     }\n"
+    jobs
+    (Domain.recommended_domain_count ())
+    (json_float total_serial) (json_opt total_parallel)
+    (json_opt (Option.map (fun p -> total_serial /. p) total_parallel))
+    (String.concat ",\n" fig_entries)
+    (String.concat ",\n" micro_entries);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+(* --- smoke mode (CI): tiny ops, parallel path, bit-equality check -------- *)
+
+let run_smoke ~jobs =
+  section (Printf.sprintf "Smoke: tiny figures, serial vs -j %d (must be bit-identical)" jobs);
+  E.set_jobs 1;
+  let fig6a_serial = E.fig6a ~ops:20 () in
+  let lease_serial = E.ablation_lease_len ~ops:15 () in
+  E.set_jobs jobs;
+  let fig6a_par = E.fig6a ~ops:20 () in
+  let lease_par = E.ablation_lease_len ~ops:15 () in
+  Table.print (Render.response_rows ~title:"protocol" fig6a_par);
+  E.set_jobs 1;
+  (* [compare] rather than [=]: a NaN mean (all ops inside the warmup
+     window) is still equal to itself under the total order. *)
+  if compare fig6a_serial fig6a_par = 0 && compare lease_serial lease_par = 0 then
+    print_endline "smoke OK: parallel output bit-identical to serial"
+  else begin
+    prerr_endline "smoke FAILED: parallel output differs from serial";
+    exit 1
+  end
+
+(* --- entry point ---------------------------------------------------------- *)
+
+let usage () =
+  prerr_endline "usage: main.exe [-j N] [--smoke] [--out FILE.json]";
+  exit 2
+
+let parse_args () =
+  let jobs = ref (Dq_par.Pool.default_jobs ()) in
+  let smoke = ref false in
+  let out = ref "BENCH_1.json" in
+  let rec go = function
+    | [] -> ()
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        go rest
+      | _ -> usage ())
+    | "--smoke" :: rest ->
+      smoke := true;
+      go rest
+    | "--out" :: file :: rest ->
+      out := file;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!jobs, !smoke, !out)
 
 let () =
-  print_fig6a ();
-  print_fig6b ();
-  print_fig7a ();
-  print_fig7b ();
-  print_fig8a ();
-  print_fig8b ();
-  print_fig8_measured ();
-  print_fig9a ();
-  print_fig9b ();
-  print_bandwidth ();
-  print_saturation ();
-  print_ablations ();
-  run_benchmarks ()
+  let jobs, smoke, out = parse_args () in
+  if smoke then run_smoke ~jobs
+  else begin
+    (* Serial pass: print every table/figure (as before) and time it. *)
+    E.set_jobs 1;
+    let serial = List.map (fun (name, print, _) -> (name, time_it print)) figures in
+    (* Parallel pass: regenerate silently on the pool and time it. *)
+    let parallel =
+      if jobs <= 1 then []
+      else begin
+        section (Printf.sprintf "Parallel regeneration wall-clock (-j %d)" jobs);
+        E.set_jobs jobs;
+        let t = Table.create ~header:[ "figure"; "serial s"; "parallel s"; "speedup" ] in
+        let timed =
+          List.map
+            (fun (name, _, compute) ->
+              let dt = time_it compute in
+              let serial_s = List.assoc name serial in
+              Table.add_row t
+                [
+                  name;
+                  Printf.sprintf "%.2f" serial_s;
+                  Printf.sprintf "%.2f" dt;
+                  Printf.sprintf "%.2fx" (serial_s /. dt);
+                ];
+              (name, dt))
+            figures
+        in
+        Table.print t;
+        timed
+      end
+    in
+    E.set_jobs 1;
+    let micro = run_benchmarks () in
+    write_bench_json ~out ~jobs ~serial ~parallel ~micro
+  end

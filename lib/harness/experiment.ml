@@ -5,6 +5,58 @@ module Stats = Dq_util.Stats
 module Qs = Dq_quorum.Quorum_system
 module Avail = Dq_analysis.Avail_model
 module Overhead = Dq_analysis.Overhead_model
+module Pool = Dq_par.Pool
+
+(* --- parallel sweeps --------------------------------------------------- *)
+
+(* Every figure is a sweep of independent (protocol x point x seed) runs,
+   each on its own freshly seeded engine, so they fan across a domain pool
+   with results identical to the serial order. The pool is created lazily
+   and kept across figures; [set_jobs] (the bench binary's [-j] flag, or
+   DQ_JOBS via [Pool.default_jobs]) resizes it. *)
+
+let current_jobs : int option ref = ref None
+
+let current_pool : Pool.t option ref = ref None
+
+let jobs () = match !current_jobs with Some j -> j | None -> Pool.default_jobs ()
+
+let drop_pool () =
+  match !current_pool with
+  | Some p ->
+    current_pool := None;
+    Pool.shutdown p
+  | None -> ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Experiment.set_jobs: jobs must be >= 1";
+  if n <> jobs () then drop_pool ();
+  current_jobs := Some n
+
+let pool () =
+  let j = jobs () in
+  match !current_pool with
+  | Some p when Pool.jobs p = j -> p
+  | _ ->
+    drop_pool ();
+    let p = Pool.create ~jobs:j () in
+    current_pool := Some p;
+    p
+
+let pmap f xs = if jobs () <= 1 then List.map f xs else Pool.map (pool ()) f xs
+
+(* Split [xs] into consecutive chunks of [width] — the inverse of
+   flattening a (sweep point x builder) product back into per-point rows. *)
+let rec chunk_list width = function
+  | [] -> []
+  | xs ->
+    let rec take k acc rest =
+      match (k, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | _, y :: tl -> take (k - 1) (y :: acc) tl
+    in
+    let chunk, rest = take width [] xs in
+    chunk :: chunk_list width rest
 
 type response_row = {
   protocol : string;
@@ -40,7 +92,19 @@ let run_one ?(seed = 42L) ?(ops = 200) ~topology ~spec (builder : Registry.build
 
 let response_time ?seed ?ops ?(builders = Registry.paper_five) ~spec () =
   let topology = paper_topology () in
-  List.map (run_one ?seed ?ops ~topology ~spec) builders
+  pmap (run_one ?seed ?ops ~topology ~spec) builders
+
+(* Sweep [points] x [builders] as one flat batch of runs (maximum
+   parallelism), then regroup rows per point. *)
+let sweep_runs ?seed ?ops ?(builders = Registry.paper_five) ~spec_of points =
+  let topology = paper_topology () in
+  let tasks =
+    List.concat_map (fun x -> List.map (fun b -> (x, b)) builders) points
+  in
+  let rows =
+    pmap (fun (x, b) -> run_one ?seed ?ops ~topology ~spec:(spec_of x) b) tasks
+  in
+  List.map2 (fun x rs -> (x, rs)) points (chunk_list (List.length builders) rows)
 
 (* --- Figure 6: response time vs write ratio --------------------------- *)
 
@@ -50,9 +114,8 @@ let fig6a ?seed ?ops () =
 let default_write_ratios = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
 
 let fig6b ?seed ?ops ?(write_ratios = default_write_ratios) () =
-  List.map
-    (fun w ->
-      (w, response_time ?seed ?ops ~spec:{ Spec.default with Spec.write_ratio = w } ()))
+  sweep_runs ?seed ?ops
+    ~spec_of:(fun w -> { Spec.default with Spec.write_ratio = w })
     write_ratios
 
 (* --- Figure 7: response time vs access locality ----------------------- *)
@@ -65,12 +128,8 @@ let fig7a ?seed ?ops () =
 let default_localities = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
 
 let fig7b ?seed ?ops ?(localities = default_localities) () =
-  List.map
-    (fun locality ->
-      ( locality,
-        response_time ?seed ?ops
-          ~spec:{ Spec.default with Spec.write_ratio = 0.05; locality }
-          () ))
+  sweep_runs ?seed ?ops
+    ~spec_of:(fun locality -> { Spec.default with Spec.write_ratio = 0.05; locality })
     localities
 
 (* --- Figure 8: availability (analytical) ------------------------------ *)
@@ -108,7 +167,7 @@ let fig8_measured ?(seed = 42L) ?(ops = 150) ?(p = 0.1) ?(write_ratio = 0.25) ()
   let topology = paper_topology () in
   let mttf_ms, mttr_ms = Churn.periods_for ~p ~cycle_ms:20_000. in
   let spec = { Spec.default with Spec.write_ratio } in
-  List.map
+  pmap
     (fun (builder : Registry.builder) ->
       let engine = Engine.create ~seed () in
       let instance = builder.Registry.build engine topology () in
@@ -159,7 +218,7 @@ let fig9a_measured ?(seed = 42L) ?(ops = 400) ?(write_ratios = [ 0.05; 0.25; 0.5
     Registry.dqvl ~volume_lease_ms:600_000. ~proactive_renew:false ()
   in
   let topology = paper_topology () in
-  List.map
+  pmap
     (fun w ->
       let spec =
         {
@@ -190,7 +249,7 @@ let fig9b ?(n_iqs = 5) ?(w = 0.25) ?(n_oqs_list = [ 5; 9; 13; 17; 21; 25 ]) () =
 let bandwidth ?(seed = 42L) ?(ops = 200) ?(write_ratio = 0.25) () =
   let topology = paper_topology () in
   let spec = { Spec.default with Spec.write_ratio } in
-  List.map
+  pmap
     (fun (builder : Registry.builder) ->
       let engine = Engine.create ~seed () in
       let instance = builder.Registry.build engine topology () in
@@ -202,34 +261,33 @@ let bandwidth ?(seed = 42L) ?(ops = 200) ?(write_ratio = 0.25) () =
 let saturation ?(seed = 42L) ?(ops = 300) ?(service_ms = 1.) ?(rates = [ 10.; 50.; 100.; 200. ])
     () =
   let topology = paper_topology () in
-  List.map
-    (fun rate ->
-      let per_protocol =
-        List.map
-          (fun (builder : Registry.builder) ->
-            let engine = Engine.create ~seed () in
-            let instance = builder.Registry.build engine topology () in
-            instance.Registry.set_service_time service_ms;
-            let spec =
-              {
-                Spec.default with
-                Spec.write_ratio = 0.05;
-                arrival = Spec.Open { rate_per_s = rate };
-              }
-            in
-            let config =
-              {
-                (Driver.default_config spec) with
-                Driver.ops_per_client = ops;
-                timeout_ms = 10_000.;
-              }
-            in
-            let result = Driver.run engine topology instance.Registry.api config in
-            (builder.Registry.name, Stats.mean result.Driver.all_latency))
-          [ Registry.dqvl (); Registry.majority ]
-      in
-      (rate, per_protocol))
-    rates
+  let builders = [ Registry.dqvl (); Registry.majority ] in
+  let tasks = List.concat_map (fun r -> List.map (fun b -> (r, b)) builders) rates in
+  let results =
+    pmap
+      (fun (rate, (builder : Registry.builder)) ->
+        let engine = Engine.create ~seed () in
+        let instance = builder.Registry.build engine topology () in
+        instance.Registry.set_service_time service_ms;
+        let spec =
+          {
+            Spec.default with
+            Spec.write_ratio = 0.05;
+            arrival = Spec.Open { rate_per_s = rate };
+          }
+        in
+        let config =
+          {
+            (Driver.default_config spec) with
+            Driver.ops_per_client = ops;
+            timeout_ms = 10_000.;
+          }
+        in
+        let result = Driver.run engine topology instance.Registry.api config in
+        (builder.Registry.name, Stats.mean result.Driver.all_latency))
+      tasks
+  in
+  List.map2 (fun rate per -> (rate, per)) rates (chunk_list (List.length builders) results)
 
 (* --- Ablations --------------------------------------------------------- *)
 
@@ -242,7 +300,7 @@ let ablation_leases ?seed ?ops () =
 let ablation_lease_len ?seed ?ops ?(leases_ms = [ 250.; 1000.; 5000.; 20000. ]) () =
   let topology = paper_topology () in
   let spec = { Spec.default with Spec.write_ratio = 0.05 } in
-  List.map
+  pmap
     (fun lease ->
       let builder = Registry.dqvl ~volume_lease_ms:lease ~proactive_renew:false () in
       (lease, run_one ?seed ?ops ~topology ~spec builder))
@@ -250,7 +308,7 @@ let ablation_lease_len ?seed ?ops ?(leases_ms = [ 250.; 1000.; 5000.; 20000. ]) 
 
 let ablation_bursts ?seed ?ops ?(burst_means = [ 1.; 2.; 5.; 10.; 50. ]) () =
   let topology = paper_topology () in
-  List.map
+  pmap
     (fun mean ->
       let spec =
         {
@@ -284,7 +342,7 @@ let ablation_staleness ?(seed = 42L) ?(ops = 150)
      anti-entropy period: direct update pushes are often lost, so the
      periodic exchange bounds how far behind a replica can fall. *)
   let faults = { Dq_net.Net.loss = 0.3; duplicate = 0.; jitter_ms = 0. } in
-  let measure name (builder : Registry.builder) =
+  let measure (name, (builder : Registry.builder)) =
     let engine = Engine.create ~seed () in
     let instance = builder.Registry.build engine topology ~faults () in
     let config = { (Driver.default_config spec) with Driver.ops_per_client = ops } in
@@ -297,18 +355,18 @@ let ablation_staleness ?(seed = 42L) ?(ops = 150)
       s_max_behind_ms = report.Staleness.max_behind_ms;
     }
   in
-  List.map
-    (fun period ->
-      measure
-        (Printf.sprintf "rowa-async ae=%.0fms" period)
-        (Registry.rowa_async ~anti_entropy_ms:period ()))
-    anti_entropy_periods
-  @ [ measure "dqvl" (Registry.dqvl ()); measure "majority" Registry.majority ]
+  pmap measure
+    (List.map
+       (fun period ->
+         ( Printf.sprintf "rowa-async ae=%.0fms" period,
+           Registry.rowa_async ~anti_entropy_ms:period () ))
+       anti_entropy_periods
+    @ [ ("dqvl", Registry.dqvl ()); ("majority", Registry.majority) ])
 
 let ablation_orq ?seed ?ops ?(read_quorums = [ 1; 2; 3 ]) () =
   let topology = paper_topology () in
   let spec = { Spec.default with Spec.write_ratio = 0.05 } in
-  List.map
+  pmap
     (fun orq ->
       let make_config servers =
         let n = List.length servers in
@@ -342,7 +400,7 @@ let ablation_object_lease ?seed ?ops ?(object_leases_ms = [ 500.; 2_000. ]) () =
       sharing = Spec.Shared_uniform { objects = 1 };
     }
   in
-  let run name builder =
+  let run (name, builder) =
     let engine = Engine.create ?seed:(Some (Option.value seed ~default:42L)) () in
     let instance = builder.Registry.build engine topology () in
     let config =
@@ -351,13 +409,13 @@ let ablation_object_lease ?seed ?ops ?(object_leases_ms = [ 500.; 2_000. ]) () =
     let result = Driver.run engine topology instance.Registry.api config in
     (name, result.Driver.messages_per_request, Stats.mean result.Driver.write_latency)
   in
-  run "callbacks (infinite)" (Registry.dqvl ())
-  :: List.map
-       (fun lease ->
-         run
-           (Printf.sprintf "object lease %.0fms" lease)
-           (Registry.dqvl ~object_lease_ms:lease ()))
-       object_leases_ms
+  pmap run
+    (("callbacks (infinite)", Registry.dqvl ())
+    :: List.map
+         (fun lease ->
+           ( Printf.sprintf "object lease %.0fms" lease,
+             Registry.dqvl ~object_lease_ms:lease () ))
+         object_leases_ms)
 
 let ablation_batch_renewals ?(seed = 42L) () =
   (* One OQS node proactively renewing six volumes' leases from five
@@ -389,7 +447,9 @@ let ablation_batch_renewals ?(seed = 42L) () =
     in
     count "vol_renew_req" + count "vols_renew_req"
   in
-  [ ("per-volume renewals", run ~batch:false); ("batched renewals", run ~batch:true) ]
+  pmap
+    (fun (name, batch) -> (name, run ~batch))
+    [ ("per-volume renewals", false); ("batched renewals", true) ]
 
 let ablation_atomic ?seed ?ops () =
   response_time ?seed ?ops

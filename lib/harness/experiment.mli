@@ -4,6 +4,24 @@
     paper's topology — nine edge servers, three application clients,
     8/86/80 ms one-way delays. Figures 8 and 9 are analytical. *)
 
+(** {2 Parallelism}
+
+    Every figure is a sweep of independent (protocol x point x seed)
+    simulation runs, each on its own freshly seeded engine. With
+    [jobs > 1] those runs fan across a {!Dq_par.Pool} of domains; because
+    the parallel map preserves input order and runs share no mutable
+    state, the output of every function below is bit-identical to the
+    serial run for a fixed seed. *)
+
+val set_jobs : int -> unit
+(** Set the worker-pool size used by all experiment sweeps. [1] disables
+    parallelism. Raises [Invalid_argument] if the argument is [< 1]. *)
+
+val jobs : unit -> int
+(** The current pool size: the last {!set_jobs} value, else [DQ_JOBS],
+    else {!Domain.recommended_domain_count} (see
+    {!Dq_par.Pool.default_jobs}). *)
+
 type response_row = {
   protocol : string;
   read_ms : float;    (** mean read response time *)

@@ -167,7 +167,9 @@ let outcome_fingerprint history =
       | History.Read, Some _ -> Some (op.client, op.value)
       | _ -> None)
     history
-  |> List.sort compare
+  |> List.sort (fun (c1, v1) (c2, v2) ->
+         let c = Int.compare c1 c2 in
+         if c <> 0 then c else String.compare v1 v2)
 
 let explore ?(config = default_config) ?(budget = 2000) scenario =
   let queue = Queue.create () in

@@ -127,7 +127,8 @@ let new_old_inversions ops =
     (fun _ reads acc ->
       let sorted =
         List.sort
-          (fun (a : History.op) (b : History.op) -> compare a.responded b.responded)
+          (fun (a : History.op) (b : History.op) ->
+            Option.compare Float.compare a.responded b.responded)
           !reads
       in
       (* Quadratic pairwise scan; histories are experiment-sized. *)

@@ -5,6 +5,31 @@ let predicate qs mode =
   | Read -> fun ~present -> Quorum_system.is_read_quorum qs ~present
   | Write -> fun ~present -> Quorum_system.is_write_quorum qs ~present
 
+(* Member ids are distinct but arbitrary ints; [holds ~present] queries
+   membership by id, so the bit-index lookup it implies must be O(1) —
+   built once per call, not rediscovered by a linear scan inside the 2^n
+   inner loop. Ids are almost always small and dense (0..n-1), where a
+   direct array beats hashing; the Hashtbl handles sparse/negative ids. *)
+let bit_index_table members =
+  let max_id = ref (-1) in
+  let min_id = ref max_int in
+  Array.iter
+    (fun id ->
+      if id > !max_id then max_id := id;
+      if id < !min_id then min_id := id)
+    members;
+  let n = Array.length members in
+  if n > 0 && !min_id >= 0 && !max_id < (4 * n) + 64 then begin
+    let idx = Array.make (!max_id + 1) (-1) in
+    Array.iteri (fun i id -> idx.(id) <- i) members;
+    fun id -> idx.(id)
+  end
+  else begin
+    let tbl = Hashtbl.create (2 * n) in
+    Array.iteri (fun i id -> Hashtbl.replace tbl id i) members;
+    fun id -> Hashtbl.find tbl id
+  end
+
 (* Exact enumeration over live/dead states of the members. [want_failure]
    selects whether we accumulate the probability of states with no quorum
    (unavailability) or with a quorum (availability). *)
@@ -13,14 +38,11 @@ let enumerate qs mode ~p ~want_failure =
   let n = Array.length member_array in
   if n > 24 then invalid_arg "Availability: quorum system too large for enumeration";
   let holds = predicate qs mode in
+  let index_of = bit_index_table member_array in
   let q = 1. -. p in
   let acc = ref 0. in
   for mask = 0 to (1 lsl n) - 1 do
-    let present id =
-      (* Find id's index; members are distinct. *)
-      let rec index i = if member_array.(i) = id then i else index (i + 1) in
-      mask land (1 lsl index 0) <> 0
-    in
+    let present id = mask land (1 lsl index_of id) <> 0 in
     let has_quorum = holds ~present in
     if has_quorum <> want_failure then begin
       let prob = ref 1. in
@@ -69,16 +91,14 @@ let unavailability_mc qs ~mode ~p ~rng ~samples =
   let members = Array.of_list (Quorum_system.members qs) in
   let n = Array.length members in
   let holds = predicate qs mode in
+  let index_of = bit_index_table members in
   let up = Array.make n false in
   let failures = ref 0 in
+  let present id = up.(index_of id) in
   for _ = 1 to samples do
     for i = 0 to n - 1 do
       up.(i) <- not (Dq_util.Rng.bernoulli rng p)
     done;
-    let present id =
-      let rec index i = if members.(i) = id then i else index (i + 1) in
-      up.(index 0)
-    in
     if not (holds ~present) then incr failures
   done;
   float_of_int !failures /. float_of_int samples

@@ -60,7 +60,7 @@ let is_write_quorum t ~present =
   | Weighted { votes; write; _ } -> votes_present t ~votes ~present >= write
 
 let present_of_list ids =
-  let set = List.sort_uniq compare ids in
+  let set = List.sort_uniq Int.compare ids in
   fun id -> List.mem id set
 
 let is_read_quorum_list t ids = is_read_quorum t ~present:(present_of_list ids)
@@ -70,7 +70,7 @@ let is_write_quorum_list t ids = is_write_quorum t ~present:(present_of_list ids
 (* Fewest members whose votes reach [target]: take the biggest votes. *)
 let min_weighted_members votes target =
   let sorted = Array.copy votes in
-  Array.sort (fun a b -> compare b a) sorted;
+  Array.sort (fun a b -> Int.compare b a) sorted;
   let rec take i acc = if acc >= target then i else take (i + 1) (acc + sorted.(i)) in
   take 0 0
 

@@ -39,7 +39,7 @@ let rank t candidates =
   let sorted =
     List.sort
       (fun a b ->
-        compare
+        Float.compare
           (Option.value (estimate_ms t a) ~default:infinity)
           (Option.value (estimate_ms t b) ~default:infinity))
       explored

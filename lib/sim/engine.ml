@@ -12,20 +12,18 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   live : int ref; (* pending (not cancelled, not fired) events *)
-  queue : event Heap.t;
+  queue : event Event_heap.t;
   root_rng : Dq_util.Rng.t;
 }
 
-let compare_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
-
 let create ?(seed = 1L) () =
+  (* The dummy only fills vacated heap slots; it is never scheduled. *)
+  let dummy = { time = 0.; seq = -1; action = ignore; cancelled = true; live = ref 0 } in
   {
     clock = 0.;
     next_seq = 0;
     live = ref 0;
-    queue = Heap.create ~cmp:compare_event;
+    queue = Event_heap.create ~dummy;
     root_rng = Dq_util.Rng.create seed;
   }
 
@@ -42,7 +40,7 @@ let schedule_at t ~time f =
   let ev = { time; seq = t.next_seq; action = f; cancelled = false; live = t.live } in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
-  Heap.push t.queue ev;
+  Event_heap.push t.queue ~time ~seq:ev.seq ev;
   ev
 
 let schedule t ~delay f =
@@ -63,7 +61,7 @@ let pending_events t = !(t.live)
 
 let step t =
   let rec next () =
-    match Heap.pop t.queue with
+    match Event_heap.pop t.queue with
     | None -> false
     | Some ev when ev.cancelled -> next ()
     | Some ev ->
@@ -78,9 +76,9 @@ let step t =
 (* Drop cancelled events from the top so [Heap.peek] reflects the next
    event that will actually fire. *)
 let rec purge_cancelled t =
-  match Heap.peek t.queue with
+  match Event_heap.peek t.queue with
   | Some ev when ev.cancelled ->
-    ignore (Heap.pop t.queue);
+    ignore (Event_heap.pop t.queue);
     purge_cancelled t
   | Some _ | None -> ()
 
@@ -94,7 +92,7 @@ let run ?until ?max_events t =
     match until with
     | None -> true
     | Some limit -> (
-      match Heap.peek t.queue with
+      match Event_heap.peek t.queue with
       | None -> false
       | Some ev -> ev.time <= limit)
   in

@@ -3,7 +3,7 @@ type t = { bounds : float array; counts : int array; mutable total : int }
 let create ~buckets =
   let bounds = Array.of_list buckets in
   let sorted = Array.copy bounds in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if bounds <> sorted then invalid_arg "Histogram.create: buckets must be ascending";
   { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
 

@@ -45,7 +45,7 @@ let sorted t =
   | Some a -> a
   | None ->
     let a = Array.of_list t.samples in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     t.sorted <- Some a;
     a
 
