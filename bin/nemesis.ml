@@ -1,0 +1,237 @@
+(* dqr-nemesis - the robustness campaign: run every protocol under
+   seeded nemesis programs spanning all fault classes and emit a
+   machine-readable JSON report ranking availability and staleness per
+   fault class. Every scenario is a pure function of (base seed,
+   protocol, fault class, index) and replays exactly. *)
+
+module Fuzz = Dq_harness.Fuzz
+module Nemesis = Dq_harness.Nemesis
+module Registry = Dq_harness.Registry
+module Rng = Dq_util.Rng
+open Cmdliner
+
+type cell = {
+  protocol : string;
+  fault_class : Nemesis.fault_class;
+  mutable runs : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable gave_up : int;
+  mutable stale_reads : int;
+  mutable max_staleness_ms : float;
+  mutable max_gap_ms : float;
+  mutable violation_seeds : int64 list;
+}
+
+let availability cell =
+  let settled = cell.completed + cell.failed in
+  if settled = 0 then 0. else float_of_int cell.completed /. float_of_int settled
+
+(* The scenario for one campaign cell: the seed-derived topology and
+   workload, the legacy ad-hoc fault schedule disabled, and a nemesis
+   program of the cell's class attached (derived from a salted stream
+   of the same seed, so the program is independent of the scenario's
+   own draws but still replayable). *)
+let cell_scenario ~fault_class seed =
+  let s = Fuzz.scenario_of_seed seed in
+  let nemesis_rng = Rng.create (Int64.logxor seed 0x9E3779B97F4A7C15L) in
+  let program = Nemesis.generate nemesis_rng fault_class ~n_servers:s.Fuzz.n_servers in
+  { s with Fuzz.crashes = false; partition = false; nemesis = Some program }
+
+(* {2 Hand-rolled JSON (no external dependencies)} *)
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let json_of_report ~base_seed ~runs_per_cell ~cells =
+  let buf = Buffer.create 4096 in
+  let classes =
+    List.filter
+      (fun cls -> List.exists (fun c -> c.fault_class = cls) cells)
+      Nemesis.all_classes
+  in
+  buf_addf buf "{\n  \"tool\": \"dqr-nemesis\",\n";
+  buf_addf buf "  \"base_seed\": %Ld,\n  \"runs_per_cell\": %d,\n" base_seed runs_per_cell;
+  buf_addf buf "  \"classes\": [\n";
+  List.iteri
+    (fun ci cls ->
+      let ranked =
+        List.filter (fun c -> c.fault_class = cls) cells
+        |> List.sort (fun a b ->
+               match Float.compare (availability b) (availability a) with
+               | 0 -> Float.compare a.max_staleness_ms b.max_staleness_ms
+               | c -> c)
+      in
+      buf_addf buf "    {\n      \"class\": %S,\n      \"protocols\": [\n"
+        (Nemesis.class_name cls);
+      List.iteri
+        (fun pi cell ->
+          buf_addf buf
+            "        {\"rank\": %d, \"protocol\": %S, \"runs\": %d, \"completed\": %d, \
+             \"failed\": %d, \"gave_up\": %d, \"availability\": %s, \"stale_reads\": %d, \
+             \"max_staleness_ms\": %s, \"max_unavailability_ms\": %s, \"violations\": %d, \
+             \"violation_seeds\": [%s]}%s\n"
+            (pi + 1) cell.protocol cell.runs cell.completed cell.failed cell.gave_up
+            (json_float (availability cell))
+            cell.stale_reads
+            (json_float cell.max_staleness_ms)
+            (json_float cell.max_gap_ms)
+            (List.length cell.violation_seeds)
+            (String.concat ", "
+               (List.rev_map (Printf.sprintf "%Ld") cell.violation_seeds))
+            (if pi + 1 < List.length ranked then "," else ""))
+        ranked;
+      buf_addf buf "      ]\n    }%s\n" (if ci + 1 < List.length classes then "," else ""))
+    classes;
+  buf_addf buf "  ],\n  \"overall\": [\n";
+  let protocols = List.sort_uniq compare (List.map (fun c -> c.protocol) cells) in
+  let overall =
+    List.map
+      (fun name ->
+        let mine = List.filter (fun c -> c.protocol = name) cells in
+        let sum f = List.fold_left (fun acc c -> acc + f c) 0 mine in
+        let completed = sum (fun c -> c.completed) and failed = sum (fun c -> c.failed) in
+        let settled = completed + failed in
+        let avail =
+          if settled = 0 then 0. else float_of_int completed /. float_of_int settled
+        in
+        let max_stale =
+          List.fold_left (fun acc c -> Float.max acc c.max_staleness_ms) 0. mine
+        in
+        (name, avail, max_stale, sum (fun c -> List.length c.violation_seeds)))
+      protocols
+    |> List.sort (fun (_, a, sa, _) (_, b, sb, _) ->
+           match Float.compare b a with 0 -> Float.compare sa sb | c -> c)
+  in
+  List.iteri
+    (fun i (name, avail, max_stale, violations) ->
+      buf_addf buf
+        "    {\"rank\": %d, \"protocol\": %S, \"availability\": %s, \
+         \"max_staleness_ms\": %s, \"violations\": %d}%s\n"
+        (i + 1) name (json_float avail) (json_float max_stale) violations
+        (if i + 1 < List.length overall then "," else ""))
+    overall;
+  buf_addf buf "  ]\n}\n";
+  Buffer.contents buf
+
+let parse_classes = function
+  | "all" -> Ok Nemesis.all_classes
+  | spec ->
+    let names = String.split_on_char ',' spec in
+    let classes = List.map (fun n -> (n, Nemesis.class_of_name (String.trim n))) names in
+    (match List.find_opt (fun (_, c) -> c = None) classes with
+    | Some (bad, _) ->
+      Error
+        (Printf.sprintf "unknown fault class %S (known: %s)" bad
+           (String.concat ", " (List.map Nemesis.class_name Nemesis.all_classes)))
+    | None -> Ok (List.filter_map snd classes))
+
+let run_campaign runs base_seed out classes_spec verbose =
+  match parse_classes classes_spec with
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+  | Ok classes ->
+    let builders = Registry.paper_five in
+    let cells = ref [] in
+    let scenario_index = ref 0 in
+    let total = List.length classes * List.length builders * runs in
+    List.iter
+      (fun fault_class ->
+        List.iter
+          (fun (builder : Registry.builder) ->
+            let cell =
+              {
+                protocol = builder.Registry.name;
+                fault_class;
+                runs = 0;
+                completed = 0;
+                failed = 0;
+                gave_up = 0;
+                stale_reads = 0;
+                max_staleness_ms = 0.;
+                max_gap_ms = 0.;
+                violation_seeds = [];
+              }
+            in
+            cells := cell :: !cells;
+            for i = 0 to runs - 1 do
+              let seed = Int64.add base_seed (Int64.of_int !scenario_index) in
+              incr scenario_index;
+              let scenario = cell_scenario ~fault_class seed in
+              (* ROWA-Async is weakly consistent by design: its stale
+                 reads are the staleness metric, not a violation. *)
+              let check_regular = builder.Registry.name <> "rowa-async" in
+              let outcome = Fuzz.run ~check_regular builder scenario in
+              cell.runs <- cell.runs + 1;
+              cell.completed <- cell.completed + outcome.Fuzz.completed;
+              cell.failed <- cell.failed + outcome.Fuzz.failed;
+              cell.gave_up <- cell.gave_up + outcome.Fuzz.gave_up;
+              cell.stale_reads <- cell.stale_reads + outcome.Fuzz.stale_reads;
+              cell.max_staleness_ms <-
+                Float.max cell.max_staleness_ms outcome.Fuzz.max_staleness_ms;
+              cell.max_gap_ms <- Float.max cell.max_gap_ms outcome.Fuzz.max_gap_ms;
+              if outcome.Fuzz.violations <> [] then begin
+                cell.violation_seeds <- seed :: cell.violation_seeds;
+                Format.eprintf "VIOLATION %s/%s seed=%Ld:@."
+                  (Nemesis.class_name fault_class) cell.protocol seed;
+                List.iter (fun v -> Format.eprintf "  %s@." v) outcome.Fuzz.violations
+              end;
+              if verbose then
+                Format.printf "[%s/%s %d/%d] %a completed=%d failed=%d gave-up=%d %s@."
+                  (Nemesis.class_name fault_class) cell.protocol (i + 1) runs
+                  Fuzz.pp_scenario outcome.Fuzz.scenario outcome.Fuzz.completed
+                  outcome.Fuzz.failed outcome.Fuzz.gave_up
+                  (if outcome.Fuzz.violations = [] then "ok" else "VIOLATION")
+              else if !scenario_index mod 25 = 0 then
+                Format.printf "%d/%d scenarios run@." !scenario_index total
+            done)
+          builders)
+      classes;
+    let cells = List.rev !cells in
+    let json = json_of_report ~base_seed ~runs_per_cell:runs ~cells in
+    (match out with
+    | "-" -> print_string json
+    | path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Format.printf "report written to %s@." path);
+    let violations =
+      List.fold_left (fun acc c -> acc + List.length c.violation_seeds) 0 cells
+    in
+    Format.printf "%d scenarios, %d violation(s)@." total violations;
+    exit (if violations = 0 then 0 else 1)
+
+let cmd =
+  let runs =
+    Arg.(
+      value & opt int 6
+      & info [ "runs"; "n" ] ~docv:"N" ~doc:"Scenarios per (fault class, protocol) cell.")
+  in
+  let base_seed =
+    Arg.(value & opt int64 1000L & info [ "seed" ] ~docv:"SEED" ~doc:"First scenario seed.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON report path ('-' for stdout).")
+  in
+  let classes =
+    Arg.(
+      value & opt string "all"
+      & info [ "classes" ] ~docv:"CLASSES"
+          ~doc:"Comma-separated fault classes to run (default: all).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every scenario.") in
+  Cmd.v
+    (Cmd.info "dqr-nemesis" ~version:"1.0.0"
+       ~doc:
+         "Robustness campaign: all protocols under seeded nemesis fault programs, with a \
+          JSON report ranking availability and staleness per fault class")
+    Term.(const run_campaign $ runs $ base_seed $ out $ classes $ verbose)
+
+let () = exit (Cmd.eval cmd)

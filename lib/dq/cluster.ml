@@ -14,6 +14,8 @@ type server_roles = {
 type client_stub = {
   mutable next_op : int;
   pending : (int, [ `Read of R.read_result -> unit | `Write of R.write_result -> unit ]) Hashtbl.t;
+  give_ups : (int, unit -> unit) Hashtbl.t;
+      (* give-up notification per pending op, when the caller wants one *)
 }
 
 type t = {
@@ -22,6 +24,7 @@ type t = {
   config : Config.t;
   servers : (int, server_roles) Hashtbl.t;
   clients : (int, client_stub) Hashtbl.t;
+  clocks : (int, Clock.t) Hashtbl.t; (* per-server clocks, for fault injection *)
 }
 
 let config t = t.config
@@ -42,8 +45,11 @@ let make_server_clock engine config =
   let rng = Engine.split_rng engine in
   Clock.random engine ~rng ~max_drift:(config.Config.max_drift *. 0.9) ~max_offset:0.
 
+let server_clock t id = Hashtbl.find_opt t.clocks id
+
 let install_server t id =
   let clock = make_server_clock t.engine t.config in
+  Hashtbl.replace t.clocks id clock;
   let iqs =
     if Qs.mem t.config.iqs id then
       Some (Iqs_server.create ~net:t.net ~clock ~config:t.config ~me:id)
@@ -73,28 +79,47 @@ let install_server t id =
       end)
 
 let install_client t id =
-  let stub = { next_op = 0; pending = Hashtbl.create 8 } in
+  let stub = { next_op = 0; pending = Hashtbl.create 8; give_ups = Hashtbl.create 8 } in
   Hashtbl.replace t.clients id stub;
+  let settle op =
+    Hashtbl.remove stub.pending op;
+    Hashtbl.remove stub.give_ups op
+  in
   Net.register t.net ~node:id (fun ~src:_ msg ->
       match msg with
       | Message.Client_read_reply { op; key; value; lc } -> (
         match Hashtbl.find_opt stub.pending op with
         | Some (`Read callback) ->
-          Hashtbl.remove stub.pending op;
+          settle op;
           callback { R.read_key = key; read_value = value; read_lc = lc }
         | Some (`Write _) | None -> ())
       | Message.Client_write_reply { op; key; lc } -> (
         match Hashtbl.find_opt stub.pending op with
         | Some (`Write callback) ->
-          Hashtbl.remove stub.pending op;
+          settle op;
           callback { R.write_key = key; write_lc = lc }
         | Some (`Read _) | None -> ())
+      | Message.Client_read_fail { op; _ } | Message.Client_write_fail { op; _ } ->
+        if Hashtbl.mem stub.pending op then begin
+          let give_up = Hashtbl.find_opt stub.give_ups op in
+          settle op;
+          match give_up with Some notify -> notify () | None -> ()
+        end
       | _ -> ())
 
 let create engine topology ?faults config =
   Config.validate config;
   let net = Net.create engine topology ?faults ~classify:Message.classify ~size_of:Message.size_of () in
-  let t = { engine; net; config; servers = Hashtbl.create 16; clients = Hashtbl.create 8 } in
+  let t =
+    {
+      engine;
+      net;
+      config;
+      servers = Hashtbl.create 16;
+      clients = Hashtbl.create 8;
+      clocks = Hashtbl.create 16;
+    }
+  in
   List.iter (install_server t) (Topology.servers topology);
   List.iter (install_client t) (Topology.clients topology);
   t
@@ -105,18 +130,24 @@ let client_stub t id =
   | None -> invalid_arg (Printf.sprintf "Cluster: node %d is not a client" id)
 
 let api t =
-  let submit_read ~client ~server key callback =
+  let submit_read ~client ~server ?on_give_up key callback =
     let stub = client_stub t client in
     let op = stub.next_op in
     stub.next_op <- op + 1;
     Hashtbl.replace stub.pending op (`Read callback);
+    (match on_give_up with
+    | Some notify -> Hashtbl.replace stub.give_ups op notify
+    | None -> ());
     Net.send t.net ~src:client ~dst:server (Message.Client_read_req { op; key })
   in
-  let submit_write ~client ~server key value callback =
+  let submit_write ~client ~server ?on_give_up key value callback =
     let stub = client_stub t client in
     let op = stub.next_op in
     stub.next_op <- op + 1;
     Hashtbl.replace stub.pending op (`Write callback);
+    (match on_give_up with
+    | Some notify -> Hashtbl.replace stub.give_ups op notify
+    | None -> ());
     Net.send t.net ~src:client ~dst:server (Message.Client_write_req { op; key; value })
   in
   {

@@ -26,3 +26,7 @@ val iqs_server : t -> int -> Iqs_server.t option
 val oqs_server : t -> int -> Oqs_server.t option
 
 val frontend : t -> int -> Frontend.t option
+
+val server_clock : t -> int -> Dq_sim.Clock.t option
+(** The node's local clock, for introspection and fault injection
+    (clock-skew bumps stay within the configured drift bound). *)

@@ -10,6 +10,7 @@ type t = {
   max_delayed : int;
   retry_timeout_ms : float;
   retry_backoff : float;
+  max_rounds : int option;
   proactive_renew : bool;
   renew_margin_ms : float;
   atomic_reads : bool;
@@ -27,11 +28,15 @@ let validate t =
   if t.max_delayed < 1 then invalid_arg "Config: max_delayed must be at least 1";
   if t.retry_timeout_ms <= 0. then invalid_arg "Config: retry timeout must be positive";
   if t.retry_backoff < 1. then invalid_arg "Config: retry backoff must be >= 1";
+  (match t.max_rounds with
+  | Some rounds when rounds < 1 -> invalid_arg "Config: max_rounds must be at least 1"
+  | Some _ | None -> ());
   if t.renew_margin_ms <= 0. || t.renew_margin_ms >= t.volume_lease_ms then
     invalid_arg "Config: renew margin must lie strictly inside the lease";
   if Qs.size t.iqs = 0 || Qs.size t.oqs = 0 then invalid_arg "Config: empty quorum system"
 
-let dqvl ~servers ?(volume_lease_ms = 5000.) ?(proactive_renew = true) ?object_lease_ms () =
+let dqvl ~servers ?(volume_lease_ms = 5000.) ?(proactive_renew = true) ?object_lease_ms
+    ?(max_drift = 1e-3) ?max_rounds () =
   let t =
     {
       iqs = Qs.majority servers;
@@ -39,10 +44,11 @@ let dqvl ~servers ?(volume_lease_ms = 5000.) ?(proactive_renew = true) ?object_l
       use_volume_leases = true;
       volume_lease_ms;
       object_lease_ms;
-      max_drift = 1e-3;
+      max_drift;
       max_delayed = 64;
       retry_timeout_ms = 400.;
       retry_backoff = 2.;
+      max_rounds;
       proactive_renew;
       renew_margin_ms = Float.min 1000. (volume_lease_ms /. 4.);
       atomic_reads = false;

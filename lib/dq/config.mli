@@ -31,6 +31,12 @@ type t = {
           queue; exceeding it advances the epoch and clears the queue *)
   retry_timeout_ms : float;  (** initial QRPC retransmission interval *)
   retry_backoff : float;     (** retransmission interval multiplier *)
+  max_rounds : int option;
+      (** bound on front-end QRPC retransmission rounds; after this many
+          attempts the operation {e gives up} and the front end reports
+          failure to the application client instead of retrying forever.
+          [None] (the default) retries without bound, the paper's
+          model. *)
   proactive_renew : bool;
       (** when [true], an OQS node keeps renewing the volume leases it
           has acquired shortly before they expire, keeping reads local;
@@ -65,11 +71,14 @@ val dqvl :
   ?volume_lease_ms:float ->
   ?proactive_renew:bool ->
   ?object_lease_ms:float ->
+  ?max_drift:float ->
+  ?max_rounds:int ->
   unit ->
   t
 (** The paper's default DQVL configuration: majority IQS and
     read-one/write-all OQS over [servers], 5000 ms volume leases,
-    drift bound 1e-3, proactive renewal on. *)
+    drift bound 1e-3 (overridable with [max_drift]), proactive renewal
+    on, unbounded retransmission ([max_rounds]). *)
 
 val basic : servers:int list -> unit -> t
 (** The basic dual-quorum protocol of Section 3.1 (no volume leases). *)

@@ -67,7 +67,7 @@ let timer t ~delay_ms action = Net.timer t.net ~node:t.me ~delay_ms action
    IQS node re-runs the ensure-invalid step for that timestamp, which
    guarantees no OQS write quorum can still serve an older version —
    so no later read can observe one (no new-old inversion). *)
-let impose t ~key ~value ~lc ~on_done =
+let impose t ~key ~value ~lc ~on_done ~on_fail =
   let op = fresh_op t in
   let call =
     Qrpc.call ~timer:(timer t) ~rng:t.rng ~system:t.config.iqs ~mode:Qrpc.Write
@@ -76,11 +76,15 @@ let impose t ~key ~value ~lc ~on_done =
         Hashtbl.remove t.pending op;
         on_done ~value ~lc)
       ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
-      ~backoff:t.config.retry_backoff ()
+      ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
+      ~on_give_up:(fun () ->
+        Hashtbl.remove t.pending op;
+        on_fail ())
+      ()
   in
   Hashtbl.replace t.pending op (Iqs_write call)
 
-let read t ~key ~on_done =
+let read t ~key ~on_done ~on_fail =
   let op = fresh_op t in
   let call =
     Qrpc.call ~timer:(timer t) ~rng:t.rng ~system:t.config.oqs ~mode:Qrpc.Read
@@ -97,15 +101,19 @@ let read t ~key ~on_done =
         in
         match best with
         | Some (value, lc) ->
-          if t.config.atomic_reads then impose t ~key ~value ~lc ~on_done
+          if t.config.atomic_reads then impose t ~key ~value ~lc ~on_done ~on_fail
           else on_done ~value ~lc
         | None -> () (* a quorum always has at least one reply *))
       ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
-      ~backoff:t.config.retry_backoff ()
+      ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
+      ~on_give_up:(fun () ->
+        Hashtbl.remove t.pending op;
+        on_fail ())
+      ()
   in
   Hashtbl.replace t.pending op (Oqs_read call)
 
-let write t ~key ~value ~on_done =
+let write t ~key ~value ~on_done ~on_fail =
   (* Phase 1: highest logical clock of any completed write, from an IQS
      read quorum. *)
   let op1 = fresh_op t in
@@ -121,7 +129,11 @@ let write t ~key ~value ~on_done =
           Hashtbl.remove t.pending op2;
           on_done ~lc:wlc)
         ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
-        ~backoff:t.config.retry_backoff ()
+        ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
+        ~on_give_up:(fun () ->
+          Hashtbl.remove t.pending op2;
+          on_fail ())
+        ()
     in
     Hashtbl.replace t.pending op2 (Iqs_write call)
   in
@@ -133,7 +145,11 @@ let write t ~key ~value ~on_done =
         let max_lc = List.fold_left (fun acc (_, lc) -> Lc.max acc lc) Lc.zero replies in
         phase2 max_lc)
       ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
-      ~backoff:t.config.retry_backoff ()
+      ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
+      ~on_give_up:(fun () ->
+        Hashtbl.remove t.pending op1;
+        on_fail ())
+      ()
   in
   Hashtbl.replace t.pending op1 (Lc_read call)
 
@@ -151,13 +167,17 @@ let handle t ~src msg =
   | Message.Iqs_write_ack { op; lc; _ } -> deliver_reply t ~src ~op (`Ack lc)
   | Message.Client_read_req { op; key } ->
     if fresh_client_op t ~client:src ~op then
-      read t ~key ~on_done:(fun ~value ~lc ->
+      read t ~key
+        ~on_done:(fun ~value ~lc ->
           send t src (Message.Client_read_reply { op; key; value; lc }))
+        ~on_fail:(fun () -> send t src (Message.Client_read_fail { op; key }))
   | Message.Client_write_req { op; key; value } ->
     if fresh_client_op t ~client:src ~op then
-      write t ~key ~value ~on_done:(fun ~lc ->
-          send t src (Message.Client_write_reply { op; key; lc }))
-  | Message.Client_read_reply _ | Message.Client_write_reply _ | Message.Oqs_read_req _
+      write t ~key ~value
+        ~on_done:(fun ~lc -> send t src (Message.Client_write_reply { op; key; lc }))
+        ~on_fail:(fun () -> send t src (Message.Client_write_fail { op; key }))
+  | Message.Client_read_fail _ | Message.Client_write_fail _ | Message.Client_read_reply _
+  | Message.Client_write_reply _ | Message.Oqs_read_req _
   | Message.Lc_read_req _ | Message.Iqs_write_req _ | Message.Obj_renew_req _
   | Message.Obj_renew_reply _ | Message.Vol_renew_req _ | Message.Vol_renew_reply _
   | Message.Vol_renew_ack _ | Message.Vols_renew_req _ | Message.Vols_renew_reply _

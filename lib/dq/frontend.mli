@@ -22,9 +22,19 @@ type t
 val create :
   net:Message.t Dq_net.Net.t -> config:Config.t -> rng:Dq_util.Rng.t -> me:int -> t
 
-val read : t -> key:Key.t -> on_done:(value:string -> lc:Lc.t -> unit) -> unit
+val read :
+  t -> key:Key.t -> on_done:(value:string -> lc:Lc.t -> unit) -> on_fail:(unit -> unit) -> unit
+(** [on_fail] fires (instead of [on_done]) when the retransmission loop
+    exhausts {!Config.max_rounds}; with the default unbounded rounds it
+    never fires. *)
 
-val write : t -> key:Key.t -> value:string -> on_done:(lc:Lc.t -> unit) -> unit
+val write :
+  t ->
+  key:Key.t ->
+  value:string ->
+  on_done:(lc:Lc.t -> unit) ->
+  on_fail:(unit -> unit) ->
+  unit
 
 val handle : t -> src:int -> Message.t -> unit
 (** Route [Oqs_read_reply], [Lc_read_reply] and [Iqs_write_ack] to the

@@ -317,7 +317,8 @@ let handle t ~src msg =
   | Message.Client_read_req _ | Message.Client_read_reply _ | Message.Client_write_req _
   | Message.Client_write_reply _ | Message.Oqs_read_req _ | Message.Oqs_read_reply _
   | Message.Lc_read_reply _ | Message.Iqs_write_ack _ | Message.Obj_renew_reply _
-  | Message.Vol_renew_reply _ | Message.Vols_renew_reply _ | Message.Inval _ ->
+  | Message.Vol_renew_reply _ | Message.Vols_renew_reply _ | Message.Inval _ 
+  | Message.Client_read_fail _ | Message.Client_write_fail _ ->
     ()
 
 let on_recover t = t.loops <- Hashtbl.create 16

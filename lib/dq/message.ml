@@ -14,6 +14,8 @@ type t =
   | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
   | Client_write_req of { op : int; key : Key.t; value : string }
   | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Client_read_fail of { op : int; key : Key.t }
+  | Client_write_fail of { op : int; key : Key.t }
   | Oqs_read_req of { op : int; key : Key.t }
   | Oqs_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
   | Lc_read_req of { op : int }
@@ -46,6 +48,8 @@ let classify = function
   | Client_read_reply _ -> "client_read_reply"
   | Client_write_req _ -> "client_write_req"
   | Client_write_reply _ -> "client_write_reply"
+  | Client_read_fail _ -> "client_read_fail"
+  | Client_write_fail _ -> "client_write_fail"
   | Oqs_read_req _ -> "oqs_read_req"
   | Oqs_read_reply _ -> "oqs_read_reply"
   | Lc_read_req _ -> "lc_read_req"
@@ -77,6 +81,7 @@ let size_of = function
   | Client_read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
   | Client_write_req { value; _ } -> header + 8 + key_sz + String.length value
   | Client_write_reply _ -> header + 8 + key_sz + lc_sz
+  | Client_read_fail _ | Client_write_fail _ -> header + 8 + key_sz
   | Oqs_read_req _ -> header + 8 + key_sz
   | Oqs_read_reply { value; _ } -> header + 8 + key_sz + String.length value + lc_sz
   | Lc_read_req _ -> header + 8
@@ -109,6 +114,9 @@ let pp ppf t =
     Format.fprintf ppf "Client_write_req(op=%d,%a)" op Key.pp key
   | Client_write_reply { op; key; lc } ->
     Format.fprintf ppf "Client_write_reply(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc
+  | Client_read_fail { op; key } -> Format.fprintf ppf "Client_read_fail(op=%d,%a)" op Key.pp key
+  | Client_write_fail { op; key } ->
+    Format.fprintf ppf "Client_write_fail(op=%d,%a)" op Key.pp key
   | Oqs_read_req { op; key } -> Format.fprintf ppf "Oqs_read_req(op=%d,%a)" op Key.pp key
   | Oqs_read_reply { op; key; lc; _ } ->
     Format.fprintf ppf "Oqs_read_reply(op=%d,%a,lc=%a)" op Key.pp key Lc.pp lc

@@ -28,6 +28,12 @@ type t =
   | Client_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
   | Client_write_req of { op : int; key : Key.t; value : string }
   | Client_write_reply of { op : int; key : Key.t; lc : Lc.t }
+  | Client_read_fail of { op : int; key : Key.t }
+      (** The front end's retransmission loop exhausted its round bound
+          ({!Config.max_rounds}) and gave up on the read. *)
+  | Client_write_fail of { op : int; key : Key.t }
+      (** As {!Client_read_fail}, for either phase of a write. The
+          write may or may not have taken effect at the IQS. *)
   | Oqs_read_req of { op : int; key : Key.t }
   | Oqs_read_reply of { op : int; key : Key.t; value : string; lc : Lc.t }
   | Lc_read_req of { op : int }

@@ -337,7 +337,8 @@ let handle t ~src msg =
   | Message.Client_write_reply _ | Message.Oqs_read_reply _ | Message.Lc_read_req _
   | Message.Lc_read_reply _ | Message.Iqs_write_req _ | Message.Iqs_write_ack _
   | Message.Obj_renew_req _ | Message.Vol_renew_req _ | Message.Vol_renew_ack _
-  | Message.Vols_renew_req _ | Message.Inval_ack _ ->
+  | Message.Vols_renew_req _ | Message.Inval_ack _ 
+  | Message.Client_read_fail _ | Message.Client_write_fail _ ->
     ()
 
 let on_recover t =
@@ -356,5 +357,18 @@ let epoch_from t ~volume ~iqs =
   match Obj_map.find_opt t.cache.vols (volume, iqs) with
   | Some vf -> vf.epoch
   | None -> 0
+
+(* Earliest future volume-lease expiry, as a virtual-time delay. This is
+   the nemesis layer's targeting hook: firing a partition just inside
+   this window hits the protocol exactly as a lease is about to lapse. *)
+let next_lease_expiry_ms t =
+  if not t.config.use_volume_leases then None
+  else
+    Obj_map.fold t.cache.vols ~init:None ~f:(fun _ vf acc ->
+        if vf.expires > now t && vf.expires < infinity then begin
+          let delay = Clock.delay_until t.clock vf.expires in
+          match acc with Some best when best <= delay -> acc | Some _ | None -> Some delay
+        end
+        else acc)
 
 let active_ensure_loops t = Hashtbl.length t.ensuring

@@ -49,3 +49,9 @@ val epoch_from : t -> volume:int -> iqs:int -> int
 val local_time : t -> float
 
 val active_ensure_loops : t -> int
+
+val next_lease_expiry_ms : t -> float option
+(** Virtual-time delay until the earliest currently-valid volume lease
+    held by this node expires; [None] when no finite unexpired lease is
+    held (or volume leases are disabled). Fault orchestration uses this
+    to fire partitions precisely inside a lease-expiry window. *)

@@ -32,6 +32,7 @@ type result = {
   issued : int;
   completed : int;
   failed : int;
+  gave_up : int;
   history : History.op list;
   remote_messages : int;
   messages_per_request : float;
@@ -86,6 +87,7 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
   let issued = ref 0 in
   let failed = ref 0 in
   let completed = ref 0 in
+  let gave_up = ref 0 in
   let clients =
     List.mapi
       (fun index node ->
@@ -163,6 +165,19 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
         end
       in
       ignore (Engine.schedule engine ~delay:config.timeout_ms on_timeout);
+      (* The protocol explicitly abandoned the operation (bounded
+         retransmission exhausted): record it as failed immediately
+         rather than leaving it to the timeout, so the history can tell
+         "gave up" apart from "still pending". *)
+      let on_give_up () =
+        History.give_up_op history ~id ~now:(Engine.now engine);
+        if not !settled then begin
+          settled := true;
+          incr failed;
+          incr gave_up;
+          advance ()
+        end
+      in
       let complete ~value ~lc =
         (* A response after the timeout still completes the operation in
            the history (the write may have taken effect), but the client
@@ -177,11 +192,11 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
       in
       match kind with
       | History.Read ->
-        api.R.submit_read ~client:client.node ~server op.Generator.key (fun r ->
+        api.R.submit_read ~client:client.node ~server ~on_give_up op.Generator.key (fun r ->
             complete ~value:r.R.read_value ~lc:r.R.read_lc)
       | History.Write ->
-        api.R.submit_write ~client:client.node ~server op.Generator.key value (fun w ->
-            complete ~value ~lc:w.R.write_lc)
+        api.R.submit_write ~client:client.node ~server ~on_give_up op.Generator.key value
+          (fun w -> complete ~value ~lc:w.R.write_lc)
     end
   in
   let start_client client =
@@ -219,6 +234,7 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
     issued = !issued;
     completed = !completed;
     failed = !failed;
+    gave_up = !gave_up;
     history = History.ops history;
     remote_messages;
     messages_per_request = float_of_int remote_messages /. float_of_int requests;

@@ -34,7 +34,11 @@ type result = {
   all_latency : Dq_util.Stats.t;
   issued : int;
   completed : int;
-  failed : int;  (** timed-out operations *)
+  failed : int;  (** operations that timed out or explicitly gave up *)
+  gave_up : int;
+      (** subset of [failed]: operations the protocol explicitly
+          abandoned (bounded QRPC retransmission exhausted its rounds)
+          rather than silently timing out *)
   history : History.op list;
   remote_messages : int;  (** network messages sent during the run *)
   messages_per_request : float;

@@ -15,31 +15,58 @@ type scenario = {
   jitter_ms : float;
   crashes : bool;
   partition : bool;
+  max_drift : float;
+  nemesis : Nemesis.program option;
 }
 
 let scenario_of_seed seed =
   let rng = Rng.create seed in
+  (* Field order is the replay contract: [max_drift] is drawn after
+     every pre-existing field, so counterexample seeds recorded before
+     clock drift existed still reproduce the same scenario (the extra
+     draws only extend the record). *)
+  let n_servers = 3 + Rng.int rng 5 in
+  let write_ratio = 0.1 +. Rng.float rng 0.5 in
+  let objects = 1 + Rng.int rng 3 in
+  let loss = Rng.float rng 0.15 in
+  let duplicate = Rng.float rng 0.15 in
+  let jitter_ms = Rng.float rng 40. in
+  let crashes = Rng.bool rng in
+  let partition = Rng.bool rng in
+  let max_drift = if Rng.bool rng then 0. else Rng.float rng 0.01 in
   {
     seed;
-    n_servers = 3 + Rng.int rng 5;
-    write_ratio = 0.1 +. Rng.float rng 0.5;
-    objects = 1 + Rng.int rng 3;
-    loss = Rng.float rng 0.15;
-    duplicate = Rng.float rng 0.15;
-    jitter_ms = Rng.float rng 40.;
-    crashes = Rng.bool rng;
-    partition = Rng.bool rng;
+    n_servers;
+    write_ratio;
+    objects;
+    loss;
+    duplicate;
+    jitter_ms;
+    crashes;
+    partition;
+    max_drift;
+    nemesis = None;
   }
 
 let pp_scenario ppf s =
   Format.fprintf ppf
-    "{seed=%Ld n=%d w=%.2f objs=%d loss=%.2f dup=%.2f jitter=%.0f crash=%b part=%b}" s.seed
-    s.n_servers s.write_ratio s.objects s.loss s.duplicate s.jitter_ms s.crashes s.partition
+    "{seed=%Ld n=%d w=%.2f objs=%d loss=%.2f dup=%.2f jitter=%.0f crash=%b part=%b \
+     drift=%.4f%s}"
+    s.seed s.n_servers s.write_ratio s.objects s.loss s.duplicate s.jitter_ms s.crashes
+    s.partition s.max_drift
+    (match s.nemesis with
+    | None -> ""
+    | Some program -> Printf.sprintf " nemesis=%d-steps" (List.length program))
 
 type outcome = {
   scenario : scenario;
   completed : int;
   failed : int;
+  gave_up : int;
+  stale_reads : int;
+  max_staleness_ms : float;
+  max_gap_ms : float;
+  phases : Nemesis.phase list;
   violations : string list;
 }
 
@@ -65,17 +92,43 @@ let fault_events s =
   in
   crash_events @ partition_events
 
-let run ?(check_invariant = true) (builder : Registry.builder) s =
+(* The longest interval between consecutive operation completions — the
+   observed unavailability window (0 when fewer than two completed). *)
+let max_completion_gap history =
+  let times =
+    List.filter_map (fun (op : History.op) -> op.History.responded) history
+    |> List.sort Float.compare
+  in
+  match times with
+  | [] | [ _ ] -> 0.
+  | first :: rest ->
+    let gap, _ =
+      List.fold_left
+        (fun (gap, prev) t -> (Float.max gap (t -. prev), t))
+        (0., first) rest
+    in
+    gap
+
+let run ?(check_invariant = true) ?(check_regular = true) (builder : Registry.builder) s =
   let engine = Engine.create ~seed:s.seed () in
   let topology = Topology.make ~n_servers:s.n_servers ~n_clients:3 () in
   let faults = { Net.loss = s.loss; duplicate = s.duplicate; jitter_ms = s.jitter_ms } in
-  let instance = builder.Registry.build engine topology ~faults () in
+  let instance =
+    builder.Registry.build engine topology ~faults
+      ?max_drift:(if s.max_drift > 0. then Some s.max_drift else None)
+      ()
+  in
   let keys = List.init s.objects (fun i -> Key.make ~volume:0 ~index:i) in
   let invariant_violations =
     match instance.Registry.dq_cluster with
     | Some cluster when check_invariant ->
       Some (Invariant.install_periodic engine cluster ~keys ~every_ms:100. ~until_ms:2e5)
     | Some _ | None -> None
+  in
+  let nemesis_log =
+    Option.map
+      (Nemesis.install engine instance ~servers:(Topology.servers topology))
+      s.nemesis
   in
   let spec =
     {
@@ -101,11 +154,13 @@ let run ?(check_invariant = true) (builder : Registry.builder) s =
   in
   let violations = ref [] in
   let note fmt = Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt in
-  let report = Regular_checker.check result.Driver.history in
-  List.iteri
-    (fun i v ->
-      if i < 3 then note "regular-semantics violation: %s" v.Regular_checker.reason)
-    report.Regular_checker.violations;
+  if check_regular then begin
+    let report = Regular_checker.check result.Driver.history in
+    List.iteri
+      (fun i v ->
+        if i < 3 then note "regular-semantics violation: %s" v.Regular_checker.reason)
+      report.Regular_checker.violations
+  end;
   if result.Driver.completed = 0 then note "no operation ever completed";
   (match invariant_violations with
   | Some cell ->
@@ -113,18 +168,30 @@ let run ?(check_invariant = true) (builder : Registry.builder) s =
       (fun i v -> if i < 3 then note "safety invariant: %a" (fun () -> Format.asprintf "%a" Invariant.pp) v)
       !cell
   | None -> ());
+  let staleness = Staleness.measure result.Driver.history in
+  let phases =
+    match nemesis_log with
+    | Some log -> Nemesis.phases ~events:!log ~history:result.Driver.history
+    | None -> []
+  in
   {
     scenario = s;
     completed = result.Driver.completed;
     failed = result.Driver.failed;
+    gave_up = result.Driver.gave_up;
+    stale_reads = List.length staleness.Staleness.stale;
+    max_staleness_ms = staleness.Staleness.max_behind_ms;
+    max_gap_ms = max_completion_gap result.Driver.history;
+    phases;
     violations = List.rev !violations;
   }
 
-let campaign ?(on_progress = fun _ _ -> ()) builder ~seeds =
+let campaign ?(on_progress = fun _ _ -> ()) ?(scenario_of = scenario_of_seed) builder ~seeds
+    =
   List.concat
     (List.mapi
        (fun i seed ->
-         let outcome = run builder (scenario_of_seed seed) in
+         let outcome = run builder (scenario_of seed) in
          on_progress i outcome;
          if outcome.violations = [] then [] else [ outcome ])
        seeds)

@@ -1,18 +1,26 @@
 (** Randomized fault-scenario fuzzing.
 
     Each scenario draws a topology size, workload mix, fault model
-    (loss/duplication/jitter), an IQS-minority crash schedule and an
-    optional transient partition from a seed, runs a protocol under it,
-    and checks:
+    (loss/duplication/jitter), an IQS-minority crash schedule, an
+    optional transient partition and an optional clock-drift bound from
+    a seed, runs a protocol under it, and checks:
 
     - regular semantics over the full history (quorum protocols),
     - liveness (some operations complete),
     - for DQVL clusters additionally the cross-node safety invariant,
       sampled every 100 ms of virtual time.
 
-    The whole run is a pure function of the seed: a reported
-    counterexample seed replays exactly. Used by [bin/fuzz.exe] and the
-    property-based test suites. *)
+    A scenario may additionally carry a {!Nemesis.program}: a
+    declarative timeline of composable faults (partition patterns,
+    crash storms, clock-skew bumps, link degradation and flapping,
+    lease-expiry-targeted windows) interpreted against the instance
+    while the workload runs; outcomes then include per-phase
+    degraded-mode metrics.
+
+    The whole run is a pure function of the seed (plus the attached
+    program, itself typically seed-derived): a reported counterexample
+    seed replays exactly. Used by [bin/fuzz.exe], [bin/nemesis.exe] and
+    the property-based test suites. *)
 
 type scenario = {
   seed : int64;
@@ -24,10 +32,20 @@ type scenario = {
   jitter_ms : float;
   crashes : bool;
   partition : bool;
+  max_drift : float;
+      (** per-node clock-drift bound handed to drift-aware protocols;
+          [0.] (the default for half the seeds) leaves the builder's
+          own bound in place *)
+  nemesis : Nemesis.program option;
+      (** optional declarative fault timeline, run alongside the
+          legacy [crashes]/[partition] schedule *)
 }
 
 val scenario_of_seed : int64 -> scenario
-(** Deterministically derive a scenario from a seed. *)
+(** Deterministically derive a scenario from a seed ([nemesis] is
+    [None]; attach a program with record update). [max_drift] is drawn
+    after all other fields, so seeds recorded before it existed still
+    reproduce the same topology, workload and fault draws. *)
 
 val pp_scenario : Format.formatter -> scenario -> unit
 
@@ -35,17 +53,36 @@ type outcome = {
   scenario : scenario;
   completed : int;
   failed : int;
+  gave_up : int;
+      (** operations the protocol explicitly abandoned (bounded QRPC
+          retransmission), a subset of [failed] *)
+  stale_reads : int;  (** completed reads that returned a superseded value *)
+  max_staleness_ms : float;
+  max_gap_ms : float;
+      (** longest interval between consecutive operation completions:
+          the observed unavailability window *)
+  phases : Nemesis.phase list;
+      (** per-phase metrics, sliced at every nemesis event; empty when
+          the scenario carried no program *)
   violations : string list;  (** empty = scenario passed *)
 }
 
-val run : ?check_invariant:bool -> Registry.builder -> scenario -> outcome
+val run :
+  ?check_invariant:bool -> ?check_regular:bool -> Registry.builder -> scenario -> outcome
 (** [check_invariant] (default true) applies only to dual-quorum
-    builders (it is skipped for protocols without the introspection). *)
+    builders (it is skipped for protocols without the introspection).
+    [check_regular] (default true) gates the regular-semantics check —
+    disable it for protocols that are weakly consistent {e by design}
+    (ROWA-Async), whose staleness is reported as a metric instead of a
+    violation. *)
 
 val campaign :
   ?on_progress:(int -> outcome -> unit) ->
+  ?scenario_of:(int64 -> scenario) ->
   Registry.builder ->
   seeds:int64 list ->
   outcome list
 (** Run many scenarios; returns the failing outcomes (empty = all
-    passed). *)
+    passed). [scenario_of] (default {!scenario_of_seed}) lets callers
+    derive richer scenarios — e.g. attach a seeded nemesis program of
+    a chosen fault class. *)

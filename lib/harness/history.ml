@@ -11,6 +11,7 @@ type op = {
   lc : Lc.t option;
   invoked : float;
   responded : float option;
+  gave_up : float option;
 }
 
 type t = { mutable next_id : int; table : (int, op) Hashtbl.t }
@@ -21,7 +22,7 @@ let begin_op t ~client ~key ~kind ~value ~now =
   let id = t.next_id in
   t.next_id <- id + 1;
   Hashtbl.replace t.table id
-    { id; client; key; kind; value; lc = None; invoked = now; responded = None };
+    { id; client; key; kind; value; lc = None; invoked = now; responded = None; gave_up = None };
   id
 
 let complete_op t ~id ~value ~lc ~now =
@@ -31,11 +32,19 @@ let complete_op t ~id ~value ~lc ~now =
     Hashtbl.replace t.table id { op with value; lc = Some lc; responded = Some now }
   | None -> invalid_arg "History.complete_op: unknown operation id"
 
+let give_up_op t ~id ~now =
+  match Hashtbl.find_opt t.table id with
+  | Some op -> if op.responded = None then Hashtbl.replace t.table id { op with gave_up = Some now }
+  | None -> invalid_arg "History.give_up_op: unknown operation id"
+
 let ops t =
   Hashtbl.fold (fun _ op acc -> op :: acc) t.table []
   |> List.sort (fun a b -> Int.compare a.id b.id)
 
 let completed_count t =
   Hashtbl.fold (fun _ op acc -> if op.responded <> None then acc + 1 else acc) t.table 0
+
+let gave_up_count t =
+  Hashtbl.fold (fun _ op acc -> if op.gave_up <> None then acc + 1 else acc) t.table 0
 
 let size t = Hashtbl.length t.table

@@ -19,6 +19,11 @@ type op = {
           for operations that never completed *)
   invoked : float;
   responded : float option;  (** [None]: no response (timed out / node down) *)
+  gave_up : float option;
+      (** when the protocol {e explicitly} abandoned the operation (a
+          bounded retransmission loop exhausted its rounds); [None] for
+          completed operations and for operations that are merely still
+          pending. Distinguishes "failed" from "no response yet". *)
 }
 
 type t
@@ -30,9 +35,16 @@ val begin_op : t -> client:int -> key:Key.t -> kind:kind -> value:string -> now:
 
 val complete_op : t -> id:int -> value:string -> lc:Lc.t -> now:float -> unit
 
+val give_up_op : t -> id:int -> now:float -> unit
+(** Record that the protocol explicitly abandoned the operation. A
+    no-op if the operation already completed (a late give-up racing a
+    response loses). *)
+
 val ops : t -> op list
 (** All operations, in id order. *)
 
 val completed_count : t -> int
+
+val gave_up_count : t -> int
 
 val size : t -> int

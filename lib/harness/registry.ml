@@ -6,6 +6,11 @@ type instance = {
   partition : int list list -> unit;
   heal : unit -> unit;
   set_service_time : float -> unit; (* per-message processing cost *)
+  control : Net.control;
+      (* message-type-erased fault-injection handle over the same
+         network, for the nemesis orchestrator *)
+  server_clock : int -> Dq_sim.Clock.t option;
+      (* per-node clock when the protocol models drift; None otherwise *)
   dq_cluster : Dq_core.Cluster.t option;
       (* exposed for introspection (invariant checking); None for the
          baseline protocols *)
@@ -13,10 +18,22 @@ type instance = {
 
 type builder = {
   name : string;
-  build : Dq_sim.Engine.t -> Topology.t -> ?faults:Net.fault_model -> unit -> instance;
+  build :
+    Dq_sim.Engine.t ->
+    Topology.t ->
+    ?faults:Net.fault_model ->
+    ?max_drift:float ->
+    unit ->
+    instance;
 }
 
-let dq_instance engine topology ?faults config =
+let with_drift ?max_drift config =
+  match max_drift with
+  | Some max_drift when max_drift > 0. -> { config with Dq_core.Config.max_drift }
+  | Some _ | None -> config
+
+let dq_instance engine topology ?faults ?max_drift config =
+  let config = with_drift ?max_drift config in
   let cluster = Dq_core.Cluster.create engine topology ?faults config in
   let net = Dq_core.Cluster.net cluster in
   {
@@ -24,36 +41,40 @@ let dq_instance engine topology ?faults config =
     partition = (fun groups -> Net.partition net groups);
     heal = (fun () -> Net.heal net);
     set_service_time = (fun ms -> Net.set_service_time net ~ms);
+    control = Net.control net;
+    server_clock = (fun id -> Dq_core.Cluster.server_clock cluster id);
     dq_cluster = Some cluster;
   }
 
-let dqvl ?volume_lease_ms ?proactive_renew ?object_lease_ms () =
+let dqvl ?volume_lease_ms ?proactive_renew ?object_lease_ms ?max_rounds () =
   {
     name = "dqvl";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift () ->
         let servers = Topology.servers topology in
         let config =
-          Dq_core.Config.dqvl ~servers ?volume_lease_ms ?proactive_renew ?object_lease_ms ()
+          Dq_core.Config.dqvl ~servers ?volume_lease_ms ?proactive_renew ?object_lease_ms
+            ?max_rounds ()
         in
-        dq_instance engine topology ?faults config);
+        dq_instance engine topology ?faults ?max_drift config);
   }
 
 let dqvl_custom ~name make_config =
   {
     name;
     build =
-      (fun engine topology ?faults () ->
-        dq_instance engine topology ?faults (make_config (Topology.servers topology)));
+      (fun engine topology ?faults ?max_drift () ->
+        dq_instance engine topology ?faults ?max_drift
+          (make_config (Topology.servers topology)));
   }
 
 let dq_basic =
   {
     name = "dq-basic";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift () ->
         let servers = Topology.servers topology in
-        dq_instance engine topology ?faults (Dq_core.Config.basic ~servers ()));
+        dq_instance engine topology ?faults ?max_drift (Dq_core.Config.basic ~servers ()));
   }
 
 let base_instance engine topology ?faults protocol =
@@ -64,6 +85,8 @@ let base_instance engine topology ?faults protocol =
     partition = (fun groups -> Net.partition net groups);
     heal = (fun () -> Net.heal net);
     set_service_time = (fun ms -> Net.set_service_time net ~ms);
+    control = Net.control net;
+    server_clock = (fun _ -> None);
     dq_cluster = None;
   }
 
@@ -71,7 +94,7 @@ let primary_backup =
   {
     name = "primary-backup";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         (* The primary lives at an edge site with no co-located client
            (the paper's WAN setting: the primary is remote to the
            measured clients). Clients are routed to servers 0, 1, 2...,
@@ -86,7 +109,7 @@ let majority =
   {
     name = "majority";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         base_instance engine topology ?faults Dq_proto.Base_cluster.Majority_quorum);
   }
 
@@ -94,7 +117,7 @@ let atomic_majority =
   {
     name = "atomic-majority";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         base_instance engine topology ?faults Dq_proto.Base_cluster.Atomic_majority);
   }
 
@@ -102,7 +125,7 @@ let dqvl_atomic ?volume_lease_ms ?proactive_renew () =
   {
     name = "dqvl-atomic";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift () ->
         let servers = Topology.servers topology in
         let config =
           {
@@ -110,14 +133,14 @@ let dqvl_atomic ?volume_lease_ms ?proactive_renew () =
             Dq_core.Config.atomic_reads = true;
           }
         in
-        dq_instance engine topology ?faults config);
+        dq_instance engine topology ?faults ?max_drift config);
   }
 
 let rowa =
   {
     name = "rowa";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         base_instance engine topology ?faults Dq_proto.Base_cluster.Rowa);
   }
 
@@ -125,7 +148,7 @@ let rowa_async ?(anti_entropy_ms = 1000.) () =
   {
     name = "rowa-async";
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         base_instance engine topology ?faults
           (Dq_proto.Base_cluster.Rowa_async { anti_entropy_ms }));
   }
@@ -134,7 +157,7 @@ let grid ~rows ~cols =
   {
     name = Printf.sprintf "grid(%dx%d)" rows cols;
     build =
-      (fun engine topology ?faults () ->
+      (fun engine topology ?faults ?max_drift:_ () ->
         let servers = Topology.servers topology in
         if List.length servers < rows * cols then
           invalid_arg "Registry.grid: not enough servers";

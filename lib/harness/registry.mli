@@ -7,19 +7,44 @@ type instance = {
   heal : unit -> unit;
   set_service_time : float -> unit;
       (** per-message processing cost at every node (queueing model) *)
+  control : Dq_net.Net.control;
+      (** message-type-erased fault-injection handle (one-way cuts,
+          per-link faults, flapping, crashes) over the instance's
+          network — what the nemesis orchestrator drives *)
+  server_clock : int -> Dq_sim.Clock.t option;
+      (** the node's local clock when the protocol models clock drift
+          (dual-quorum clusters); [None] for baseline protocols, whose
+          correctness does not depend on clocks *)
   dq_cluster : Dq_core.Cluster.t option;
       (** the underlying dual-quorum cluster, for introspection
-          (invariant checks); [None] for baseline protocols *)
+          (invariant checks, lease-expiry targeting); [None] for
+          baseline protocols *)
 }
 
 type builder = {
   name : string;
   build :
-    Dq_sim.Engine.t -> Dq_net.Topology.t -> ?faults:Dq_net.Net.fault_model -> unit -> instance;
+    Dq_sim.Engine.t ->
+    Dq_net.Topology.t ->
+    ?faults:Dq_net.Net.fault_model ->
+    ?max_drift:float ->
+    unit ->
+    instance;
+      (** [max_drift] overrides the clock-drift bound of drift-aware
+          protocols (dual-quorum lease arithmetic); baseline protocols
+          ignore it. Values [<= 0.] are ignored. *)
 }
 
 val dqvl :
-  ?volume_lease_ms:float -> ?proactive_renew:bool -> ?object_lease_ms:float -> unit -> builder
+  ?volume_lease_ms:float ->
+  ?proactive_renew:bool ->
+  ?object_lease_ms:float ->
+  ?max_rounds:int ->
+  unit ->
+  builder
+(** [max_rounds] bounds front-end QRPC retransmission: operations give
+    up (reporting failure to the client) after that many rounds instead
+    of retrying forever. *)
 
 val dqvl_custom : name:string -> (int list -> Dq_core.Config.t) -> builder
 (** Full control over the dual-quorum configuration; the function

@@ -9,10 +9,16 @@ type write_result = { write_key : Dq_storage.Key.t; write_lc : Dq_storage.Lc.t }
 type api = {
   protocol_name : string;
   submit_read :
-    client:int -> server:int -> Dq_storage.Key.t -> (read_result -> unit) -> unit;
+    client:int ->
+    server:int ->
+    ?on_give_up:(unit -> unit) ->
+    Dq_storage.Key.t ->
+    (read_result -> unit) ->
+    unit;
   submit_write :
     client:int ->
     server:int ->
+    ?on_give_up:(unit -> unit) ->
     Dq_storage.Key.t ->
     string ->
     (write_result -> unit) ->

@@ -21,14 +21,24 @@ type write_result = {
 type api = {
   protocol_name : string;
   submit_read :
-    client:int -> server:int -> Dq_storage.Key.t -> (read_result -> unit) -> unit;
+    client:int ->
+    server:int ->
+    ?on_give_up:(unit -> unit) ->
+    Dq_storage.Key.t ->
+    (read_result -> unit) ->
+    unit;
       (** [submit_read ~client ~server key k] issues a read from
           application-client node [client] through front-end [server];
           [k] fires when the protocol completes the read. The callback
-          may never fire if the required replicas stay unreachable. *)
+          may never fire if the required replicas stay unreachable.
+          [on_give_up] fires instead if the protocol {e explicitly}
+          abandons the operation (a bounded retransmission loop
+          exhausted its rounds); protocols that retry forever never
+          invoke it. *)
   submit_write :
     client:int ->
     server:int ->
+    ?on_give_up:(unit -> unit) ->
     Dq_storage.Key.t ->
     string ->
     (write_result -> unit) ->

@@ -20,6 +20,10 @@ type 'msg t = {
   nodes : 'msg node_state array;
   mutable faults : fault_model;
   mutable group_of : int array option; (* partition group per node *)
+  cuts : (int * int, unit) Hashtbl.t; (* severed directed links (src, dst) *)
+  link_faults : (int * int, fault_model) Hashtbl.t; (* per-link overrides *)
+  flap_gens : (int * int, int) Hashtbl.t; (* live flap schedule per link *)
+  mutable next_flap_gen : int;
   mutable manual : bool;
   mutable pending_pool : (int * int * 'msg) list; (* newest first *)
   mutable service_time_ms : float;
@@ -40,6 +44,10 @@ let create engine topology ?(faults = no_faults) ~classify ?(size_of = fun _ -> 
     nodes = Array.init n fresh_node;
     faults;
     group_of = None;
+    cuts = Hashtbl.create 8;
+    link_faults = Hashtbl.create 8;
+    flap_gens = Hashtbl.create 8;
+    next_flap_gen = 0;
     manual = false;
     pending_pool = [];
     service_time_ms = 0.;
@@ -66,10 +74,68 @@ let is_up t id =
   check_id t id;
   t.nodes.(id).up
 
+(* {2 Per-directed-link faults and cuts} *)
+
+let set_link_faults t ~src ~dst faults =
+  check_id t src;
+  check_id t dst;
+  match faults with
+  | Some f -> Hashtbl.replace t.link_faults (src, dst) f
+  | None -> Hashtbl.remove t.link_faults (src, dst)
+
+let link_faults t ~src ~dst = Hashtbl.find_opt t.link_faults (src, dst)
+
+let effective_faults t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (src, dst) with
+  | Some f -> f
+  | None -> t.faults
+
+let cut t ~src ~dst =
+  check_id t src;
+  check_id t dst;
+  Hashtbl.replace t.cuts (src, dst) ()
+
+let uncut t ~src ~dst =
+  check_id t src;
+  check_id t dst;
+  Hashtbl.remove t.cuts (src, dst)
+
+let is_cut t ~src ~dst = Hashtbl.mem t.cuts (src, dst)
+
+let uncut_all t = Hashtbl.reset t.cuts
+
 let reachable t ~src ~dst =
+  (not (Hashtbl.mem t.cuts (src, dst)))
+  &&
   match t.group_of with
   | None -> true
   | Some groups -> groups.(src) = groups.(dst)
+
+(* Link flapping: the directed link alternates available/severed with
+   the given duty cycle until [until_ms] (absolute virtual time), then
+   is restored. A new flap on the same link supersedes the old one; any
+   global [heal] stops all flapping. *)
+let flap_link t ~src ~dst ~up_ms ~down_ms ~until_ms =
+  check_id t src;
+  check_id t dst;
+  if up_ms <= 0. || down_ms <= 0. then invalid_arg "Net.flap_link: non-positive phase";
+  t.next_flap_gen <- t.next_flap_gen + 1;
+  let generation = t.next_flap_gen in
+  Hashtbl.replace t.flap_gens (src, dst) generation;
+  let rec phase is_up () =
+    if Hashtbl.find_opt t.flap_gens (src, dst) = Some generation then begin
+      if Dq_sim.Engine.now t.engine >= until_ms then begin
+        Hashtbl.remove t.flap_gens (src, dst);
+        uncut t ~src ~dst
+      end
+      else begin
+        if is_up then uncut t ~src ~dst else cut t ~src ~dst;
+        let dwell = if is_up then up_ms else down_ms in
+        ignore (Dq_sim.Engine.schedule t.engine ~delay:dwell (phase (not is_up)))
+      end
+    end
+  in
+  phase true ()
 
 let deliver t ~src ~dst msg =
   let node = t.nodes.(dst) in
@@ -100,16 +166,19 @@ let send t ~src ~dst msg =
     let local = src = dst in
     Msg_stats.record t.stats ~label:(t.classify msg) ~local ~bytes:(t.size_of msg) ();
     if t.manual then t.pending_pool <- (src, dst, msg) :: t.pending_pool
-    else if reachable t ~src ~dst && not (Dq_util.Rng.bernoulli t.rng t.faults.loss) then begin
-      let schedule_delivery () =
-        let jitter =
-          if t.faults.jitter_ms > 0. then Dq_util.Rng.float t.rng t.faults.jitter_ms else 0.
+    else begin
+      let faults = effective_faults t ~src ~dst in
+      if reachable t ~src ~dst && not (Dq_util.Rng.bernoulli t.rng faults.loss) then begin
+        let schedule_delivery () =
+          let jitter =
+            if faults.jitter_ms > 0. then Dq_util.Rng.float t.rng faults.jitter_ms else 0.
+          in
+          let delay = Topology.delay t.topology ~src ~dst +. jitter in
+          ignore (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
         in
-        let delay = Topology.delay t.topology ~src ~dst +. jitter in
-        ignore (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
-      in
-      schedule_delivery ();
-      if Dq_util.Rng.bernoulli t.rng t.faults.duplicate then schedule_delivery ()
+        schedule_delivery ();
+        if Dq_util.Rng.bernoulli t.rng faults.duplicate then schedule_delivery ()
+      end
     end
   end
 
@@ -178,4 +247,42 @@ let partition t groups =
   Array.iteri (fun i g -> if g = -1 then group_of.(i) <- implicit) group_of;
   t.group_of <- Some group_of
 
-let heal t = t.group_of <- None
+let heal t =
+  t.group_of <- None;
+  Hashtbl.reset t.flap_gens;
+  uncut_all t
+
+(* {2 Message-type-erased control handle} *)
+
+type control = {
+  c_nodes : int list;
+  c_partition : int list list -> unit;
+  c_heal : unit -> unit;
+  c_cut : src:int -> dst:int -> unit;
+  c_uncut : src:int -> dst:int -> unit;
+  c_set_link_faults : src:int -> dst:int -> fault_model option -> unit;
+  c_set_faults : fault_model -> unit;
+  c_flap_link : src:int -> dst:int -> up_ms:float -> down_ms:float -> until_ms:float -> unit;
+  c_crash : int -> unit;
+  c_recover : int -> unit;
+  c_is_up : int -> bool;
+  c_reachable : src:int -> dst:int -> bool;
+}
+
+let control t =
+  {
+    c_nodes = Topology.nodes t.topology;
+    c_partition = (fun groups -> partition t groups);
+    c_heal = (fun () -> heal t);
+    c_cut = (fun ~src ~dst -> cut t ~src ~dst);
+    c_uncut = (fun ~src ~dst -> uncut t ~src ~dst);
+    c_set_link_faults = (fun ~src ~dst faults -> set_link_faults t ~src ~dst faults);
+    c_set_faults = (fun faults -> set_faults t faults);
+    c_flap_link =
+      (fun ~src ~dst ~up_ms ~down_ms ~until_ms ->
+        flap_link t ~src ~dst ~up_ms ~down_ms ~until_ms);
+    c_crash = (fun id -> crash t id);
+    c_recover = (fun id -> recover t id);
+    c_is_up = (fun id -> is_up t id);
+    c_reachable = (fun ~src ~dst -> reachable t ~src ~dst);
+  }

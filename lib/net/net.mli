@@ -7,6 +7,12 @@
     - message {b duplication} (a second copy with fresh jitter),
     - {b reordering} (uniform jitter added to each delivery),
     - {b partitions} (node groups that cannot exchange messages),
+    - {b one-way link cuts} (a directed [(src, dst)] pair stops
+      carrying messages while the reverse direction still works),
+    - {b per-directed-link fault overrides} (an individual link can be
+      lossier, duplicate more, or jitter harder than the global model),
+    - {b link flapping} (a link alternates between available and
+      severed on a fixed duty cycle),
     - fail-stop {b crashes} (a crashed node neither sends nor receives,
       and its pending timers are invalidated).
 
@@ -60,7 +66,8 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Fire-and-forget. Counted in {!stats} even if subsequently lost
     (the sender did transmit it); dropped silently if the sender is
     crashed, the destination is crashed at delivery time, the link is
-    partitioned, or the fault model loses it. *)
+    partitioned or cut in the [src -> dst] direction, or the (global or
+    per-link) fault model loses it. *)
 
 (** {2 Fail-stop crashes} *)
 
@@ -91,23 +98,23 @@ val set_manual : 'msg t -> bool -> unit
     they accumulate in a pending pool, and a test controller decides
     the delivery order with {!pending} / {!deliver_pending} /
     {!drop_pending}. Loss/duplication/jitter do not apply (the
-    controller owns the nondeterminism); partitions and crashes do.
-    Timers are unaffected. Used by {i schedule exploration}, which
-    checks protocol correctness under message orderings the delay
-    matrix could never produce. *)
+    controller owns the nondeterminism); partitions, one-way cuts and
+    crashes do. Timers are unaffected. Used by {i schedule
+    exploration}, which checks protocol correctness under message
+    orderings the delay matrix could never produce. *)
 
 val pending : 'msg t -> (int * int * 'msg) list
 (** The undelivered sends, oldest first, as (src, dst, msg). *)
 
 val deliver_pending : 'msg t -> int -> unit
 (** Deliver the i-th pending message now (synchronously). Out-of-range
-    indices raise [Invalid_argument]. Crashed destinations and
-    partitioned pairs drop the message instead. *)
+    indices raise [Invalid_argument]. Crashed destinations, partitioned
+    pairs and cut links drop the message instead. *)
 
 val drop_pending : 'msg t -> int -> unit
 (** Remove the i-th pending message without delivering it. *)
 
-(** {2 Partitions} *)
+(** {2 Partitions and directed link faults} *)
 
 val partition : 'msg t -> int list list -> unit
 (** [partition net groups] splits the network: messages flow only
@@ -115,8 +122,63 @@ val partition : 'msg t -> int list list -> unit
     an implicit final group. Replaces any previous partition. *)
 
 val heal : 'msg t -> unit
-(** Remove the partition. *)
+(** Remove the partition, every one-way cut, and stop all link
+    flapping. Per-link fault overrides are {e not} cleared (they model
+    link quality, not a transient outage); use {!set_link_faults} with
+    [None] to drop them. *)
+
+val cut : 'msg t -> src:int -> dst:int -> unit
+(** Sever the directed link [src -> dst]: messages sent that way are
+    dropped while the reverse direction keeps working (one-way link
+    failure). Idempotent; independent of any group partition. *)
+
+val uncut : 'msg t -> src:int -> dst:int -> unit
+(** Restore a severed directed link. Idempotent. *)
+
+val uncut_all : 'msg t -> unit
+
+val is_cut : 'msg t -> src:int -> dst:int -> bool
+
+val set_link_faults : 'msg t -> src:int -> dst:int -> fault_model option -> unit
+(** Override the fault model on the directed link [src -> dst]
+    ([None] reverts the link to the global model). Applies to loss,
+    duplication and jitter of subsequent sends on that link. *)
+
+val link_faults : 'msg t -> src:int -> dst:int -> fault_model option
+
+val flap_link :
+  'msg t -> src:int -> dst:int -> up_ms:float -> down_ms:float -> until_ms:float -> unit
+(** Flap the directed link: available for [up_ms], severed for
+    [down_ms], repeating until absolute virtual time [until_ms], after
+    which the link is restored. A later [flap_link] on the same link
+    supersedes the running schedule; {!heal} stops all flapping. *)
 
 val reachable : 'msg t -> src:int -> dst:int -> bool
 (** Whether a message sent now from [src] would cross the partition
-    (ignores crashes and probabilistic faults). *)
+    and any one-way cut — direction-aware: [reachable ~src:a ~dst:b]
+    and [reachable ~src:b ~dst:a] may differ. Ignores crashes and
+    probabilistic faults. *)
+
+(** {2 Message-type-erased control}
+
+    Fault orchestration (the nemesis layer) operates on clusters of any
+    protocol, whose networks carry different message types. [control]
+    packages the fault-injection surface of a network with the message
+    type erased so one orchestrator drives them all. *)
+
+type control = {
+  c_nodes : int list;
+  c_partition : int list list -> unit;
+  c_heal : unit -> unit;
+  c_cut : src:int -> dst:int -> unit;
+  c_uncut : src:int -> dst:int -> unit;
+  c_set_link_faults : src:int -> dst:int -> fault_model option -> unit;
+  c_set_faults : fault_model -> unit;
+  c_flap_link : src:int -> dst:int -> up_ms:float -> down_ms:float -> until_ms:float -> unit;
+  c_crash : int -> unit;
+  c_recover : int -> unit;
+  c_is_up : int -> bool;
+  c_reachable : src:int -> dst:int -> bool;
+}
+
+val control : 'msg t -> control

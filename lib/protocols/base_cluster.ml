@@ -138,7 +138,8 @@ let client_stub t id =
   | None -> invalid_arg (Printf.sprintf "Base_cluster: node %d is not a client" id)
 
 let api t =
-  let submit_read ~client ~server key callback =
+  (* Base front ends retransmit forever, so [on_give_up] never fires. *)
+  let submit_read ~client ~server ?on_give_up:_ key callback =
     let stub = client_stub t client in
     let op = stub.next_op in
     stub.next_op <- op + 1;
@@ -151,7 +152,7 @@ let api t =
     in
     Net.send t.net ~src:client ~dst:server (Base_msg.Client_read_req { op; key; floor })
   in
-  let submit_write ~client ~server key value callback =
+  let submit_write ~client ~server ?on_give_up:_ key value callback =
     let stub = client_stub t client in
     let op = stub.next_op in
     stub.next_op <- op + 1;

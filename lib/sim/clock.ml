@@ -1,4 +1,4 @@
-type t = { engine : Engine.t; skew : float; offset : float }
+type t = { engine : Engine.t; mutable skew : float; mutable offset : float }
 
 let perfect engine = { engine; skew = 0.; offset = 0. }
 
@@ -15,6 +15,16 @@ let random engine ~rng ~max_drift ~max_offset =
 let now t = t.offset +. ((1. +. t.skew) *. Engine.now t.engine)
 
 let skew t = t.skew
+
+let set_skew t skew =
+  (* Rebase the offset so the local reading is continuous: only the
+     rate changes, never the current reading. A rate that stays within
+     the assumed drift bound at every instant keeps total divergence
+     within the bound over any interval, so lease arithmetic that
+     discounts by [max_drift] remains sound across the change. *)
+  let reading = now t in
+  t.skew <- skew;
+  t.offset <- reading -. ((1. +. skew) *. Engine.now t.engine)
 
 let after t deadline = now t > deadline
 

@@ -24,6 +24,14 @@ val now : t -> float
 
 val skew : t -> float
 
+val set_skew : t -> float -> unit
+(** Change the clock's drift rate {e continuously}: the current local
+    reading is preserved (the offset is rebased) and only the rate at
+    which the clock diverges from virtual time changes. Fault injection
+    uses this for clock-skew bumps; keeping every rate within the
+    configured [max_drift] bound keeps the protocol's drift-compensated
+    lease arithmetic sound. *)
+
 val after : t -> float -> bool
 (** [after t deadline] is [now t > deadline]: has this node's local
     clock passed [deadline]? *)

@@ -17,6 +17,7 @@ let mk_op ~id ~kind ~value ~lc ~invoked ~responded =
     lc;
     invoked;
     responded;
+    gave_up = None;
   }
 
 let lc c = Some (Lc.make ~count:c ~node:0)

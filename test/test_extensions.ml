@@ -19,7 +19,7 @@ let key = Key.make ~volume:0 ~index:0
 let lc c = Some (Lc.make ~count:c ~node:0)
 
 let mk ~id ~kind ~value ~c ~invoked ~responded =
-  { H.id; client = 0; key; kind; value; lc = lc c; invoked; responded }
+  { H.id; client = 0; key; kind; value; lc = lc c; invoked; responded; gave_up = None }
 
 (* --- staleness metrics -------------------------------------------------- *)
 

@@ -1,0 +1,296 @@
+(* Nemesis fault orchestration: give-up surfacing, seed-deterministic
+   program generation and replay, lease-expiry targeting, and per-phase
+   degraded-mode metrics. *)
+
+module Engine = Dq_sim.Engine
+module Topology = Dq_net.Topology
+module Net = Dq_net.Net
+module Rng = Dq_util.Rng
+module R = Dq_intf.Replication
+module Registry = Dq_harness.Registry
+module Driver = Dq_harness.Driver
+module History = Dq_harness.History
+module Nemesis = Dq_harness.Nemesis
+module Fuzz = Dq_harness.Fuzz
+module Spec = Dq_workload.Spec
+
+(* {2 Give-up surfacing} *)
+
+(* A front end whose IQS peers are unreachable must, with bounded
+   retransmission, report failure instead of retrying forever — and the
+   history must record the operation as explicitly given up, not leave
+   it silently pending. *)
+let test_give_up_surfaces_in_history () =
+  let engine = Engine.create ~seed:42L () in
+  let topology = Topology.make ~n_servers:3 ~n_clients:1 () in
+  let builder = Registry.dqvl ~max_rounds:2 () in
+  let instance = builder.Registry.build engine topology () in
+  (* Sever every inter-server link; clients still reach their front
+     end, so requests arrive and then exhaust their QRPC rounds. *)
+  let c = instance.Registry.control in
+  for a = 0 to 2 do
+    for b = 0 to 2 do
+      if a <> b then c.Net.c_cut ~src:a ~dst:b
+    done
+  done;
+  let spec = { Spec.default with Spec.write_ratio = 0.5 } in
+  let config =
+    {
+      (Driver.default_config spec) with
+      Driver.ops_per_client = 5;
+      warmup_ops = 0;
+      timeout_ms = 120_000.;
+      horizon_ms = 600_000.;
+    }
+  in
+  let result = Driver.run engine topology instance.Registry.api config in
+  Alcotest.(check bool) "operations gave up" true (result.Driver.gave_up > 0);
+  Alcotest.(check bool) "give-ups counted as failed" true
+    (result.Driver.failed >= result.Driver.gave_up);
+  let explicit =
+    List.filter
+      (fun (op : History.op) -> op.History.gave_up <> None && op.History.responded = None)
+      result.Driver.history
+  in
+  Alcotest.(check int) "history records each give-up" result.Driver.gave_up
+    (List.length explicit);
+  (* "gave up" is distinguishable from "still pending": every
+     unresponded op here gave up explicitly (nothing merely timed out,
+     the driver timeout is far beyond the QRPC bound). *)
+  List.iter
+    (fun (op : History.op) ->
+      if op.History.responded = None then
+        Alcotest.(check bool) "no silent absence" true (op.History.gave_up <> None))
+    result.Driver.history
+
+let test_give_up_callback_direct () =
+  let engine = Engine.create ~seed:7L () in
+  let topology = Topology.make ~n_servers:3 ~n_clients:1 () in
+  let builder = Registry.dqvl ~max_rounds:1 () in
+  let instance = builder.Registry.build engine topology () in
+  let c = instance.Registry.control in
+  for a = 0 to 2 do
+    for b = 0 to 2 do
+      if a <> b then c.Net.c_cut ~src:a ~dst:b
+    done
+  done;
+  let gave_up = ref false in
+  let completed = ref false in
+  instance.Registry.api.R.submit_write ~client:3 ~server:0
+    ~on_give_up:(fun () -> gave_up := true)
+    (Dq_storage.Key.make ~volume:0 ~index:0)
+    "v"
+    (fun _ -> completed := true);
+  Engine.run engine;
+  Alcotest.(check bool) "on_give_up fired" true !gave_up;
+  Alcotest.(check bool) "never completed" false !completed
+
+(* {2 Program generation} *)
+
+let test_generation_deterministic () =
+  List.iter
+    (fun cls ->
+      let p1 = Nemesis.generate (Rng.create 99L) cls ~n_servers:5 in
+      let p2 = Nemesis.generate (Rng.create 99L) cls ~n_servers:5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic" (Nemesis.class_name cls))
+        true (p1 = p2);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s non-empty" (Nemesis.class_name cls))
+        true (p1 <> []))
+    Nemesis.all_classes
+
+let test_generated_programs_self_heal () =
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun seed ->
+          let program = Nemesis.generate (Rng.create seed) cls ~n_servers:4 in
+          (match List.rev program with
+          | { Nemesis.action = Nemesis.Heal; _ } :: _ -> ()
+          | _ -> Alcotest.failf "%s: program does not end with Heal" (Nemesis.class_name cls));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ends before 120s" (Nemesis.class_name cls))
+            true
+            (Nemesis.end_ms program < 120_000.))
+        [ 1L; 2L; 3L ])
+    Nemesis.all_classes
+
+let test_class_names_round_trip () =
+  List.iter
+    (fun cls ->
+      match Nemesis.class_of_name (Nemesis.class_name cls) with
+      | Some c -> Alcotest.(check bool) "round trip" true (c = cls)
+      | None -> Alcotest.fail "class name did not round-trip")
+    Nemesis.all_classes;
+  Alcotest.(check bool) "unknown rejected" true (Nemesis.class_of_name "bogus" = None)
+
+(* {2 Lease-expiry targeting} *)
+
+(* The Lease_window action must observe a real volume lease through the
+   DQVL introspection hook and fire its partition inside the expiry
+   window, not just after the fallback wait. *)
+let test_lease_window_targets_expiry () =
+  let engine = Engine.create ~seed:5L () in
+  let topology = Topology.make ~n_servers:3 ~n_clients:1 () in
+  let builder = Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false () in
+  let instance = builder.Registry.build engine topology () in
+  (* A read acquires volume leases at the front end's OQS node. *)
+  let done_read = ref false in
+  instance.Registry.api.R.submit_read ~client:3 ~server:0
+    (Dq_storage.Key.make ~volume:0 ~index:0)
+    (fun _ -> done_read := true);
+  Engine.run_while engine (fun () -> not !done_read);
+  Alcotest.(check bool) "read completed" true !done_read;
+  let program =
+    [
+      {
+        Nemesis.at_ms = Engine.now engine +. 50.;
+        action =
+          Nemesis.Lease_window
+            {
+              pattern = Nemesis.Isolate_one { node = 0; oneway = false };
+              hold_ms = 300.;
+              max_wait_ms = 30_000.;
+            };
+      };
+    ]
+  in
+  let log =
+    Nemesis.install engine instance ~servers:(Topology.servers topology) program
+  in
+  Engine.run engine;
+  let opened =
+    List.find_opt
+      (fun (e : Nemesis.event) ->
+        String.length e.Nemesis.label >= 18
+        && String.sub e.Nemesis.label 0 18 = "lease-window opene")
+      !log
+  in
+  match opened with
+  | None -> Alcotest.fail "lease window never opened"
+  | Some e ->
+    (* the window was triggered by observed lease expiry, not the
+       max-wait fallback *)
+    let contains haystack needle =
+      let h = String.length haystack and n = String.length needle in
+      let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    let mentions_expiry = contains e.Nemesis.label "expiry in" in
+    Alcotest.(check bool)
+      (Printf.sprintf "window targeted a lease (%s)" e.Nemesis.label)
+      true mentions_expiry
+
+(* {2 Scenario replay and per-phase metrics} *)
+
+(* Pre-drift counterexample seeds must replay identically: every field
+   that existed before [max_drift] is drawn before it. *)
+let test_seed_prefix_stable () =
+  List.iter
+    (fun seed ->
+      let s = Fuzz.scenario_of_seed seed in
+      let rng = Rng.create seed in
+      let n_servers = 3 + Rng.int rng 5 in
+      let write_ratio = 0.1 +. Rng.float rng 0.5 in
+      let objects = 1 + Rng.int rng 3 in
+      let loss = Rng.float rng 0.15 in
+      let duplicate = Rng.float rng 0.15 in
+      let jitter_ms = Rng.float rng 40. in
+      let crashes = Rng.bool rng in
+      let partition = Rng.bool rng in
+      Alcotest.(check int) "n_servers" n_servers s.Fuzz.n_servers;
+      Alcotest.(check (float 0.)) "write_ratio" write_ratio s.Fuzz.write_ratio;
+      Alcotest.(check int) "objects" objects s.Fuzz.objects;
+      Alcotest.(check (float 0.)) "loss" loss s.Fuzz.loss;
+      Alcotest.(check (float 0.)) "duplicate" duplicate s.Fuzz.duplicate;
+      Alcotest.(check (float 0.)) "jitter" jitter_ms s.Fuzz.jitter_ms;
+      Alcotest.(check bool) "crashes" crashes s.Fuzz.crashes;
+      Alcotest.(check bool) "partition" partition s.Fuzz.partition;
+      Alcotest.(check bool) "drift bounded" true
+        (s.Fuzz.max_drift >= 0. && s.Fuzz.max_drift < 0.01);
+      Alcotest.(check bool) "no nemesis by default" true (s.Fuzz.nemesis = None))
+    [ 1L; 17L; 1000L; 424242L ]
+
+let nemesis_scenario seed =
+  let s = Fuzz.scenario_of_seed seed in
+  let rng = Rng.create (Int64.logxor seed 0x5DEECE66DL) in
+  let program = Nemesis.generate rng Nemesis.Mixed ~n_servers:s.Fuzz.n_servers in
+  { s with Fuzz.crashes = false; partition = false; nemesis = Some program }
+
+let test_run_replays_exactly () =
+  let builder = Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false () in
+  let scenario = nemesis_scenario 2024L in
+  let a = Fuzz.run builder scenario in
+  let b = Fuzz.run builder scenario in
+  Alcotest.(check int) "completed replays" a.Fuzz.completed b.Fuzz.completed;
+  Alcotest.(check int) "failed replays" a.Fuzz.failed b.Fuzz.failed;
+  Alcotest.(check int) "gave_up replays" a.Fuzz.gave_up b.Fuzz.gave_up;
+  Alcotest.(check (float 0.)) "max_gap replays" a.Fuzz.max_gap_ms b.Fuzz.max_gap_ms;
+  Alcotest.(check (list string)) "violations replay" a.Fuzz.violations b.Fuzz.violations;
+  Alcotest.(check int) "phases replay" (List.length a.Fuzz.phases)
+    (List.length b.Fuzz.phases)
+
+let test_phases_partition_history () =
+  let builder = Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false () in
+  let outcome = Fuzz.run builder (nemesis_scenario 7L) in
+  Alcotest.(check bool) "phases recorded" true (outcome.Fuzz.phases <> []);
+  (match outcome.Fuzz.phases with
+  | first :: _ -> Alcotest.(check string) "first phase" "initial" first.Nemesis.label
+  | [] -> ());
+  let total =
+    List.fold_left (fun acc p -> acc + p.Nemesis.p_issued) 0 outcome.Fuzz.phases
+  in
+  let settled =
+    List.fold_left
+      (fun acc p -> acc + p.Nemesis.p_completed + p.Nemesis.p_failed + p.Nemesis.p_gave_up)
+      0 outcome.Fuzz.phases
+  in
+  Alcotest.(check int) "phase slices partition the history" total settled;
+  Alcotest.(check bool) "all issued ops assigned to a phase" true
+    (total >= outcome.Fuzz.completed)
+
+let test_campaign_smoke_all_classes () =
+  (* one scenario per fault class; violations mean a real safety or
+     liveness bug and must be empty *)
+  List.iteri
+    (fun i cls ->
+      let seed = Int64.of_int (3000 + i) in
+      let s = Fuzz.scenario_of_seed seed in
+      let program = Nemesis.generate (Rng.create seed) cls ~n_servers:s.Fuzz.n_servers in
+      let scenario =
+        { s with Fuzz.crashes = false; partition = false; nemesis = Some program }
+      in
+      let outcome =
+        Fuzz.run (Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false ()) scenario
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s passes" (Nemesis.class_name cls))
+        [] outcome.Fuzz.violations)
+    Nemesis.all_classes
+
+let () =
+  Alcotest.run "nemesis"
+    [
+      ( "give-up",
+        [
+          Alcotest.test_case "surfaces in history" `Quick test_give_up_surfaces_in_history;
+          Alcotest.test_case "direct callback" `Quick test_give_up_callback_direct;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "self-healing" `Quick test_generated_programs_self_heal;
+          Alcotest.test_case "class names" `Quick test_class_names_round_trip;
+        ] );
+      ( "lease-targeting",
+        [ Alcotest.test_case "window targets expiry" `Quick test_lease_window_targets_expiry ] );
+      ( "replay",
+        [
+          Alcotest.test_case "seed prefix stable" `Quick test_seed_prefix_stable;
+          Alcotest.test_case "runs replay exactly" `Quick test_run_replays_exactly;
+          Alcotest.test_case "phases partition history" `Quick test_phases_partition_history;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "all classes smoke" `Quick test_campaign_smoke_all_classes ] );
+    ]

@@ -205,6 +205,127 @@ let test_unlisted_nodes_form_implicit_group () =
   Alcotest.(check bool) "1 and 2 together" true (Net.reachable net ~src:1 ~dst:2);
   Alcotest.(check bool) "0 isolated" false (Net.reachable net ~src:0 ~dst:1)
 
+(* {2 Per-link faults, one-way cuts, flapping} *)
+
+let test_oneway_cut () =
+  let engine, net = make () in
+  let fwd = collect net 1 in
+  let back = collect net 0 in
+  Net.cut net ~src:0 ~dst:1;
+  Alcotest.(check bool) "0->1 cut" false (Net.reachable net ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->0 still open" true (Net.reachable net ~src:1 ~dst:0);
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Net.send net ~src:1 ~dst:0 (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "cut direction dropped" 0 (List.length !fwd);
+  Alcotest.(check int) "reverse direction delivered" 1 (List.length !back)
+
+let test_uncut_restores () =
+  let engine, net = make () in
+  let received = collect net 1 in
+  Net.cut net ~src:0 ~dst:1;
+  Net.uncut net ~src:0 ~dst:1;
+  Alcotest.(check bool) "no longer cut" false (Net.is_cut net ~src:0 ~dst:1);
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "delivered after uncut" 1 (List.length !received)
+
+let test_link_fault_override () =
+  let engine, net = make () in
+  let to1 = collect net 1 in
+  let to2 = collect net 2 in
+  let back = collect net 0 in
+  (* Only the 0->1 direction is lossy; the reverse direction and other
+     links keep the (fault-free) global model. *)
+  Net.set_link_faults net ~src:0 ~dst:1
+    (Some { Net.loss = 1.0; duplicate = 0.; jitter_ms = 0. });
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Net.send net ~src:1 ~dst:0 (Ping 1);
+  Net.send net ~src:0 ~dst:2 (Ping 2);
+  Engine.run engine;
+  Alcotest.(check int) "overridden link lossy" 0 (List.length !to1);
+  Alcotest.(check int) "reverse unaffected" 1 (List.length !back);
+  Alcotest.(check int) "other links unaffected" 1 (List.length !to2);
+  (* Clearing the override restores the global model. *)
+  Net.set_link_faults net ~src:0 ~dst:1 None;
+  Net.send net ~src:0 ~dst:1 (Ping 3);
+  Engine.run engine;
+  Alcotest.(check int) "restored" 1 (List.length !to1)
+
+let test_flap_link () =
+  let engine, net = make () in
+  let probe = ref [] in
+  let schedule_probe at =
+    ignore
+      (Engine.schedule engine ~delay:at (fun () ->
+           probe := (at, Net.is_cut net ~src:0 ~dst:1) :: !probe))
+  in
+  (* 50 ms up / 50 ms down until t=480: up [0,50), down [50,100), ... *)
+  Net.flap_link net ~src:0 ~dst:1 ~up_ms:50. ~down_ms:50. ~until_ms:480.;
+  List.iter schedule_probe [ 25.; 75.; 125.; 600. ];
+  Engine.run engine;
+  let at t = List.assoc t !probe in
+  Alcotest.(check bool) "up phase" false (at 25.);
+  Alcotest.(check bool) "down phase" true (at 75.);
+  Alcotest.(check bool) "up again" false (at 125.);
+  Alcotest.(check bool) "restored after deadline" false (at 600.)
+
+let test_heal_clears_cuts_and_flaps () =
+  let engine, net = make () in
+  Net.cut net ~src:0 ~dst:1;
+  Net.flap_link net ~src:2 ~dst:3 ~up_ms:10. ~down_ms:10. ~until_ms:10_000.;
+  Net.partition net [ [ 0 ] ];
+  Net.heal net;
+  Alcotest.(check bool) "cut cleared" true (Net.reachable net ~src:0 ~dst:1);
+  Alcotest.(check bool) "partition cleared" true (Net.reachable net ~src:0 ~dst:2);
+  (* The flap schedule is dead: the link stays up from now on. *)
+  ignore
+    (Engine.schedule engine ~delay:5_000. (fun () ->
+         Alcotest.(check bool) "flap stopped" false (Net.is_cut net ~src:2 ~dst:3)));
+  Engine.run engine
+
+(* Property: [reachable] must agree with what [deliver_pending]
+   actually does, across any interleaving of partitions, heals,
+   one-way cuts and crash/recover. *)
+let prop_reachable_matches_delivery =
+  QCheck.Test.make ~name:"reachable agrees with deliver_pending" ~count:100
+    QCheck.(pair int64 (int_range 5 40))
+    (fun (seed, steps) ->
+      let engine = Engine.create ~seed () in
+      let topo = Topology.make ~n_servers:4 ~n_clients:1 () in
+      let net = Net.create engine topo ~classify () in
+      let rng = Dq_util.Rng.create (Int64.add seed 17L) in
+      let nodes = 5 in
+      Net.set_manual net true;
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match Dq_util.Rng.int rng 7 with
+        | 0 ->
+          Net.cut net ~src:(Dq_util.Rng.int rng nodes) ~dst:(Dq_util.Rng.int rng nodes)
+        | 1 ->
+          Net.uncut net ~src:(Dq_util.Rng.int rng nodes) ~dst:(Dq_util.Rng.int rng nodes)
+        | 2 -> Net.partition net [ [ Dq_util.Rng.int rng nodes ] ]
+        | 3 -> Net.heal net
+        | 4 -> Net.crash net (Dq_util.Rng.int rng nodes)
+        | 5 -> Net.recover net (Dq_util.Rng.int rng nodes)
+        | _ -> ());
+        (* After every mutation, a probe on each ordered pair of live
+           nodes must be delivered exactly when the directed link is
+           reachable. *)
+        for src = 0 to nodes - 1 do
+          for dst = 0 to nodes - 1 do
+            if src <> dst && Net.is_up net src && Net.is_up net dst then begin
+              let delivered = ref false in
+              Net.register net ~node:dst (fun ~src:_ _ -> delivered := true);
+              Net.send net ~src ~dst (Ping 0);
+              Net.deliver_pending net 0;
+              if !delivered <> Net.reachable net ~src ~dst then ok := false
+            end
+          done
+        done
+      done;
+      !ok)
+
 let test_stats_by_label () =
   let engine, net = make () in
   ignore (collect net 1);
@@ -250,6 +371,16 @@ let () =
           Alcotest.test_case "blocks cross group" `Quick test_partition_blocks_cross_group;
           Alcotest.test_case "heal" `Quick test_heal;
           Alcotest.test_case "implicit group" `Quick test_unlisted_nodes_form_implicit_group;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "one-way cut" `Quick test_oneway_cut;
+          Alcotest.test_case "uncut restores" `Quick test_uncut_restores;
+          Alcotest.test_case "per-link fault override" `Quick test_link_fault_override;
+          Alcotest.test_case "flapping" `Quick test_flap_link;
+          Alcotest.test_case "heal clears cuts and flaps" `Quick
+            test_heal_clears_cuts_and_flaps;
+          QCheck_alcotest.to_alcotest prop_reachable_matches_delivery;
         ] );
       ("stats", [ Alcotest.test_case "by label" `Quick test_stats_by_label ]);
       ( "queueing",

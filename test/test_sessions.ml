@@ -26,6 +26,7 @@ let mk ~id ~client ~kind ~value ~c ~invoked ~responded =
     lc = Some (Lc.make ~count:c ~node:0);
     invoked;
     responded = Some responded;
+    gave_up = None;
   }
 
 let test_checker_detects_ryw () =
