@@ -211,7 +211,13 @@ let builder_of_name = function
   | "rowa-async" -> Some (Registry.rowa_async ())
   | _ -> None
 
-let run_custom protocol seed ops servers clients write_ratio locality objects verbose =
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_custom protocol seed ops servers clients write_ratio locality objects verbose
+    trace_file metrics_file =
   match builder_of_name protocol with
   | None ->
     Printf.eprintf
@@ -220,6 +226,25 @@ let run_custom protocol seed ops servers clients write_ratio locality objects ve
   | Some builder ->
     let engine = Dq_sim.Engine.create ~seed () in
     if verbose then Dq_sim.Sim_log.setup ~level:Logs.Debug engine;
+    let bus = Dq_sim.Engine.telemetry engine in
+    let trace =
+      Option.map
+        (fun _ ->
+          let t = Dq_telemetry.Trace.create () in
+          Dq_telemetry.Trace.set_process_name t ~pid:0
+            (Printf.sprintf "dqr run %s seed=%Ld" protocol seed);
+          Dq_telemetry.Bus.subscribe bus (Dq_telemetry.Trace.sink t);
+          t)
+        trace_file
+    in
+    let metrics =
+      Option.map
+        (fun _ ->
+          let m = Dq_telemetry.Metrics.create () in
+          Dq_telemetry.Bus.subscribe bus (Dq_telemetry.Metrics.sink m);
+          m)
+        metrics_file
+    in
     let topology = Dq_net.Topology.make ~n_servers:servers ~n_clients:clients () in
     let instance = builder.Registry.build engine topology () in
     let spec =
@@ -250,7 +275,18 @@ let run_custom protocol seed ops servers clients write_ratio locality objects ve
       print_string
         (Dq_util.Histogram.render
            (Dq_util.Histogram.of_samples ~buckets:[ 20.; 100.; 200.; 400.; 800. ] samples))
-    end
+    end;
+    Option.iter
+      (fun path ->
+        let t = Option.get trace in
+        Dq_telemetry.Trace.write_file t path;
+        Printf.printf "(wrote %s: %d trace events)\n" path (Dq_telemetry.Trace.count t))
+      trace_file;
+    Option.iter
+      (fun path ->
+        write_text_file path (Dq_telemetry.Metrics.to_json (Option.get metrics));
+        Printf.printf "(wrote %s)\n" path)
+      metrics_file
 
 let run_cmd =
   let protocol =
@@ -272,10 +308,26 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace protocol events (virtual-time log).")
   in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON timeline of the run to $(docv) (open it in \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON metrics snapshot (event counters, per-label message tables, \
+             latency histograms) to $(docv).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a custom workload")
     Term.(
       const run_custom $ protocol $ seed_arg $ ops_arg 200 $ servers $ clients $ write_ratio
-      $ locality $ objects $ verbose)
+      $ locality $ objects $ verbose $ trace_file $ metrics_file)
 
 (* --- avail / overhead ----------------------------------------------------- *)
 

@@ -129,7 +129,7 @@ let parse_classes = function
            (String.concat ", " (List.map Nemesis.class_name Nemesis.all_classes)))
     | None -> Ok (List.filter_map snd classes))
 
-let run_campaign runs base_seed out classes_spec verbose =
+let run_campaign runs base_seed out classes_spec verbose trace_file metrics_file =
   match parse_classes classes_spec with
   | Error msg ->
     prerr_endline msg;
@@ -139,6 +139,11 @@ let run_campaign runs base_seed out classes_spec verbose =
     let cells = ref [] in
     let scenario_index = ref 0 in
     let total = List.length classes * List.length builders * runs in
+    (* One shared trace/metrics accumulator across the whole campaign:
+       each scenario gets its own pid (its index) so Perfetto renders it
+       as a separate process group. *)
+    let trace = Option.map (fun _ -> Dq_telemetry.Trace.create ()) trace_file in
+    let metrics = Option.map (fun _ -> Dq_telemetry.Metrics.create ()) metrics_file in
     List.iter
       (fun fault_class ->
         List.iter
@@ -159,13 +164,27 @@ let run_campaign runs base_seed out classes_spec verbose =
             in
             cells := cell :: !cells;
             for i = 0 to runs - 1 do
-              let seed = Int64.add base_seed (Int64.of_int !scenario_index) in
+              let pid = !scenario_index in
+              let seed = Int64.add base_seed (Int64.of_int pid) in
               incr scenario_index;
               let scenario = cell_scenario ~fault_class seed in
               (* ROWA-Async is weakly consistent by design: its stale
                  reads are the staleness metric, not a violation. *)
               let check_regular = builder.Registry.name <> "rowa-async" in
-              let outcome = Fuzz.run ~check_regular builder scenario in
+              let instrument engine =
+                let bus = Dq_sim.Engine.telemetry engine in
+                Option.iter
+                  (fun t ->
+                    Dq_telemetry.Trace.set_process_name t ~pid
+                      (Printf.sprintf "%s/%s seed=%Ld"
+                         (Nemesis.class_name fault_class) cell.protocol seed);
+                    Dq_telemetry.Bus.subscribe bus (Dq_telemetry.Trace.sink ~pid t))
+                  trace;
+                Option.iter
+                  (fun m -> Dq_telemetry.Bus.subscribe bus (Dq_telemetry.Metrics.sink m))
+                  metrics
+              in
+              let outcome = Fuzz.run ~check_regular ~instrument builder scenario in
               cell.runs <- cell.runs + 1;
               cell.completed <- cell.completed + outcome.Fuzz.completed;
               cell.failed <- cell.failed + outcome.Fuzz.failed;
@@ -176,8 +195,14 @@ let run_campaign runs base_seed out classes_spec verbose =
               cell.max_gap_ms <- Float.max cell.max_gap_ms outcome.Fuzz.max_gap_ms;
               if outcome.Fuzz.violations <> [] then begin
                 cell.violation_seeds <- seed :: cell.violation_seeds;
-                Format.eprintf "VIOLATION %s/%s seed=%Ld:@."
-                  (Nemesis.class_name fault_class) cell.protocol seed;
+                (* Everything needed to replay from the console alone:
+                   the seed (the scenario is a pure function of it) plus
+                   the outcome counters, give-ups included. *)
+                Format.eprintf
+                  "VIOLATION %s/%s seed=%Ld (completed=%d failed=%d gave-up=%d):@."
+                  (Nemesis.class_name fault_class) cell.protocol seed
+                  outcome.Fuzz.completed outcome.Fuzz.failed outcome.Fuzz.gave_up;
+                Format.eprintf "  scenario %a@." Fuzz.pp_scenario outcome.Fuzz.scenario;
                 List.iter (fun v -> Format.eprintf "  %s@." v) outcome.Fuzz.violations
               end;
               if verbose then
@@ -200,6 +225,19 @@ let run_campaign runs base_seed out classes_spec verbose =
       output_string oc json;
       close_out oc;
       Format.printf "report written to %s@." path);
+    Option.iter
+      (fun path ->
+        let t = Option.get trace in
+        Dq_telemetry.Trace.write_file t path;
+        Format.printf "trace written to %s (%d events)@." path (Dq_telemetry.Trace.count t))
+      trace_file;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Dq_telemetry.Metrics.to_json (Option.get metrics));
+        close_out oc;
+        Format.printf "metrics written to %s@." path)
+      metrics_file;
     let violations =
       List.fold_left (fun acc c -> acc + List.length c.violation_seeds) 0 cells
     in
@@ -227,11 +265,27 @@ let cmd =
           ~doc:"Comma-separated fault classes to run (default: all).")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every scenario.") in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON timeline of the whole campaign to $(docv) \
+             (one Perfetto process group per scenario).")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write an aggregated JSON metrics snapshot to $(docv).")
+  in
   Cmd.v
     (Cmd.info "dqr-nemesis" ~version:"1.0.0"
        ~doc:
          "Robustness campaign: all protocols under seeded nemesis fault programs, with a \
           JSON report ranking availability and staleness per fault class")
-    Term.(const run_campaign $ runs $ base_seed $ out $ classes $ verbose)
+    Term.(
+      const run_campaign $ runs $ base_seed $ out $ classes $ verbose $ trace_file
+      $ metrics_file)
 
 let () = exit (Cmd.eval cmd)

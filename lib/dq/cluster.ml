@@ -49,6 +49,7 @@ let server_clock t id = Hashtbl.find_opt t.clocks id
 
 let install_server t id =
   let clock = make_server_clock t.engine t.config in
+  Clock.set_owner clock id;
   Hashtbl.replace t.clocks id clock;
   let iqs =
     if Qs.mem t.config.iqs id then

@@ -2,10 +2,6 @@ open Dq_storage
 module Net = Dq_net.Net
 module Qrpc = Dq_rpc.Qrpc
 
-let log_src = Logs.Src.create "dq.frontend" ~doc:"DQVL service clients (front ends)"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
 type pending =
   | Oqs_read of (string * Lc.t) Qrpc.t
   | Lc_read of Lc.t Qrpc.t
@@ -13,6 +9,7 @@ type pending =
 
 type t = {
   net : Message.t Net.t;
+  bus : Dq_telemetry.Bus.t;
   config : Config.t;
   rng : Dq_util.Rng.t;
   me : int;
@@ -36,6 +33,7 @@ let create ~net ~config ~rng ~me =
   in
   {
     net;
+    bus = Dq_sim.Engine.telemetry (Net.engine net);
     config;
     rng;
     me;
@@ -80,7 +78,7 @@ let impose t ~key ~value ~lc ~on_done ~on_fail =
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op;
         on_fail ())
-      ()
+      ~bus:t.bus ~node:t.me ~tag:"fe.impose" ()
   in
   Hashtbl.replace t.pending op (Iqs_write call)
 
@@ -109,7 +107,7 @@ let read t ~key ~on_done ~on_fail =
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op;
         on_fail ())
-      ()
+      ~bus:t.bus ~node:t.me ~tag:"fe.read" ()
   in
   Hashtbl.replace t.pending op (Oqs_read call)
 
@@ -119,7 +117,15 @@ let write t ~key ~value ~on_done ~on_fail =
   let op1 = fresh_op t in
   let phase2 max_lc =
     let wlc = Lc.succ (Lc.max max_lc t.last_issued) ~node:t.me in
-    Log.debug (fun m -> m "node %d: write %a assigned lc=%a" t.me Key.pp key Lc.pp wlc);
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus
+        (Dq_telemetry.Event.Note
+           {
+             src = "dq.frontend";
+             msg =
+               Format.asprintf "node %d: write %a assigned lc=%a" t.me Key.pp key Lc.pp
+                 wlc;
+           });
     t.last_issued <- wlc;
     let op2 = fresh_op t in
     let call =
@@ -133,7 +139,7 @@ let write t ~key ~value ~on_done ~on_fail =
         ~on_give_up:(fun () ->
           Hashtbl.remove t.pending op2;
           on_fail ())
-        ()
+        ~bus:t.bus ~node:t.me ~tag:"fe.write" ()
     in
     Hashtbl.replace t.pending op2 (Iqs_write call)
   in
@@ -149,7 +155,7 @@ let write t ~key ~value ~on_done ~on_fail =
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op1;
         on_fail ())
-      ()
+      ~bus:t.bus ~node:t.me ~tag:"fe.lc_read" ()
   in
   Hashtbl.replace t.pending op1 (Lc_read call)
 

@@ -34,6 +34,7 @@ type durable = {
 
 type t = {
   net : Message.t Net.t;
+  bus : Dq_telemetry.Bus.t;
   clock : Clock.t;
   config : Config.t;
   me : int;
@@ -41,9 +42,9 @@ type t = {
   mutable loops : (Key.t, Dq_rpc.Retry.t list ref) Hashtbl.t;
 }
 
-let log_src = Logs.Src.create "dq.iqs" ~doc:"DQVL input-quorum-system servers"
+let subscribed t = Dq_telemetry.Bus.subscribed t.bus
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let emit t ev = Dq_telemetry.Bus.emit t.bus ev
 
 let fresh_obj _key =
   {
@@ -59,6 +60,7 @@ let fresh_vol_peer _ =
 let create ~net ~clock ~config ~me =
   {
     net;
+    bus = Dq_sim.Engine.telemetry (Net.engine net);
     clock;
     config;
     me;
@@ -99,14 +101,16 @@ let delayed_covers vp key wlc =
      | Some lc -> Lc.(lc >= wlc)
      | None -> false
 
-let enqueue_delayed t vp key wlc =
+let enqueue_delayed t vp ~peer ~volume key wlc =
   let lc =
     match Hashtbl.find_opt vp.delayed key with
     | Some old -> Lc.max old wlc
     | None -> wlc
   in
   Hashtbl.replace vp.delayed key lc;
-  Log.debug (fun m -> m "node %d: delayed invalidation %a lc=%a queued" t.me Key.pp key Lc.pp lc);
+  if subscribed t then
+    emit t
+      (Dq_telemetry.Event.Inval_delayed { node = t.me; peer; key = Key.to_string key });
   if Hashtbl.length vp.delayed > t.config.max_delayed then begin
     (* Bound the queue with an epoch advance (paper: garbage collection
        of delayed invalidations): the peer's next renewal carries a new
@@ -114,7 +118,9 @@ let enqueue_delayed t vp key wlc =
     Hashtbl.iter (fun _ lc -> vp.barrier <- Lc.max vp.barrier lc) vp.delayed;
     Hashtbl.reset vp.delayed;
     vp.epoch <- vp.epoch + 1;
-    Log.debug (fun m -> m "node %d: delayed queue overflow, epoch -> %d" t.me vp.epoch)
+    if subscribed t then
+      emit t
+        (Dq_telemetry.Event.Epoch_advance { node = t.me; peer; volume; epoch = vp.epoch })
   end
 
 (* --- write processing ------------------------------------------------ *)
@@ -140,10 +146,12 @@ let peer_settled t ~key ~wlc j =
   || object_lease_lapsed t o j
   || t.config.use_volume_leases
      &&
-     let vp = vol_peer t ~volume:(Key.volume key) ~oqs:j in
+     let volume = Key.volume key in
+     let vp = vol_peer t ~volume ~oqs:j in
      now t > vp.expires
      && begin
-          if not (delayed_covers vp key wlc) then enqueue_delayed t vp key wlc;
+          if not (delayed_covers vp key wlc) then
+            enqueue_delayed t vp ~peer:j ~volume key wlc;
           delayed_covers vp key wlc
         end
 
@@ -203,7 +211,8 @@ let ensure_owq_invalid t ~key ~wlc ~on_done =
       ~timer:(fun ~delay_ms action -> Net.timer t.net ~node:t.me ~delay_ms action)
       ~attempt ~complete
       ~on_complete:(finish on_done)
-      ~timeout_ms:t.config.retry_timeout_ms ~backoff:t.config.retry_backoff ()
+      ~timeout_ms:t.config.retry_timeout_ms ~backoff:t.config.retry_backoff ~bus:t.bus
+      ~node:t.me ~tag:"iqs.owq_inval" ()
   in
   if not (Dq_rpc.Retry.is_done loop) then begin
     loop_cell := Some loop;
@@ -217,9 +226,13 @@ let handle_write t ~src ~op ~key ~value ~lc =
     t.durable.global_lc <- Lc.max t.durable.global_lc lc
   end;
   let suppressed = owq_invalid t ~key ~wlc:lc in
-  Log.debug (fun m ->
-      m "node %d: write %a lc=%a from %d (%s)" t.me Key.pp key Lc.pp lc src
-        (if suppressed then "write suppress" else "write through"));
+  if subscribed t then
+    emit t
+      (if suppressed then
+         Dq_telemetry.Event.Inval_suppressed { node = t.me; key = Key.to_string key }
+       else
+         Dq_telemetry.Event.Inval_through
+           { node = t.me; peer = src; key = Key.to_string key });
   ensure_owq_invalid t ~key ~wlc:lc ~on_done:(fun () ->
       send t src (Message.Iqs_write_ack { op; key; lc }))
 
@@ -259,6 +272,16 @@ let grant_volume t ~src volume =
   let vp = vol_peer t ~volume ~oqs:src in
   vp.expires <- now t +. t.config.volume_lease_ms;
   let delayed = Hashtbl.fold (fun k lc acc -> (k, lc) :: acc) vp.delayed [] in
+  if subscribed t then
+    emit t
+      (Dq_telemetry.Event.Lease_granted
+         {
+           node = t.me;
+           peer = src;
+           volume;
+           lease_ms = t.config.volume_lease_ms;
+           epoch = vp.epoch;
+         });
   (vp.epoch, delayed)
 
 let handle_vols_renew t ~src ~volumes ~t0 =
@@ -273,16 +296,11 @@ let handle_vols_renew t ~src ~volumes ~t0 =
     (Message.Vols_renew_reply { t0; lease_ms = t.config.volume_lease_ms; grants })
 
 let handle_vol_renew t ~src ~volume ~t0 ~want =
-  let vp = vol_peer t ~volume ~oqs:src in
-  Log.debug (fun m ->
-      m "node %d: volume %d lease granted to %d (epoch %d, %d delayed)" t.me volume src
-        vp.epoch (Hashtbl.length vp.delayed));
-  vp.expires <- now t +. t.config.volume_lease_ms;
-  let delayed = Hashtbl.fold (fun k lc acc -> (k, lc) :: acc) vp.delayed [] in
+  let epoch, delayed = grant_volume t ~src volume in
   let grant = Option.map (fun key -> obj_grant t ~key ~requester:src ~t0) want in
   send t src
     (Message.Vol_renew_reply
-       { volume; lease_ms = t.config.volume_lease_ms; epoch = vp.epoch; t0; delayed; grant })
+       { volume; lease_ms = t.config.volume_lease_ms; epoch; t0; delayed; grant })
 
 let handle_vol_renew_ack t ~src ~volume ~upto =
   let vp = vol_peer t ~volume ~oqs:src in

@@ -32,6 +32,7 @@ type cache = {
 
 type t = {
   net : Message.t Net.t;
+  bus : Dq_telemetry.Bus.t;
   clock : Clock.t;
   config : Config.t;
   rng : Dq_util.Rng.t;
@@ -42,9 +43,9 @@ type t = {
   mutable quiesced : bool;
 }
 
-let log_src = Logs.Src.create "dq.oqs" ~doc:"DQVL output-quorum-system servers"
+let subscribed t = Dq_telemetry.Bus.subscribed t.bus
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let emit t ev = Dq_telemetry.Bus.emit t.bus ev
 
 let fresh_vol_from _ = { epoch = 0; expires = neg_infinity }
 
@@ -69,6 +70,7 @@ let fresh_cache () =
 let create ~net ~clock ~config ~rng ~me =
   {
     net;
+    bus = Dq_sim.Engine.telemetry (Net.engine net);
     clock;
     config;
     rng;
@@ -134,7 +136,15 @@ let apply_obj_grant t ~iqs (grant : Message.obj_grant) =
 let apply_inval t ~iqs ~key ~lc =
   let o = obj_from t key ~iqs in
   if Lc.(o.lc < lc) then begin
-    Log.debug (fun m -> m "node %d: %a invalidated by %d at lc=%a" t.me Key.pp key iqs Lc.pp lc);
+    if subscribed t then
+      emit t
+        (Dq_telemetry.Event.Note
+           {
+             src = "dq.oqs";
+             msg =
+               Format.asprintf "node %d: %a invalidated by %d at lc=%a" t.me Key.pp key
+                 iqs Lc.pp lc;
+           });
     o.lc <- lc;
     o.valid <- false
   end
@@ -230,6 +240,8 @@ let start_ensure t key =
         (not t.config.use_volume_leases)
         || (vol_from t ~volume ~iqs:i).expires > now t +. t.config.renew_margin_ms
       in
+      if (not vol_fresh) && subscribed t then
+        emit t (Dq_telemetry.Event.Lease_expired { node = t.me; peer = i; volume });
       (* A finite object lease about to expire counts as missing too,
          so the grant arrives under a still-valid lease. The margin is
          capped for very short leases. *)
@@ -264,13 +276,16 @@ let start_ensure t key =
     Dq_rpc.Retry.start
       ~timer:(fun ~delay_ms action -> Net.timer t.net ~node:t.me ~delay_ms action)
       ~attempt ~complete ~on_complete ~timeout_ms:t.config.retry_timeout_ms
-      ~backoff:t.config.retry_backoff ()
+      ~backoff:t.config.retry_backoff ~bus:t.bus ~node:t.me ~tag:"oqs.ensure_c" ()
   in
   loop
 
 let with_valid_object t key callback =
   if is_locally_valid t key then begin
-    Log.debug (fun m -> m "node %d: read hit %a" t.me Key.pp key);
+    if subscribed t then
+      emit t
+        (Dq_telemetry.Event.Cache_read
+           { node = t.me; key = Key.to_string key; hit = true });
     callback (cached t key)
   end
   else
@@ -279,7 +294,10 @@ let with_valid_object t key callback =
     | None ->
       (* Register the entry before starting the loop so that a
          synchronously-completing loop finds its waiters. *)
-      Log.debug (fun m -> m "node %d: read miss %a, establishing condition C" t.me Key.pp key);
+      if subscribed t then
+        emit t
+          (Dq_telemetry.Event.Cache_read
+             { node = t.me; key = Key.to_string key; hit = false });
       let e = { loop = None; waiters = [ callback ] } in
       Hashtbl.add t.ensuring key e;
       let loop = start_ensure t key in

@@ -79,6 +79,8 @@ let pick_server rng topology ~redirect ~up ~client ~use_closest =
 let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
   Spec.validate config.spec;
   let started_at = Engine.now engine in
+  let bus = Engine.telemetry engine in
+  let subscribed () = Dq_telemetry.Bus.subscribed bus in
   let rng = Engine.split_rng engine in
   let history = History.create () in
   let read_latency = Stats.create () in
@@ -136,6 +138,16 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
           ~now:start
       in
       incr issued;
+      let kind_str = match kind with History.Read -> "read" | History.Write -> "write" in
+      if subscribed () then
+        Dq_telemetry.Bus.emit bus
+          (Dq_telemetry.Event.Op_start
+             {
+               op = id;
+               client = client.node;
+               kind = kind_str;
+               key = Dq_storage.Key.to_string op.Generator.key;
+             });
       let settled = ref false in
       let record_latency () =
         if client.done_ops >= config.warmup_ops then begin
@@ -161,6 +173,10 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
         if not !settled then begin
           settled := true;
           incr failed;
+          if subscribed () then
+            Dq_telemetry.Bus.emit bus
+              (Dq_telemetry.Event.Op_timeout
+                 { op = id; client = client.node; kind = kind_str });
           advance ()
         end
       in
@@ -171,6 +187,10 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
          "gave up" apart from "still pending". *)
       let on_give_up () =
         History.give_up_op history ~id ~now:(Engine.now engine);
+        if subscribed () then
+          Dq_telemetry.Bus.emit bus
+            (Dq_telemetry.Event.Op_give_up
+               { op = id; client = client.node; kind = kind_str });
         if not !settled then begin
           settled := true;
           incr failed;
@@ -183,6 +203,16 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
            the history (the write may have taken effect), but the client
            has already moved on. *)
         History.complete_op history ~id ~value ~lc ~now:(Engine.now engine);
+        if subscribed () then
+          Dq_telemetry.Bus.emit bus
+            (Dq_telemetry.Event.Op_complete
+               {
+                 op = id;
+                 client = client.node;
+                 kind = kind_str;
+                 start_ms = start;
+                 latency_ms = Engine.now engine -. start;
+               });
         if not !settled then begin
           settled := true;
           incr completed;

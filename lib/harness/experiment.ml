@@ -443,7 +443,11 @@ let ablation_batch_renewals ?(seed = 42L) () =
     api.Dq_intf.Replication.quiesce ();
     let stats = api.Dq_intf.Replication.message_stats () in
     let count label =
-      Option.value (List.assoc_opt label (Dq_net.Msg_stats.by_label stats)) ~default:0
+      (* Remote-only explicitly: the overhead model compares network
+         renewal traffic, so local (src = dst) renewals stay excluded. *)
+      Option.value
+        (List.assoc_opt label (Dq_net.Msg_stats.by_label ~include_local:false stats))
+        ~default:0
     in
     count "vol_renew_req" + count "vols_renew_req"
   in

@@ -109,8 +109,12 @@ let max_completion_gap history =
     in
     gap
 
-let run ?(check_invariant = true) ?(check_regular = true) (builder : Registry.builder) s =
+let run ?(check_invariant = true) ?(check_regular = true) ?(instrument = fun _ -> ())
+    (builder : Registry.builder) s =
   let engine = Engine.create ~seed:s.seed () in
+  (* Telemetry hook: the CLI attaches trace/metrics sinks to the
+     engine's bus here, before any component is built. *)
+  instrument engine;
   let topology = Topology.make ~n_servers:s.n_servers ~n_clients:3 () in
   let faults = { Net.loss = s.loss; duplicate = s.duplicate; jitter_ms = s.jitter_ms } in
   let instance =
@@ -186,12 +190,12 @@ let run ?(check_invariant = true) ?(check_regular = true) (builder : Registry.bu
     violations = List.rev !violations;
   }
 
-let campaign ?(on_progress = fun _ _ -> ()) ?(scenario_of = scenario_of_seed) builder ~seeds
-    =
+let campaign ?(on_progress = fun _ _ -> ()) ?(scenario_of = scenario_of_seed)
+    ?(instrument = fun _ _ -> ()) builder ~seeds =
   List.concat
     (List.mapi
        (fun i seed ->
-         let outcome = run builder (scenario_of seed) in
+         let outcome = run ~instrument:(instrument i) builder (scenario_of seed) in
          on_progress i outcome;
          if outcome.violations = [] then [] else [ outcome ])
        seeds)

@@ -68,21 +68,30 @@ type outcome = {
 }
 
 val run :
-  ?check_invariant:bool -> ?check_regular:bool -> Registry.builder -> scenario -> outcome
+  ?check_invariant:bool ->
+  ?check_regular:bool ->
+  ?instrument:(Dq_sim.Engine.t -> unit) ->
+  Registry.builder ->
+  scenario ->
+  outcome
 (** [check_invariant] (default true) applies only to dual-quorum
     builders (it is skipped for protocols without the introspection).
     [check_regular] (default true) gates the regular-semantics check —
     disable it for protocols that are weakly consistent {e by design}
     (ROWA-Async), whose staleness is reported as a metric instead of a
-    violation. *)
+    violation. [instrument] runs on the freshly created engine before
+    the cluster is built — attach telemetry sinks
+    ({!Dq_sim.Engine.telemetry}) there. *)
 
 val campaign :
   ?on_progress:(int -> outcome -> unit) ->
   ?scenario_of:(int64 -> scenario) ->
+  ?instrument:(int -> Dq_sim.Engine.t -> unit) ->
   Registry.builder ->
   seeds:int64 list ->
   outcome list
 (** Run many scenarios; returns the failing outcomes (empty = all
     passed). [scenario_of] (default {!scenario_of_seed}) lets callers
     derive richer scenarios — e.g. attach a seeded nemesis program of
-    a chosen fault class. *)
+    a chosen fault class. [instrument] is {!run}'s hook, additionally
+    handed the scenario index (e.g. a per-scenario trace pid). *)

@@ -312,7 +312,12 @@ let next_lease_expiry cluster ~servers =
 let install engine (instance : Registry.instance) ~servers program =
   let log = ref [] in
   let c = instance.Registry.control in
-  let record label = log := { fired_ms = Engine.now engine; label } :: !log in
+  let bus = Engine.telemetry engine in
+  let record label =
+    log := { fired_ms = Engine.now engine; label } :: !log;
+    if Dq_telemetry.Bus.subscribed bus then
+      Dq_telemetry.Bus.emit bus (Dq_telemetry.Event.Fault_injected { label })
+  in
   let apply_pattern pattern =
     cut_links c ~pairs:(pattern_pairs ~servers pattern) ~apply:true
   in

@@ -1,58 +1,33 @@
-type t = {
-  mutable remote : int;
-  mutable local : int;
-  mutable bytes : int;
-  labels : (string, int ref) Hashtbl.t;
-  label_bytes : (string, int ref) Hashtbl.t;
-}
+(* A façade over [Dq_telemetry.Metrics]: the network's always-on
+   message accounting is one Metrics instance fed directly (the figure
+   tables depend on these counts, so they cannot live behind the bus's
+   subscription check). Keeping the historical narrow interface lets
+   overhead-model call sites stay oblivious to the telemetry layer. *)
 
-let create () =
-  {
-    remote = 0;
-    local = 0;
-    bytes = 0;
-    labels = Hashtbl.create 16;
-    label_bytes = Hashtbl.create 16;
-  }
+module M = Dq_telemetry.Metrics
 
-let bump table key amount =
-  match Hashtbl.find_opt table key with
-  | Some r -> r := !r + amount
-  | None -> Hashtbl.add table key (ref amount)
+type t = M.t
 
-let record t ~label ~local ?(bytes = 0) () =
-  if local then t.local <- t.local + 1
-  else begin
-    t.remote <- t.remote + 1;
-    t.bytes <- t.bytes + bytes;
-    bump t.labels label 1;
-    bump t.label_bytes label bytes
-  end
+let create () = M.create ()
 
-let total t = t.remote + t.local
+let record t ~label ~local ?bytes () = M.record_msg t ~label ~local ?bytes ()
 
-let remote_total t = t.remote
+let total = M.total
 
-let local_total t = t.local
+let remote_total = M.remote_total
 
-let by_label t =
-  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.labels []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let local_total = M.local_total
 
-let remote_bytes t = t.bytes
+let by_label ?include_local t = M.by_label ?include_local t
 
-let bytes_by_label t =
-  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.label_bytes []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let local_by_label = M.local_by_label
 
-let reset t =
-  t.remote <- 0;
-  t.local <- 0;
-  t.bytes <- 0;
-  Hashtbl.reset t.labels;
-  Hashtbl.reset t.label_bytes
+let remote_bytes = M.remote_bytes
 
-let pp ppf t =
-  Format.fprintf ppf "@[<v>remote=%d local=%d" t.remote t.local;
-  List.iter (fun (label, n) -> Format.fprintf ppf "@,  %s: %d" label n) (by_label t);
-  Format.fprintf ppf "@]"
+let bytes_by_label = M.bytes_by_label
+
+let reset = M.reset
+
+let pp = M.pp
+
+let metrics t = t

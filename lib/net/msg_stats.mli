@@ -4,9 +4,14 @@
     Every message accepted by the network is counted, keyed by a
     protocol-supplied label (e.g. ["read_req"], ["inval"]). Local
     deliveries (src = dst) are counted separately so overhead models can
-    include or exclude them. *)
+    include or exclude them.
 
-type t
+    This is a thin façade over {!Dq_telemetry.Metrics}: the network
+    feeds one always-on instance (counts must not depend on whether a
+    telemetry sink is attached), and {!metrics} exposes it for richer
+    queries or JSON export. *)
+
+type t = Dq_telemetry.Metrics.t
 
 val create : unit -> t
 
@@ -21,8 +26,13 @@ val remote_total : t -> int
 
 val local_total : t -> int
 
-val by_label : t -> (string * int) list
-(** Remote counts per label, sorted by label. *)
+val by_label : ?include_local:bool -> t -> (string * int) list
+(** Counts per label, sorted by label. Remote-only by default — the
+    overhead model's view; pass [~include_local:true] to fold in local
+    deliveries (src = dst). *)
+
+val local_by_label : t -> (string * int) list
+(** Local-delivery counts per label, sorted by label. *)
 
 val remote_bytes : t -> int
 (** Total payload bytes of remote messages (per the protocol's size
@@ -33,3 +43,7 @@ val bytes_by_label : t -> (string * int) list
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit
+
+val metrics : t -> Dq_telemetry.Metrics.t
+(** The underlying metrics instance (the identity — exposed for JSON
+    export and event-counter queries). *)

@@ -12,6 +12,7 @@ type 'msg node_state = {
 
 type 'msg t = {
   engine : Dq_sim.Engine.t;
+  bus : Dq_telemetry.Bus.t;
   topology : Topology.t;
   rng : Dq_util.Rng.t;
   classify : 'msg -> string;
@@ -36,6 +37,7 @@ let create engine topology ?(faults = no_faults) ~classify ?(size_of = fun _ -> 
   in
   {
     engine;
+    bus = Dq_sim.Engine.telemetry engine;
     topology;
     rng = Dq_sim.Engine.split_rng engine;
     classify;
@@ -93,12 +95,20 @@ let effective_faults t ~src ~dst =
 let cut t ~src ~dst =
   check_id t src;
   check_id t dst;
-  Hashtbl.replace t.cuts (src, dst) ()
+  if not (Hashtbl.mem t.cuts (src, dst)) then begin
+    Hashtbl.replace t.cuts (src, dst) ();
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Link_cut { src; dst })
+  end
 
 let uncut t ~src ~dst =
   check_id t src;
   check_id t dst;
-  Hashtbl.remove t.cuts (src, dst)
+  if Hashtbl.mem t.cuts (src, dst) then begin
+    Hashtbl.remove t.cuts (src, dst);
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Link_uncut { src; dst })
+  end
 
 let is_cut t ~src ~dst = Hashtbl.mem t.cuts (src, dst)
 
@@ -141,8 +151,16 @@ let deliver t ~src ~dst msg =
   let node = t.nodes.(dst) in
   if node.up then
     match node.handler with
-    | Some handler -> handler ~src msg
+    | Some handler ->
+      if Dq_telemetry.Bus.subscribed t.bus then
+        Dq_telemetry.Bus.emit t.bus
+          (Dq_telemetry.Event.Msg_delivered { src; dst; label = t.classify msg });
+      handler ~src msg
     | None -> ()
+  else if Dq_telemetry.Bus.subscribed t.bus then
+    Dq_telemetry.Bus.emit t.bus
+      (Dq_telemetry.Event.Msg_dropped
+         { src; dst; label = t.classify msg; reason = "node-down" })
 
 (* Message arrival: with a service-time model, the destination works
    through its queue FIFO; otherwise deliver immediately. *)
@@ -164,21 +182,40 @@ let send t ~src ~dst msg =
   check_id t dst;
   if t.nodes.(src).up then begin
     let local = src = dst in
-    Msg_stats.record t.stats ~label:(t.classify msg) ~local ~bytes:(t.size_of msg) ();
+    let label = t.classify msg in
+    let bytes = t.size_of msg in
+    Msg_stats.record t.stats ~label ~local ~bytes ();
+    (* Telemetry must not perturb the RNG draw sequence: the loss draw
+       happens only on reachable links and the duplicate draw only on
+       non-lost messages, exactly as before the bus existed. *)
+    let subscribed = Dq_telemetry.Bus.subscribed t.bus in
+    if subscribed then
+      Dq_telemetry.Bus.emit t.bus
+        (Dq_telemetry.Event.Msg_sent { src; dst; label; bytes; local });
     if t.manual then t.pending_pool <- (src, dst, msg) :: t.pending_pool
     else begin
       let faults = effective_faults t ~src ~dst in
-      if reachable t ~src ~dst && not (Dq_util.Rng.bernoulli t.rng faults.loss) then begin
-        let schedule_delivery () =
-          let jitter =
-            if faults.jitter_ms > 0. then Dq_util.Rng.float t.rng faults.jitter_ms else 0.
+      if reachable t ~src ~dst then begin
+        if not (Dq_util.Rng.bernoulli t.rng faults.loss) then begin
+          let schedule_delivery () =
+            let jitter =
+              if faults.jitter_ms > 0. then Dq_util.Rng.float t.rng faults.jitter_ms
+              else 0.
+            in
+            let delay = Topology.delay t.topology ~src ~dst +. jitter in
+            ignore
+              (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
           in
-          let delay = Topology.delay t.topology ~src ~dst +. jitter in
-          ignore (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
-        in
-        schedule_delivery ();
-        if Dq_util.Rng.bernoulli t.rng faults.duplicate then schedule_delivery ()
+          schedule_delivery ();
+          if Dq_util.Rng.bernoulli t.rng faults.duplicate then schedule_delivery ()
+        end
+        else if subscribed then
+          Dq_telemetry.Bus.emit t.bus
+            (Dq_telemetry.Event.Msg_dropped { src; dst; label; reason = "loss" })
       end
+      else if subscribed then
+        Dq_telemetry.Bus.emit t.bus
+          (Dq_telemetry.Event.Msg_dropped { src; dst; label; reason = "unreachable" })
     end
   end
 
@@ -191,6 +228,8 @@ let crash t id =
   if node.up then begin
     node.up <- false;
     node.incarnation <- node.incarnation + 1;
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_crash { node = id });
     notify_watchers node ~up:false
   end
 
@@ -199,6 +238,8 @@ let recover t id =
   let node = t.nodes.(id) in
   if not node.up then begin
     node.up <- true;
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_recover { node = id });
     notify_watchers node ~up:true
   end
 
@@ -245,12 +286,18 @@ let partition t groups =
   (* Unlisted nodes form an implicit final group. *)
   let implicit = List.length groups in
   Array.iteri (fun i g -> if g = -1 then group_of.(i) <- implicit) group_of;
-  t.group_of <- Some group_of
+  t.group_of <- Some group_of;
+  if Dq_telemetry.Bus.subscribed t.bus then
+    Dq_telemetry.Bus.emit t.bus
+      (Dq_telemetry.Event.Fault_injected
+         { label = Printf.sprintf "net.partition/%d" (List.length groups) })
 
 let heal t =
   t.group_of <- None;
   Hashtbl.reset t.flap_gens;
-  uncut_all t
+  uncut_all t;
+  if Dq_telemetry.Bus.subscribed t.bus then
+    Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Fault_injected { label = "net.heal" })
 
 (* {2 Message-type-erased control handle} *)
 

@@ -18,6 +18,7 @@ type pending =
 
 type t = {
   net : Base_msg.t Net.t;
+  bus : Dq_telemetry.Bus.t;
   rng : Dq_util.Rng.t;
   me : int;
   style : style;
@@ -34,6 +35,7 @@ type t = {
 let create ~net ~rng ~me ~style ~retry_timeout_ms =
   {
     net;
+    bus = Dq_sim.Engine.telemetry (Net.engine net);
     rng;
     me;
     style;
@@ -80,7 +82,8 @@ let impose t ~system ~key ~value ~lc ~on_done =
       ~on_quorum:(fun _ ->
         Hashtbl.remove t.pending op;
         on_done ~value ~lc)
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ()
+      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
+      ~tag:"base.impose" ()
   in
   Hashtbl.replace t.pending op (Write call)
 
@@ -115,7 +118,8 @@ let read_with_floor t ~key ~floor ~on_done =
           else
             (* Wait for propagation, then look again. *)
             ignore (timer t ~delay_ms:(t.retry_timeout_ms /. 2.) poll))
-        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ()
+        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
+        ~tag:"base.read_floor" ()
     in
     Hashtbl.replace t.pending op (Read call)
   in
@@ -146,7 +150,8 @@ let read ?(floor = Lc.zero) t ~key ~on_done =
           if atomic then impose t ~system ~key ~value ~lc ~on_done
           else on_done ~value ~lc
         | None -> ())
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ()
+      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
+      ~tag:"base.read" ()
   in
   Hashtbl.replace t.pending op (Read call)
 
@@ -162,7 +167,8 @@ let write_two_phase t ~system ~key ~value ~on_done =
         ~on_quorum:(fun _ ->
           Hashtbl.remove t.pending op2;
           on_done ~lc:wlc)
-        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ()
+        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
+        ~tag:"base.write" ()
     in
     Hashtbl.replace t.pending op2 (Write call)
   in
@@ -173,7 +179,8 @@ let write_two_phase t ~system ~key ~value ~on_done =
         Hashtbl.remove t.pending op1;
         let max_lc = List.fold_left (fun acc (_, lc) -> Lc.max acc lc) Lc.zero replies in
         phase2 max_lc)
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ()
+      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
+      ~tag:"base.lc_read" ()
   in
   Hashtbl.replace t.pending op1 (Lc_read call)
 
@@ -188,7 +195,7 @@ let write_forward t ~primary ~key ~value ~on_done =
         match replies with
         | (_, lc) :: _ -> on_done ~lc
         | [] -> ())
-      ~timeout_ms:t.retry_timeout_ms ()
+      ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.fwd_write" ()
   in
   Hashtbl.replace t.pending op (Write call)
 

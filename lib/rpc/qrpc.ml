@@ -58,7 +58,7 @@ let pick_read_targets ?tracker ~rng ~system ~prefer () =
   pick_targets ?tracker ~rng ~system ~mode:Read ~prefer:(Some prefer) ()
 
 let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?timeout_ms ?backoff
-    ?max_rounds ?on_give_up () =
+    ?max_rounds ?on_give_up ?bus ?node ?tag () =
   let t = { system; replies = Hashtbl.create 8; tracker; retry = None } in
   let attempt ~round =
     (* First try a minimal quorum; a retransmission means some target is
@@ -84,7 +84,7 @@ let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?timeout_ms
   let on_complete () = on_quorum (replies t) in
   let retry =
     Retry.start ~timer ~attempt ~complete ~on_complete ?timeout_ms ?backoff ?max_rounds
-      ?on_give_up ()
+      ?on_give_up ?bus ?node ?tag ()
   in
   t.retry <- Some retry;
   t

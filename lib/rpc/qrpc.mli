@@ -24,9 +24,13 @@ val call :
   ?backoff:float ->
   ?max_rounds:int ->
   ?on_give_up:(unit -> unit) ->
+  ?bus:Dq_telemetry.Bus.t ->
+  ?node:int ->
+  ?tag:string ->
   unit ->
   'rep t
-(** [send dst] must transmit the request (with whatever rpc id the
+(** [bus]/[node]/[tag] attribute per-round telemetry (see
+    {!Retry.start}). [send dst] must transmit the request (with whatever rpc id the
     caller needs to route the reply back via {!deliver}). [on_quorum]
     fires exactly once, with one (node, reply) pair per responder — if a
     node replied several times (retransmission, duplication), the latest

@@ -7,6 +7,9 @@ type t = {
   backoff : float;
   max_rounds : int option;
   on_give_up : unit -> unit;
+  bus : Dq_telemetry.Bus.t;
+  node : int;
+  tag : string;
   mutable round : int;
   mutable done_ : bool;
   mutable pending : Dq_sim.Engine.handle option;
@@ -28,9 +31,17 @@ let finish t callback =
 
 let poke t = if (not t.done_) && t.complete () then finish t t.on_complete
 
+(* Every (re)transmission attempt surfaces as an [Rpc_round] event —
+   round 0 is the initial send, later rounds are retries. *)
+let run_attempt t ~round =
+  if Dq_telemetry.Bus.subscribed t.bus then
+    Dq_telemetry.Bus.emit t.bus
+      (Dq_telemetry.Event.Rpc_round { node = t.node; tag = t.tag; round });
+  t.attempt ~round
+
 let rerun t =
   if not t.done_ then begin
-    t.attempt ~round:t.round;
+    run_attempt t ~round:t.round;
     poke t
   end
 
@@ -44,17 +55,24 @@ and on_timeout t =
     let exhausted =
       match t.max_rounds with None -> false | Some m -> t.round + 1 >= m
     in
-    if exhausted then finish t t.on_give_up
+    if exhausted then begin
+      if Dq_telemetry.Bus.subscribed t.bus then
+        Dq_telemetry.Bus.emit t.bus
+          (Dq_telemetry.Event.Rpc_give_up
+             { node = t.node; tag = t.tag; rounds = t.round + 1 });
+      finish t t.on_give_up
+    end
     else begin
       t.round <- t.round + 1;
-      t.attempt ~round:t.round;
+      run_attempt t ~round:t.round;
       poke t;
       if not t.done_ then arm t
     end
   end
 
 let start ~timer ~attempt ~complete ~on_complete ?(timeout_ms = 200.) ?(backoff = 2.)
-    ?max_rounds ?(on_give_up = fun () -> ()) () =
+    ?max_rounds ?(on_give_up = fun () -> ()) ?(bus = Dq_telemetry.Bus.null) ?(node = -1)
+    ?(tag = "rpc") () =
   let t =
     {
       timer;
@@ -65,12 +83,15 @@ let start ~timer ~attempt ~complete ~on_complete ?(timeout_ms = 200.) ?(backoff 
       backoff;
       max_rounds;
       on_give_up;
+      bus;
+      node;
+      tag;
       round = 0;
       done_ = false;
       pending = None;
     }
   in
-  attempt ~round:0;
+  run_attempt t ~round:0;
   poke t;
   if not t.done_ then arm t;
   t

@@ -19,6 +19,9 @@ val start :
   ?backoff:float ->
   ?max_rounds:int ->
   ?on_give_up:(unit -> unit) ->
+  ?bus:Dq_telemetry.Bus.t ->
+  ?node:int ->
+  ?tag:string ->
   unit ->
   t
 (** Runs [attempt ~round:0] immediately. If [complete ()] is already
@@ -29,7 +32,12 @@ val start :
     called (default: keep silent, stop retrying).
 
     [timer] should be a node-scoped timer ({!Dq_net.Net.timer}) so the
-    loop dies with its node. *)
+    loop dies with its node.
+
+    When a [bus] is supplied, every attempt publishes an [Rpc_round]
+    event and exhaustion publishes [Rpc_give_up], attributed to [node]
+    and labelled [tag] (e.g. ["fe.read"]). Default: the null bus —
+    silent. *)
 
 val poke : t -> unit
 (** Re-test the completion condition; fires [on_complete] (once) if it

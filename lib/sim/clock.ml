@@ -1,8 +1,13 @@
-type t = { engine : Engine.t; mutable skew : float; mutable offset : float }
+type t = {
+  engine : Engine.t;
+  mutable skew : float;
+  mutable offset : float;
+  mutable owner : int; (* node id for telemetry; -1 = unattributed *)
+}
 
-let perfect engine = { engine; skew = 0.; offset = 0. }
+let perfect engine = { engine; skew = 0.; offset = 0.; owner = -1 }
 
-let make engine ~skew ~offset = { engine; skew; offset }
+let make engine ~skew ~offset = { engine; skew; offset; owner = -1 }
 
 let random engine ~rng ~max_drift ~max_offset =
   let skew =
@@ -10,7 +15,9 @@ let random engine ~rng ~max_drift ~max_offset =
     else Dq_util.Rng.float rng (2. *. max_drift) -. max_drift
   in
   let offset = if max_offset <= 0. then 0. else Dq_util.Rng.float rng max_offset in
-  { engine; skew; offset }
+  { engine; skew; offset; owner = -1 }
+
+let set_owner t node = t.owner <- node
 
 let now t = t.offset +. ((1. +. t.skew) *. Engine.now t.engine)
 
@@ -24,7 +31,10 @@ let set_skew t skew =
      discounts by [max_drift] remains sound across the change. *)
   let reading = now t in
   t.skew <- skew;
-  t.offset <- reading -. ((1. +. skew) *. Engine.now t.engine)
+  t.offset <- reading -. ((1. +. skew) *. Engine.now t.engine);
+  let bus = Engine.telemetry t.engine in
+  if Dq_telemetry.Bus.subscribed bus then
+    Dq_telemetry.Bus.emit bus (Dq_telemetry.Event.Clock_skew { node = t.owner; skew })
 
 let after t deadline = now t > deadline
 

@@ -19,6 +19,10 @@ val random : Engine.t -> rng:Dq_util.Rng.t -> max_drift:float -> max_offset:floa
 (** Skew uniform in [\[-max_drift, max_drift\]], offset uniform in
     [\[0, max_offset\]]. *)
 
+val set_owner : t -> int -> unit
+(** Attribute this clock to a node id so telemetry events it emits
+    (skew changes) land on that node's timeline. Defaults to [-1]. *)
+
 val now : t -> float
 (** The node-local reading of the current virtual time. *)
 

@@ -14,20 +14,28 @@ type t = {
   live : int ref; (* pending (not cancelled, not fired) events *)
   queue : event Event_heap.t;
   root_rng : Dq_util.Rng.t;
+  bus : Dq_telemetry.Bus.t;
 }
 
 let create ?(seed = 1L) () =
   (* The dummy only fills vacated heap slots; it is never scheduled. *)
   let dummy = { time = 0.; seq = -1; action = ignore; cancelled = true; live = ref 0 } in
-  {
-    clock = 0.;
-    next_seq = 0;
-    live = ref 0;
-    queue = Event_heap.create ~dummy;
-    root_rng = Dq_util.Rng.create seed;
-  }
+  let t =
+    {
+      clock = 0.;
+      next_seq = 0;
+      live = ref 0;
+      queue = Event_heap.create ~dummy;
+      root_rng = Dq_util.Rng.create seed;
+      bus = Dq_telemetry.Bus.create ();
+    }
+  in
+  Dq_telemetry.Bus.set_now t.bus (fun () -> t.clock);
+  t
 
 let now t = t.clock
+
+let telemetry t = t.bus
 
 let rng t = t.root_rng
 

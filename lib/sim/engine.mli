@@ -18,6 +18,11 @@ val create : ?seed:int64 -> unit -> t
 val now : t -> float
 (** Current virtual time in seconds. *)
 
+val telemetry : t -> Dq_telemetry.Bus.t
+(** The engine's telemetry bus. Every component built on this engine
+    publishes its typed events here, stamped with the engine's virtual
+    clock; with no sink subscribed the bus is free. *)
+
 val rng : t -> Dq_util.Rng.t
 (** The engine's root random stream. *)
 

@@ -16,3 +16,13 @@ let reporter engine =
 let setup ?(level = Logs.Debug) engine =
   Logs.set_reporter (reporter engine);
   Logs.set_level (Some level)
+
+(* The same human-readable rendering, as a telemetry sink: every typed
+   bus event prints as one virtual-time-stamped line. This supersedes
+   the Logs reporter above (kept for the few remaining free-text
+   sources) — [attach] sees protocol, network, and harness events
+   without any Logs configuration. *)
+let attach ?(ppf = Format.std_formatter) engine =
+  Dq_telemetry.Bus.subscribe (Engine.telemetry engine) (fun ~time_ms ev ->
+      Format.fprintf ppf "[%9.1fms] [%s] %a@." time_ms (Dq_telemetry.Event.cat ev)
+        Dq_telemetry.Event.pp ev)

@@ -16,3 +16,10 @@ val reporter : Engine.t -> Logs.reporter
 
 val setup : ?level:Logs.level -> Engine.t -> unit
 (** Install {!reporter} and set the global log level. *)
+
+val attach : ?ppf:Format.formatter -> Engine.t -> unit
+(** Subscribe a human-readable rendering sink to the engine's telemetry
+    bus: every typed event prints as a virtual-time-stamped line in the
+    same format as {!reporter}. This is the log "backend" of the
+    telemetry bus — unlike {!setup} it needs no [Logs] configuration
+    and sees every typed event from every layer. *)

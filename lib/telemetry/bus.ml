@@ -1,0 +1,24 @@
+type sink = time_ms:float -> Event.t -> unit
+
+type t = { mutable now : unit -> float; mutable sinks : sink list }
+
+let create () = { now = (fun () -> 0.); sinks = [] }
+
+let set_now t f = t.now <- f
+
+let subscribe t sink = t.sinks <- t.sinks @ [ sink ]
+
+let clear t = t.sinks <- []
+
+(* A tag check, not a polymorphic compare: this is the per-message
+   fast-path guard every publisher runs. *)
+let subscribed t = match t.sinks with [] -> false | _ :: _ -> true
+
+let emit t ev =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+    let time_ms = t.now () in
+    List.iter (fun f -> f ~time_ms ev) sinks
+
+let null = create ()

@@ -1,0 +1,41 @@
+(** The event bus: the single channel every layer publishes through.
+
+    A bus is owned by one simulation engine (see [Dq_sim.Engine]); the
+    engine stamps each event with its virtual clock via [set_now].
+    Sinks are plain callbacks — attach as many as needed, they all see
+    every event in emission order.
+
+    Cost discipline: with no sinks attached, {!emit} is a single list
+    match and {!subscribed} a pointer comparison. Publishers must guard
+    event {e construction} with [if Bus.subscribed bus then ...] so the
+    off path allocates nothing; {!emit} itself re-checks, so the guard
+    is about allocation, not correctness. *)
+
+type sink = time_ms:float -> Event.t -> unit
+(** [time_ms] is virtual time at emission. *)
+
+type t
+
+val create : unit -> t
+(** A bus with no sinks and a clock stuck at 0. *)
+
+val set_now : t -> (unit -> float) -> unit
+(** Install the virtual-time source used to stamp events. *)
+
+val subscribe : t -> sink -> unit
+(** Append a sink; sinks run in subscription order. *)
+
+val clear : t -> unit
+(** Detach all sinks. *)
+
+val subscribed : t -> bool
+(** [true] iff at least one sink is attached. Guard event construction
+    with this. *)
+
+val emit : t -> Event.t -> unit
+(** Deliver to every sink, stamped with the current virtual time. A
+    no-op (no clock read, no allocation) when no sink is attached. *)
+
+val null : t
+(** A shared always-empty bus, for contexts constructed without an
+    engine. Never subscribe to it. *)

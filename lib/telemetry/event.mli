@@ -1,0 +1,58 @@
+(** The typed telemetry event vocabulary.
+
+    One variant per observable fact in the system, spanning every layer:
+    network messages, client operations, leases and invalidations (the
+    dual-quorum protocol core), QRPC retry rounds, injected faults, and
+    simulator-level happenings. Events carry plain scalars only —
+    constructing one allocates a small record and nothing else, and
+    callers must only construct events behind a {!Bus.subscribed}
+    check so the no-sink path stays allocation-free. *)
+
+type t =
+  | Msg_sent of { src : int; dst : int; label : string; bytes : int; local : bool }
+  | Msg_delivered of { src : int; dst : int; label : string }
+  | Msg_dropped of { src : int; dst : int; label : string; reason : string }
+      (** [reason] is one of ["loss"], ["unreachable"], ["node-down"]. *)
+  | Op_start of { op : int; client : int; kind : string; key : string }
+  | Op_complete of {
+      op : int;
+      client : int;
+      kind : string;
+      start_ms : float;
+      latency_ms : float;
+    }
+  | Op_timeout of { op : int; client : int; kind : string }
+  | Op_give_up of { op : int; client : int; kind : string }
+  | Lease_granted of { node : int; peer : int; volume : int; lease_ms : float; epoch : int }
+  | Lease_expired of { node : int; peer : int; volume : int }
+  | Inval_through of { node : int; peer : int; key : string }
+  | Inval_suppressed of { node : int; key : string }
+  | Inval_delayed of { node : int; peer : int; key : string }
+  | Epoch_advance of { node : int; peer : int; volume : int; epoch : int }
+  | Cache_read of { node : int; key : string; hit : bool }
+  | Rpc_round of { node : int; tag : string; round : int }
+  | Rpc_give_up of { node : int; tag : string; rounds : int }
+  | Link_cut of { src : int; dst : int }
+  | Link_uncut of { src : int; dst : int }
+  | Node_crash of { node : int }
+  | Node_recover of { node : int }
+  | Fault_injected of { label : string }
+  | Clock_skew of { node : int; skew : float }
+  | Span_begin of { name : string; node : int }
+  | Span_end of { name : string; node : int }
+  | Note of { src : string; msg : string }
+
+val name : t -> string
+(** Stable snake_case kind slug, used as the metrics counter key. *)
+
+val cat : t -> string
+(** Coarse category (["msg"], ["op"], ["lease"], ["inval"], ["cache"],
+    ["rpc"], ["fault"], ["sim"], ["span"], ["note"]) — the Chrome-trace
+    [cat] field, filterable in Perfetto. *)
+
+val track : t -> int
+(** The node/client id whose timeline the event belongs to (the
+    Chrome-trace [tid]); [-1] for cluster-wide events. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering (the log sink format). *)

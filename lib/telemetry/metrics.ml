@@ -1,0 +1,187 @@
+module Histogram = Dq_util.Histogram
+
+(* Default latency buckets (ms): spans sub-RTT local hits up to the
+   retry/backoff tail. *)
+let latency_buckets = [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ]
+
+(* Per-label accounting lives in one cell so the per-message cost is a
+   single hashtable lookup, whichever mix of counters the label needs. *)
+type cell = { mutable c_remote : int; mutable c_local : int; mutable c_bytes : int }
+
+type t = {
+  mutable remote : int;
+  mutable local : int;
+  mutable bytes : int;
+  labels : (string, cell) Hashtbl.t;
+  events : (string, int ref) Hashtbl.t;
+  read_latency : Histogram.t;
+  write_latency : Histogram.t;
+}
+
+let create () =
+  {
+    remote = 0;
+    local = 0;
+    bytes = 0;
+    labels = Hashtbl.create 16;
+    events = Hashtbl.create 32;
+    read_latency = Histogram.create ~buckets:latency_buckets;
+    write_latency = Histogram.create ~buckets:latency_buckets;
+  }
+
+let bump table key amount =
+  match Hashtbl.find_opt table key with
+  | Some r -> r := !r + amount
+  | None -> Hashtbl.add table key (ref amount)
+
+let cell t label =
+  match Hashtbl.find_opt t.labels label with
+  | Some c -> c
+  | None ->
+    let c = { c_remote = 0; c_local = 0; c_bytes = 0 } in
+    Hashtbl.add t.labels label c;
+    c
+
+let record_msg t ~label ~local ?(bytes = 0) () =
+  let c = cell t label in
+  if local then begin
+    t.local <- t.local + 1;
+    c.c_local <- c.c_local + 1
+  end
+  else begin
+    t.remote <- t.remote + 1;
+    t.bytes <- t.bytes + bytes;
+    c.c_remote <- c.c_remote + 1;
+    c.c_bytes <- c.c_bytes + bytes
+  end
+
+let record_latency t ~kind latency_ms =
+  match kind with
+  | "read" -> Histogram.add t.read_latency latency_ms
+  | "write" -> Histogram.add t.write_latency latency_ms
+  | _ -> ()
+
+let total t = t.remote + t.local
+
+let remote_total t = t.remote
+
+let local_total t = t.local
+
+let remote_bytes t = t.bytes
+
+let sorted table =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Project one counter out of the label cells, dropping labels the
+   counter never saw (a label with only local deliveries must not show
+   up in the remote-only table, and vice versa). *)
+let sorted_cells t value =
+  Hashtbl.fold
+    (fun label c acc ->
+      let v = value c in
+      if v > 0 then (label, v) :: acc else acc)
+    t.labels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_label ?(include_local = false) t =
+  if include_local then sorted_cells t (fun c -> c.c_remote + c.c_local)
+  else sorted_cells t (fun c -> c.c_remote)
+
+let local_by_label t = sorted_cells t (fun c -> c.c_local)
+
+(* Byte totals for every label that sent at least one remote message,
+   zero-byte labels included (matching the message table's rows). *)
+let bytes_by_label t =
+  Hashtbl.fold
+    (fun label c acc -> if c.c_remote > 0 then (label, c.c_bytes) :: acc else acc)
+    t.labels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let event_counts t = sorted t.events
+
+let event_count t name =
+  match Hashtbl.find_opt t.events name with Some r -> !r | None -> 0
+
+let read_latency t = t.read_latency
+
+let write_latency t = t.write_latency
+
+let reset t =
+  t.remote <- 0;
+  t.local <- 0;
+  t.bytes <- 0;
+  Hashtbl.reset t.labels;
+  Hashtbl.reset t.events
+
+(* The bus-facing aggregator: counts every event by kind, mirrors
+   message accounting, and feeds operation latencies into the
+   histograms. *)
+let sink t : Bus.sink =
+ fun ~time_ms:_ ev ->
+  bump t.events (Event.name ev) 1;
+  match ev with
+  | Event.Msg_sent { label; bytes; local; _ } -> record_msg t ~label ~local ~bytes ()
+  | Event.Op_complete { kind; latency_ms; _ } -> record_latency t ~kind latency_ms
+  | _ -> ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>remote=%d local=%d" t.remote t.local;
+  List.iter (fun (label, n) -> Format.fprintf ppf "@,  %s: %d" label n) (by_label t);
+  Format.fprintf ppf "@]"
+
+(* {2 JSON rendering (hand-rolled, no external dependencies)} *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_counts buf name counts =
+  Printf.ksprintf (Buffer.add_string buf) "  %S: {" name;
+  List.iteri
+    (fun i (label, n) ->
+      Printf.ksprintf (Buffer.add_string buf) "%s\"%s\": %d"
+        (if i = 0 then "" else ", ")
+        (escape label) n)
+    counts;
+  Buffer.add_string buf "}"
+
+let json_histogram buf name h =
+  Printf.ksprintf (Buffer.add_string buf) "  %S: {\"count\": %d, \"buckets\": {" name
+    (Histogram.count h);
+  List.iteri
+    (fun i (label, n) ->
+      Printf.ksprintf (Buffer.add_string buf) "%s\"%s\": %d"
+        (if i = 0 then "" else ", ")
+        (escape label) n)
+    (Histogram.bucket_counts h);
+  Buffer.add_string buf "}}"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.ksprintf (Buffer.add_string buf)
+    "  \"remote_messages\": %d,\n  \"local_messages\": %d,\n  \"remote_bytes\": %d,\n"
+    t.remote t.local t.bytes;
+  json_counts buf "messages_by_label" (by_label t);
+  Buffer.add_string buf ",\n";
+  json_counts buf "bytes_by_label" (bytes_by_label t);
+  Buffer.add_string buf ",\n";
+  json_counts buf "local_messages_by_label" (local_by_label t);
+  Buffer.add_string buf ",\n";
+  json_counts buf "events" (event_counts t);
+  Buffer.add_string buf ",\n";
+  json_histogram buf "read_latency_ms" t.read_latency;
+  Buffer.add_string buf ",\n";
+  json_histogram buf "write_latency_ms" t.write_latency;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

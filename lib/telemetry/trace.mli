@@ -1,0 +1,31 @@
+(** Chrome [trace_event] sink — open the output in Perfetto
+    ({:https://ui.perfetto.dev}) or [chrome://tracing] to see a run as
+    a timeline: one track (tid) per node/client, instant markers for
+    messages / leases / invalidations / faults, and duration slices for
+    completed client operations.
+
+    Timestamps are microseconds in the output (virtual milliseconds
+    scaled by 1000). For multi-run campaigns pass a distinct [pid] per
+    run and name each with {!set_process_name}; Perfetto renders each
+    pid as its own process group. *)
+
+type t
+
+val create : unit -> t
+
+val set_process_name : t -> pid:int -> string -> unit
+(** Emit a [process_name] metadata record so the pid shows up with a
+    human-readable name (e.g. the scenario id). *)
+
+val record : ?pid:int -> t -> time_ms:float -> Event.t -> unit
+(** Append one event ([pid] defaults to 0). *)
+
+val sink : ?pid:int -> t -> Bus.sink
+
+val count : t -> int
+(** Number of records appended so far (including metadata). *)
+
+val contents : t -> string
+(** The complete [{"traceEvents": [...]}] JSON document. *)
+
+val write_file : t -> string -> unit
