@@ -1,0 +1,156 @@
+(* dqr-lint - the project invariant linter. Loads the .cmt typedtrees
+   dune already produced under _build and checks the load-bearing
+   conventions the reproduction's trustworthiness rests on: no
+   polymorphic compare on hot paths (R1), no ambient randomness (R2),
+   no wall clock in simulation code (R3), telemetry publishes guarded
+   by Bus.subscribed (R4), and no captured-state mutation inside
+   domain-pool workers (R5). See DESIGN.md section 9. *)
+
+module Diagnostic = Dq_lint.Diagnostic
+module Rules = Dq_lint.Rules
+module Engine = Dq_lint.Engine
+open Cmdliner
+
+let list_rules () =
+  print_endline "rule  name                    scope";
+  print_endline "----  ----                    -----";
+  List.iter
+    (fun (r : Rules.t) ->
+      Printf.printf "%-4s  %-22s  %s\n      %s\n" r.id r.name r.scope_doc
+        r.summary)
+    Rules.all
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let select_rules spec =
+  match spec with
+  | "all" -> Ok Rules.all
+  | spec ->
+    let keys =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> not (String.equal s ""))
+    in
+    let missing =
+      List.filter (fun k -> Option.is_none (Rules.find k)) keys
+    in
+    (match missing with
+    | [] -> Ok (List.filter_map Rules.find keys)
+    | m -> Error (Printf.sprintf "unknown rule(s): %s" (String.concat ", " m)))
+
+let run build_dir json_out allowlist_file rules_spec all_scopes show_rules
+    quiet paths =
+  if show_rules then begin
+    list_rules ();
+    0
+  end
+  else
+    match select_rules rules_spec with
+    | Error msg ->
+      prerr_endline ("dqr-lint: " ^ msg);
+      2
+    | Ok rules ->
+      if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then begin
+        Printf.eprintf
+          "dqr-lint: build dir %s not found (run 'dune build' first)\n"
+          build_dir;
+        2
+      end
+      else begin
+        let allowlist =
+          match allowlist_file with
+          | None -> []
+          | Some f -> Engine.parse_allowlist (read_file f)
+        in
+        let cfg =
+          {
+            Engine.rules;
+            ignore_scopes = all_scopes;
+            exclude_paths =
+              (if all_scopes then []
+               else Engine.default_config.exclude_paths);
+            allowlist;
+          }
+        in
+        let diags, errors = Engine.lint_build_dir ~paths cfg build_dir in
+        List.iter (fun e -> Printf.eprintf "dqr-lint: warning: %s\n" e) errors;
+        if not quiet then
+          List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+        (match json_out with
+        | None -> ()
+        | Some "-" -> print_string (Diagnostic.list_to_json diags)
+        | Some f -> write_file f (Diagnostic.list_to_json diags));
+        let n = List.length diags in
+        if not quiet then
+          Printf.printf "dqr-lint: %d finding%s\n" n (if n = 1 then "" else "s");
+        if n > 0 then 1 else 0
+      end
+
+let cmd =
+  let build_dir =
+    Arg.(
+      value & opt string "_build/default"
+      & info [ "build-dir" ] ~docv:"DIR"
+          ~doc:"Build context root holding the .cmt artifacts.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the findings as JSON to $(docv) ('-' for stdout).")
+  in
+  let allowlist =
+    Arg.(
+      value & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "Allowlist file: lines of '<rule-or-*> <path-substring>', \
+             #-comments allowed.")
+  in
+  let rules =
+    Arg.(
+      value & opt string "all"
+      & info [ "rules" ] ~docv:"LIST"
+          ~doc:"Comma-separated rule ids or names to run (default: all).")
+  in
+  let all_scopes =
+    Arg.(
+      value & flag
+      & info [ "all-scopes" ]
+          ~doc:
+            "Ignore per-directory scoping (and the default exclusions) and \
+             run every rule everywhere.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule table.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-finding output.")
+  in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Project-relative path prefixes to restrict the lint to.")
+  in
+  Cmd.v
+    (Cmd.info "dqr-lint" ~version:"1.0.0"
+       ~doc:
+         "Typedtree linter for the dual-quorum reproduction: determinism, \
+          hot-path purity and domain-safety invariants, machine-checked from \
+          the .cmt artifacts dune already builds")
+    Term.(
+      const run $ build_dir $ json_out $ allowlist $ rules $ all_scopes
+      $ list_rules $ quiet $ paths)
+
+let () = exit (Cmd.eval' cmd)

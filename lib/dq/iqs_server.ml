@@ -167,7 +167,7 @@ let unregister_loop t key loop =
   match Hashtbl.find_opt t.loops key with
   | Some loops ->
     loops := List.filter (fun l -> l != loop) !loops;
-    if !loops = [] then Hashtbl.remove t.loops key
+    (match !loops with [] -> Hashtbl.remove t.loops key | _ :: _ -> ())
   | None -> ()
 
 let poke_loops t key =

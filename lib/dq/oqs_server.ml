@@ -97,7 +97,7 @@ let object_valid_from t key ~iqs =
   o.valid
   && ((not t.config.use_volume_leases)
      || o.epoch = (vol_from t ~volume:(Key.volume key) ~iqs).epoch)
-  && (t.config.object_lease_ms = None || o.expires > now t)
+  && (Option.is_none t.config.object_lease_ms || o.expires > now t)
 
 let valid_from t key iqs =
   volume_valid_from t ~volume:(Key.volume key) ~iqs && object_valid_from t key ~iqs

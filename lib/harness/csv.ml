@@ -38,7 +38,11 @@ let write_series ~dir ~name ~x_label ~x_of points =
         x_of x
         :: List.map
              (fun label ->
-               match List.assoc_opt label values with
+               match
+                 List.find_map
+                   (fun (l, v) -> if String.equal l label then Some v else None)
+                   values
+               with
                | Some v -> Printf.sprintf "%.17g" v
                | None -> "")
              labels)

@@ -446,7 +446,9 @@ let ablation_batch_renewals ?(seed = 42L) () =
       (* Remote-only explicitly: the overhead model compares network
          renewal traffic, so local (src = dst) renewals stay excluded. *)
       Option.value
-        (List.assoc_opt label (Dq_net.Msg_stats.by_label ~include_local:false stats))
+        (List.find_map
+           (fun (l, n) -> if String.equal l label then Some n else None)
+           (Dq_net.Msg_stats.by_label ~include_local:false stats))
         ~default:0
     in
     count "vol_renew_req" + count "vols_renew_req"

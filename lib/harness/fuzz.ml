@@ -197,5 +197,5 @@ let campaign ?(on_progress = fun _ _ -> ()) ?(scenario_of = scenario_of_seed)
        (fun i seed ->
          let outcome = run ~instrument:(instrument i) builder (scenario_of seed) in
          on_progress i outcome;
-         if outcome.violations = [] then [] else [ outcome ])
+         match outcome.violations with [] -> [] | _ :: _ -> [ outcome ])
        seeds)

@@ -34,7 +34,9 @@ let complete_op t ~id ~value ~lc ~now =
 
 let give_up_op t ~id ~now =
   match Hashtbl.find_opt t.table id with
-  | Some op -> if op.responded = None then Hashtbl.replace t.table id { op with gave_up = Some now }
+  | Some op ->
+    if Option.is_none op.responded then
+      Hashtbl.replace t.table id { op with gave_up = Some now }
   | None -> invalid_arg "History.give_up_op: unknown operation id"
 
 let ops t =
@@ -42,9 +44,13 @@ let ops t =
   |> List.sort (fun a b -> Int.compare a.id b.id)
 
 let completed_count t =
-  Hashtbl.fold (fun _ op acc -> if op.responded <> None then acc + 1 else acc) t.table 0
+  Hashtbl.fold
+    (fun _ op acc -> if Option.is_some op.responded then acc + 1 else acc)
+    t.table 0
 
 let gave_up_count t =
-  Hashtbl.fold (fun _ op acc -> if op.gave_up <> None then acc + 1 else acc) t.table 0
+  Hashtbl.fold
+    (fun _ op acc -> if Option.is_some op.gave_up then acc + 1 else acc)
+    t.table 0
 
 let size t = Hashtbl.length t.table

@@ -429,11 +429,15 @@ let phases ~events ~history =
         from_ms;
         until_ms;
         p_issued = List.length ops;
-        p_completed = count (fun op -> op.History.responded <> None);
+        p_completed = count (fun op -> Option.is_some op.History.responded);
         p_gave_up =
-          count (fun op -> op.History.responded = None && op.History.gave_up <> None);
+          count (fun op ->
+              Option.is_none op.History.responded
+              && Option.is_some op.History.gave_up);
         p_failed =
-          count (fun op -> op.History.responded = None && op.History.gave_up = None);
+          count (fun op ->
+              Option.is_none op.History.responded
+              && Option.is_none op.History.gave_up);
       })
     (windows boundaries)
 

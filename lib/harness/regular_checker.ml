@@ -81,7 +81,9 @@ let check ops =
       | History.Read -> ())
     ops;
   let reads = List.filter (fun (op : History.op) -> op.kind = History.Read) ops in
-  let completed = List.filter (fun (op : History.op) -> op.responded <> None) reads in
+  let completed =
+    List.filter (fun (op : History.op) -> Option.is_some op.responded) reads
+  in
   let violations =
     List.filter_map
       (fun r ->
@@ -95,7 +97,8 @@ let check ops =
   in
   { reads = List.length reads; checked = List.length completed; violations }
 
-let is_regular ops = (check ops).violations = []
+let is_regular ops =
+  match (check ops).violations with [] -> true | _ :: _ -> false
 
 type inversion = {
   first_read : History.op;
@@ -148,7 +151,9 @@ let new_old_inversions ops =
       !acc)
     by_key []
 
-let is_atomic ops = is_regular ops && new_old_inversions ops = []
+let is_atomic ops =
+  is_regular ops
+  && match new_old_inversions ops with [] -> true | _ :: _ -> false
 
 let pp_report ppf report =
   Format.fprintf ppf "reads=%d checked=%d violations=%d" report.reads report.checked

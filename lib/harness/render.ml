@@ -53,7 +53,13 @@ let series ~title ~x_label ~x_of ?(fmt = fun v -> Printf.sprintf "%.2f" v) point
     List.iter
       (fun (x, values) ->
         let cell name =
-          match List.assoc_opt name values with Some v -> fmt v | None -> "-"
+          match
+            List.find_map
+              (fun (l, v) -> if String.equal l name then Some v else None)
+              values
+          with
+          | Some v -> fmt v
+          | None -> "-"
         in
         Table.add_row t (x_of x :: List.map cell protocols))
       points;

@@ -50,7 +50,8 @@ let measure ops =
     ops;
   let reads =
     List.filter
-      (fun (op : History.op) -> op.kind = History.Read && op.responded <> None)
+      (fun (op : History.op) ->
+        op.kind = History.Read && Option.is_some op.responded)
       ops
   in
   let stale =

@@ -1,0 +1,69 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~(loc : Location.t) ~message =
+  let p = loc.loc_start in
+  {
+    rule;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* Minimal JSON string escaping, same dialect as lib/telemetry/trace.ml:
+   we only ever emit ASCII rule ids, paths and prose. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (escape d.rule) (escape d.file) d.line d.col (escape d.message)
+
+let list_to_json ds =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"version\":1,\"count\":%d,\"diagnostics\":[" (List.length ds));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (to_json d))
+    ds;
+  (match ds with [] -> () | _ :: _ -> Buffer.add_char b '\n');
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

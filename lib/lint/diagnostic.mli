@@ -1,0 +1,29 @@
+(** A single linter finding, anchored to a source location.
+
+    Locations come straight out of the typedtree, so [file] is the
+    compiler's view of the source path — relative to the build context
+    root (e.g. ["lib/sim/engine.ml"]). *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["R1"] *)
+  file : string;  (** source path relative to the project root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports it *)
+  message : string;
+}
+
+val make : rule:string -> loc:Location.t -> message:string -> t
+(** Extract [file]/[line]/[col] from [loc.loc_start]. *)
+
+val compare : t -> t -> int
+(** Order by [file], then [line], [col], [rule], [message]. *)
+
+val to_string : t -> string
+(** ["file:line:col: [rule] message"] — the human-readable form. *)
+
+val to_json : t -> string
+(** One finding as a JSON object on a single line. *)
+
+val list_to_json : t list -> string
+(** The report envelope: [{"version":1,"count":N,"diagnostics":[...]}],
+    pretty-printed with one finding per line. *)

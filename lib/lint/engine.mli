@@ -1,0 +1,49 @@
+(** The analysis pass: load [.cmt] typedtrees and run the rule checks.
+
+    The engine never re-typechecks anything — it walks the typedtree
+    dune already produced (every compile runs with [-bin-annot]), so a
+    lint run costs milliseconds and sees exactly the types the compiler
+    saw, post-inference.
+
+    Suppression, in order of precedence:
+    - expression / let-binding attribute:
+      [(e [@dqr.lint.allow "R1"])] or [let[@dqr.lint.allow "R4"] f = ...];
+      the payload names one or more rule ids or names (comma/space
+      separated); an empty payload allows every rule for that subtree;
+    - file-level floating attribute: [[@@@dqr.lint.allow "R2"]]
+      anywhere in the file suppresses that rule for the whole file;
+    - allowlist file: lines of [<rule-id-or-*> <path-substring>],
+      [#]-comments allowed. *)
+
+type config = {
+  rules : Rules.t list;  (** rules to run (default: all) *)
+  ignore_scopes : bool;
+      (** run every rule on every file, ignoring [Rules.applies] — used
+          by the fixture tests, which live outside the scoped dirs *)
+  allowlist : (string * string) list;
+      (** [(rule, path-substring)] pairs; rule ["*"] matches any rule *)
+  exclude_paths : string list;
+      (** project-relative path prefixes to skip entirely (default:
+          the lint fixtures, which violate on purpose) *)
+}
+
+val default_config : config
+
+val parse_allowlist : string -> (string * string) list
+(** Parse allowlist file contents (not a path). *)
+
+val lint_cmt :
+  ?root:string -> config -> string -> (Diagnostic.t list, string) result
+(** Lint one [.cmt] file. [root] (default ["_build/default"]) is the
+    build context root used to resolve the cmt's recorded load path
+    (dune spells it [/workspace_root]) so type declarations can be
+    looked up. [Error] means the artifact could not be loaded. *)
+
+val lint_build_dir :
+  ?paths:string list -> config -> string -> Diagnostic.t list * string list
+(** [lint_build_dir ~paths config build_dir] walks [build_dir]
+    recursively for [.cmt] files, lints each compilation unit once
+    (several executables may recompile the same source — findings are
+    deduplicated), and returns sorted diagnostics plus load errors.
+    [paths] filters findings to files under the given project-relative
+    prefixes. *)

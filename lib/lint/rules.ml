@@ -1,0 +1,88 @@
+type t = {
+  id : string;
+  name : string;
+  summary : string;
+  applies : string -> bool;
+  scope_doc : string;
+}
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let under dirs path =
+  let path = normalize path in
+  List.exists
+    (fun d ->
+      let d = if String.length d > 0 && d.[String.length d - 1] = '/' then d else d ^ "/" in
+      String.length path >= String.length d
+      && String.equal (String.sub path 0 (String.length d)) d)
+    dirs
+
+(* R1 guards every library subtree: the simulator's determinism and the
+   hot paths' monomorphism are global properties, and PR 1's purge only
+   stays purged if nothing under lib/ regresses. *)
+let r1 =
+  {
+    id = "R1";
+    name = "no-poly-compare";
+    summary =
+      "polymorphic compare/equality (compare, =, <>, <, >, <=, >=, min, max, \
+       Hashtbl.hash, List.mem/assoc) at a non-immediate type";
+    applies = (fun p -> under [ "lib" ] p);
+    scope_doc = "lib/ (every library subtree)";
+  }
+
+let r2 =
+  {
+    id = "R2";
+    name = "no-ambient-randomness";
+    summary =
+      "Stdlib.Random is ambient, seed-global state; all randomness must flow \
+       from Dq_util.Rng so runs replay bit-for-bit";
+    applies = (fun p -> not (String.equal (normalize p) "lib/util/rng.ml"));
+    scope_doc = "everywhere except lib/util/rng.ml";
+  }
+
+let r3 =
+  {
+    id = "R3";
+    name = "no-wall-clock";
+    summary =
+      "Unix.gettimeofday/Unix.time/Sys.time read the host clock; simulation \
+       code must use the virtual Clock";
+    applies = (fun p -> not (under [ "bin"; "bench" ] p));
+    scope_doc = "everywhere except bin/ and bench/";
+  }
+
+let r4 =
+  {
+    id = "R4";
+    name = "guarded-telemetry";
+    summary =
+      "telemetry publishes that construct an event must be dominated by a \
+       Bus.subscribed check so the no-sink path allocates nothing";
+    applies =
+      (fun p -> under [ "lib" ] p && not (under [ "lib/telemetry" ] p));
+    scope_doc = "lib/ except lib/telemetry (the bus itself)";
+  }
+
+let r5 =
+  {
+    id = "R5";
+    name = "domain-safety";
+    summary =
+      "closures handed to Dq_par.Pool.map/map_array must not mutate captured \
+       refs, fields, arrays or hashtables (cross-domain race)";
+    applies = (fun p -> not (under [ "lib/par" ] p));
+    scope_doc = "everywhere except lib/par (the pool itself)";
+  }
+
+let all = [ r1; r2; r3; r4; r5 ]
+
+let find key =
+  List.find_opt (fun r -> String.equal r.id key || String.equal r.name key) all

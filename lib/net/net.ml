@@ -133,7 +133,12 @@ let flap_link t ~src ~dst ~up_ms ~down_ms ~until_ms =
   let generation = t.next_flap_gen in
   Hashtbl.replace t.flap_gens (src, dst) generation;
   let rec phase is_up () =
-    if Hashtbl.find_opt t.flap_gens (src, dst) = Some generation then begin
+    let gen_live =
+      match Hashtbl.find_opt t.flap_gens (src, dst) with
+      | Some g -> g = generation
+      | None -> false
+    in
+    if gen_live then begin
       if Dq_sim.Engine.now t.engine >= until_ms then begin
         Hashtbl.remove t.flap_gens (src, dst);
         uncut t ~src ~dst

@@ -233,7 +233,9 @@ let rec arm_gossip t replica =
            | [] -> ()
            | peers ->
              let peer = List.nth peers (Dq_util.Rng.int t.rng (List.length peers)) in
-             if shares <> [] then send t ~src:replica.me ~dst:peer (Gossip { shares }));
+             match shares with
+             | [] -> ()
+             | _ :: _ -> send t ~src:replica.me ~dst:peer (Gossip { shares }));
            arm_gossip t replica
          end))
 

@@ -163,7 +163,9 @@ let weighted ~name ~members ~read ~write =
   let votes = Array.of_list (List.map snd members) in
   let ids = List.map fst members in
   let total = Array.fold_left ( + ) 0 votes in
-  if ids = [] then invalid_arg "Quorum_system.weighted: no members";
+  (match ids with
+  | [] -> invalid_arg "Quorum_system.weighted: no members"
+  | _ :: _ -> ());
   if Array.exists (fun v -> v < 0) votes then
     invalid_arg "Quorum_system.weighted: negative votes";
   if read < 1 || read > total || write < 1 || write > total then

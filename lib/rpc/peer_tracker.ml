@@ -34,7 +34,7 @@ let estimate_ms t id =
 
 let rank t candidates =
   let unexplored, explored =
-    List.partition (fun id -> estimate_ms t id = None) candidates
+    List.partition (fun id -> Option.is_none (estimate_ms t id)) candidates
   in
   let sorted =
     List.sort
@@ -47,4 +47,6 @@ let rank t candidates =
   unexplored @ sorted
 
 let observed_peers t =
-  Hashtbl.fold (fun _ p acc -> if p.ewma <> None then acc + 1 else acc) t.peers 0
+  Hashtbl.fold
+    (fun _ p acc -> if Option.is_some p.ewma then acc + 1 else acc)
+    t.peers 0

@@ -4,7 +4,8 @@ let create ~buckets =
   let bounds = Array.of_list buckets in
   let sorted = Array.copy bounds in
   Array.sort Float.compare sorted;
-  if bounds <> sorted then invalid_arg "Histogram.create: buckets must be ascending";
+  if not (Array.for_all2 Float.equal bounds sorted) then
+    invalid_arg "Histogram.create: buckets must be ascending";
   { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
 
 let add t x =

@@ -1,0 +1,8 @@
+(* R1 fixture: every definition here compares/hashes polymorphically at
+   a non-immediate type and must be flagged. *)
+
+let eq_pair (a : int * int) (b : int * int) = a = b
+let cmp_opt (a : float option) (b : float option) = compare a b
+let hash_list (l : string list) = Hashtbl.hash l
+let mem_str (s : string) (l : string list) = List.mem s l
+let max_opt (a : int option) (b : int option) = max a b

@@ -1,0 +1,17 @@
+(* R1 fixture, clean: immediates, compiler-specialized base types, and
+   monomorphic comparators are all allowed. *)
+
+type color = Red | Green | Blue
+
+(* Constant-constructor variants are immediate: exempt. *)
+let same_color (a : color) (b : color) = a = b
+let eq_int (a : int) (b : int) = a = b
+
+(* The compiler specializes comparison primitives at float/string. *)
+let lt_float (a : float) (b : float) = a < b
+let cmp_str (a : string) (b : string) = compare a b
+
+(* Monomorphic comparators. *)
+let eq_str (a : string) (b : string) = String.equal a b
+let max_float (a : float) (b : float) = Float.max a b
+let eq_opt (a : float option) (b : float option) = Option.equal Float.equal a b

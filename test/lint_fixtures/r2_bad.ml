@@ -1,0 +1,4 @@
+(* R2 fixture: ambient Stdlib.Random — two findings. *)
+
+let roll () = Random.int 6
+let coin () = Random.bool ()

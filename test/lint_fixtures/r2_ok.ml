@@ -1,0 +1,4 @@
+(* R2 fixture, clean: randomness flows from a seeded Dq_util.Rng. *)
+
+let roll rng = Dq_util.Rng.int rng 6
+let coin rng = Dq_util.Rng.bool rng

@@ -1,0 +1,5 @@
+(* R3 fixture: wall-clock reads — three findings. *)
+
+let now_wall () = Unix.gettimeofday ()
+let epoch () = Unix.time ()
+let cpu () = Sys.time ()

@@ -1,0 +1,4 @@
+(* R3 fixture, clean: time is a parameter, never the host clock. *)
+
+let now ~(clock : unit -> float) = clock ()
+let expired ~clock ~deadline = Float.compare (now ~clock) deadline > 0

@@ -1,0 +1,16 @@
+(* R5 fixture: pool worker closures mutating captured state — three
+   findings (ref write, hashtable mutation, field write). *)
+
+type cell = { mutable v : int }
+
+let sum_via_shared_ref pool xs =
+  let acc = ref 0 in
+  let _ = Dq_par.Pool.map pool (fun x -> acc := !acc + x) xs in
+  !acc
+
+let tally_shared pool xs =
+  let seen = Hashtbl.create 8 in
+  Dq_par.Pool.map pool (fun x -> Hashtbl.replace seen x true) xs
+
+let write_captured_field pool (c : cell) xs =
+  Dq_par.Pool.map pool (fun x -> c.v <- x) xs

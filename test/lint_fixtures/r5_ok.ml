@@ -1,0 +1,32 @@
+(* R5 fixture, clean: pure workers, and mutation confined to state the
+   worker itself creates. *)
+
+type cell = { mutable v : int }
+
+let double pool xs = Dq_par.Pool.map pool (fun x -> 2 * x) xs
+
+let local_ref pool xs =
+  Dq_par.Pool.map pool
+    (fun x ->
+      let c = ref 0 in
+      for _ = 1 to x do
+        incr c
+      done;
+      !c)
+    xs
+
+let local_record pool xs =
+  Dq_par.Pool.map pool
+    (fun x ->
+      let c = { v = 0 } in
+      c.v <- x;
+      c.v)
+    xs
+
+let local_table pool xs =
+  Dq_par.Pool.map pool
+    (fun x ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace h x x;
+      Hashtbl.length h)
+    xs

@@ -1,0 +1,19 @@
+(* Suppression fixture: every violation below carries an explicit
+   [@dqr.lint.allow] — the lint must report nothing for this file. *)
+
+(* File-level floating attribute: R2 allowed for the whole file. *)
+[@@@dqr.lint.allow "R2"]
+
+(* Expression-level, by rule id. *)
+let cmp_opt (a : float option) (b : float option) =
+  (compare a b [@dqr.lint.allow "R1"])
+
+(* Let-binding-level, by rule name. *)
+let[@dqr.lint.allow "no-poly-compare"] eq_lists (a : int list) (b : int list) =
+  a = b
+
+(* Covered by the floating R2 allow above. *)
+let roll () = Random.int 6
+
+(* Empty payload allows every rule for the subtree. *)
+let wall () = (Unix.gettimeofday () [@dqr.lint.allow])

@@ -1,0 +1,202 @@
+(* Golden tests for dqr-lint. Each rule has a violating and a clean
+   fixture under test/lint_fixtures/; the fixtures are compiled as a
+   regular library so their .cmt typedtrees exist, and copy rules in
+   test/lint_fixtures/dune give them stable names. The test runs with
+   cwd = _build/default/test, so the build root is ".." *)
+
+module D = Dq_lint.Diagnostic
+module Rules = Dq_lint.Rules
+module Engine = Dq_lint.Engine
+
+let fixture_cfg =
+  { Engine.default_config with ignore_scopes = true; exclude_paths = [] }
+
+let lint ?(cfg = fixture_cfg) name =
+  let path = Filename.concat "lint_fixtures" (name ^ ".cmt") in
+  match Engine.lint_cmt ~root:".." cfg path with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "loading %s: %s" name e
+
+let ids ds = List.map (fun (d : D.t) -> d.D.rule) ds
+let strings ds = List.map D.to_string ds
+
+(* ------------------------------------------------------------------ *)
+(* One violating fixture per rule: expected rule ids at expected count *)
+
+let test_bad_fixtures () =
+  let expect name rule count =
+    Alcotest.(check (list string))
+      (name ^ " rule ids")
+      (List.init count (fun _ -> rule))
+      (ids (lint name))
+  in
+  expect "r1_bad" "R1" 5;
+  expect "r2_bad" "R2" 2;
+  expect "r3_bad" "R3" 3;
+  expect "r4_bad" "R4" 2;
+  expect "r5_bad" "R5" 3
+
+let test_ok_fixtures () =
+  List.iter
+    (fun name ->
+      Alcotest.(check (list string)) (name ^ " is clean") [] (strings (lint name)))
+    [ "r1_ok"; "r2_ok"; "r3_ok"; "r4_ok"; "r5_ok" ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden diagnostics: exact file:line:col, rule id and message text   *)
+
+let test_golden_r2 () =
+  let expected =
+    [
+      "test/lint_fixtures/r2_bad.ml:3:14: [R2] Stdlib.Random.int draws from \
+       the ambient global generator; route randomness through Dq_util.Rng so \
+       runs replay bit-for-bit";
+      "test/lint_fixtures/r2_bad.ml:4:14: [R2] Stdlib.Random.bool draws from \
+       the ambient global generator; route randomness through Dq_util.Rng so \
+       runs replay bit-for-bit";
+    ]
+  in
+  Alcotest.(check (list string)) "r2_bad golden" expected (strings (lint "r2_bad"))
+
+let test_golden_r5 () =
+  let expected =
+    [
+      "test/lint_fixtures/r5_bad.ml:8:41: [R5] worker closure writes a \
+       captured ref via := (data race across pool domains)";
+      "test/lint_fixtures/r5_bad.ml:13:33: [R5] worker closure mutates a \
+       captured hash table via Hashtbl.replace (data race across pool domains)";
+      "test/lint_fixtures/r5_bad.ml:16:33: [R5] worker closure mutates field \
+       'v' of captured state (data race across pool domains)";
+    ]
+  in
+  Alcotest.(check (list string)) "r5_bad golden" expected (strings (lint "r5_bad"))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression: attributes and the allowlist file                      *)
+
+let test_suppression_attributes () =
+  (* suppressed.ml repeats violations of R1 and R2 and of the wall-clock
+     rule, each under a [@dqr.lint.allow] in a different position
+     (expression, let-binding, floating file-level, empty payload). *)
+  Alcotest.(check (list string))
+    "suppressed.ml is silent" []
+    (strings (lint "suppressed"))
+
+let test_parse_allowlist () =
+  let parsed =
+    Engine.parse_allowlist
+      "# tolerated debt, see DESIGN.md section 9\n\
+       R1 lib/harness/legacy.ml\n\
+       \n\
+       *  test/scratch\n"
+  in
+  Alcotest.(check (list (pair string string)))
+    "parsed entries"
+    [ ("R1", "lib/harness/legacy.ml"); ("*", "test/scratch") ]
+    parsed
+
+let test_allowlist_filters () =
+  let with_allow allowlist = { fixture_cfg with Engine.allowlist } in
+  (* Matching rule + path substring silences the file. *)
+  Alcotest.(check int)
+    "R1 allow silences r1_bad" 0
+    (List.length (lint ~cfg:(with_allow [ ("R1", "lint_fixtures/r1_bad") ]) "r1_bad"));
+  (* Wildcard rule matches everything on that path. *)
+  Alcotest.(check int)
+    "* allow silences r5_bad" 0
+    (List.length (lint ~cfg:(with_allow [ ("*", "r5_bad") ]) "r5_bad"));
+  (* Wrong rule id leaves the findings alone. *)
+  Alcotest.(check int)
+    "R2 allow does not touch r1_bad" 5
+    (List.length (lint ~cfg:(with_allow [ ("R2", "r1_bad") ]) "r1_bad"))
+
+(* ------------------------------------------------------------------ *)
+(* Scoping: rules only fire inside their declared subtrees             *)
+
+let test_scoping () =
+  let scoped = { Engine.default_config with exclude_paths = [] } in
+  (* R1 is scoped to lib/ — the same fixture that shows 5 findings with
+     scoping off shows none with scoping on. *)
+  Alcotest.(check int)
+    "R1 out of scope under test/" 0
+    (List.length (lint ~cfg:scoped "r1_bad"));
+  (* R2 applies everywhere outside lib/util/rng.ml, including test/. *)
+  Alcotest.(check int)
+    "R2 in scope under test/" 2
+    (List.length (lint ~cfg:scoped "r2_bad"));
+  (* The default config excludes the fixture tree entirely. *)
+  Alcotest.(check int)
+    "default config skips fixtures" 0
+    (List.length (lint ~cfg:Engine.default_config "r2_bad"))
+
+(* ------------------------------------------------------------------ *)
+(* JSON output shape                                                   *)
+
+let test_json_shape () =
+  let ds = lint "r2_bad" in
+  (match ds with
+  | d :: _ ->
+    Alcotest.(check string)
+      "single diagnostic json"
+      "{\"rule\":\"R2\",\"file\":\"test/lint_fixtures/r2_bad.ml\",\"line\":3,\
+       \"col\":14,\"message\":\"Stdlib.Random.int draws from the ambient \
+       global generator; route randomness through Dq_util.Rng so runs replay \
+       bit-for-bit\"}"
+      (D.to_json d)
+  | [] -> Alcotest.fail "r2_bad produced no diagnostics");
+  let json = D.list_to_json ds in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.equal (String.sub json i n) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has version" true (contains "\"version\":1");
+  Alcotest.(check bool) "has count" true (contains "\"count\":2");
+  Alcotest.(check bool)
+    "envelope opens" true
+    (String.length json > 0 && Char.equal json.[0] '{');
+  Alcotest.(check string)
+    "empty list golden"
+    "{\"version\":1,\"count\":0,\"diagnostics\":[]}\n"
+    (D.list_to_json [])
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                       *)
+
+let test_rule_registry () =
+  Alcotest.(check int) "five rules" 5 (List.length Rules.all);
+  let id_of k =
+    match Rules.find k with
+    | Some (r : Rules.t) -> r.Rules.id
+    | None -> Alcotest.failf "rule %s not found" k
+  in
+  Alcotest.(check string) "find by id" "R1" (id_of "R1");
+  Alcotest.(check string) "find by name" "R3" (id_of "no-wall-clock");
+  Alcotest.(check string) "find R5 by name" "R5" (id_of "domain-safety");
+  (match Rules.find "R9" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "R9 should not resolve")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "violating fixtures" `Quick test_bad_fixtures;
+          Alcotest.test_case "clean fixtures" `Quick test_ok_fixtures;
+          Alcotest.test_case "golden R2" `Quick test_golden_r2;
+          Alcotest.test_case "golden R5" `Quick test_golden_r5;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "attributes" `Quick test_suppression_attributes;
+          Alcotest.test_case "parse allowlist" `Quick test_parse_allowlist;
+          Alcotest.test_case "allowlist filtering" `Quick test_allowlist_filters;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "scoping" `Quick test_scoping;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "rule registry" `Quick test_rule_registry;
+        ] );
+    ]
