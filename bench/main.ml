@@ -14,6 +14,7 @@
 
 module E = Dq_harness.Experiment
 module Render = Dq_harness.Render
+module Sites = Dq_harness.Sites
 module Table = Dq_util.Table
 open Bechamel
 open Toolkit
@@ -279,6 +280,78 @@ let time_it f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* --- advisory guard ------------------------------------------------------ *)
+
+(* Parallel wall-clocks taken on a single-core host measure scheduling
+   overhead, not speedup. Mark them so downstream tooling never treats
+   them as a perf regression/claim. *)
+let cores = Domain.recommended_domain_count ()
+
+let advisory ~jobs = jobs > 1 && cores <= 1
+
+let warn_advisory ~jobs =
+  if advisory ~jobs then
+    Printf.eprintf
+      "warning: -j %d requested but only %d core(s) available; parallel \
+       timings are advisory (recorded with \"advisory\": true)\n%!"
+      jobs cores
+
+(* --- events per second: the PDES headline ------------------------------- *)
+
+(* ~10^6-event site-partitioned workload (see lib/harness/sites.ml):
+   8 sites x 8 closed-loop clients x 4000 ops. The serial and pooled
+   runs are required to be bit-identical; throughput is reported for
+   both so the headline captures the engine, not just the pool. *)
+let eps_config =
+  { Sites.default with n_sites = 8; clients_per_site = 8; ops_per_client = 4000 }
+
+type eps = {
+  workload_events : int;
+  serial_eps : float;
+  parallel_eps : float option;
+}
+
+let check_deterministic ~what (a : Sites.result) (b : Sites.result) =
+  (* [compare]: histories contain floats, and the total order treats
+     NaN = NaN (none are expected here anyway). *)
+  if compare a b <> 0 then begin
+    Printf.eprintf "%s: parallel PDES run differs from serial oracle\n%!" what;
+    exit 1
+  end;
+  if a.Sites.violations <> 0 then begin
+    Printf.eprintf "%s: %d regular-register violations\n%!" what a.Sites.violations;
+    exit 1
+  end
+
+let run_events_per_sec ~jobs cfg =
+  section "Events per second: site-partitioned PDES workload";
+  let serial_res = ref None in
+  let dt_serial = time_it (fun () -> serial_res := Some (Sites.run cfg)) in
+  let serial_res = Option.get !serial_res in
+  let serial_eps = float_of_int serial_res.Sites.events /. dt_serial in
+  let parallel_eps =
+    if jobs <= 1 then None
+    else begin
+      let par_res = ref None in
+      let dt =
+        time_it (fun () ->
+            Dq_par.Pool.with_pool ~jobs (fun pool ->
+                par_res := Some (Sites.run ~pool cfg)))
+      in
+      check_deterministic ~what:"events_per_sec" serial_res (Option.get !par_res);
+      Some (float_of_int serial_res.Sites.events /. dt)
+    end
+  in
+  let t = Table.create ~header:[ "mode"; "events"; "events/s" ] in
+  let row name eps =
+    Table.add_row t
+      [ name; string_of_int serial_res.Sites.events; Printf.sprintf "%.0f" eps ]
+  in
+  row "serial" serial_eps;
+  Option.iter (row (Printf.sprintf "parallel -j %d" jobs)) parallel_eps;
+  Table.print t;
+  { workload_events = serial_res.Sites.events; serial_eps; parallel_eps }
+
 (* --- BENCH_<n>.json ------------------------------------------------------ *)
 
 let json_escape s =
@@ -297,8 +370,15 @@ let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
 let json_opt = function Some x -> json_float x | None -> "null"
 
-let write_bench_json ~out ~jobs ~serial ~parallel ~micro =
+(* Parallel timings (per-figure, total, events_per_sec.parallel) carry
+   "advisory": true when taken on a single-core host — they measure
+   pool overhead there, not speedup. *)
+let write_bench_json ~out ~jobs ~serial ~parallel ~micro ~events =
   let oc = open_out out in
+  let adv = advisory ~jobs in
+  (* ", \"advisory\": true" appended to entries holding a parallel
+     timing taken on a single-core host; empty otherwise. *)
+  let adv_field has_parallel = if adv && has_parallel then ", \"advisory\": true" else "" in
   let total xs = List.fold_left (fun acc (_, s) -> acc +. s) 0. xs in
   let parallel_of name = List.assoc_opt name parallel in
   let fig_entries =
@@ -307,8 +387,9 @@ let write_bench_json ~out ~jobs ~serial ~parallel ~micro =
         let par = parallel_of name in
         let speedup = Option.map (fun p -> serial_s /. p) par in
         Printf.sprintf
-          "    {\"name\": \"%s\", \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}"
-          (json_escape name) (json_float serial_s) (json_opt par) (json_opt speedup))
+          "    {\"name\": \"%s\", \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s%s}"
+          (json_escape name) (json_float serial_s) (json_opt par) (json_opt speedup)
+          (adv_field (par <> None)))
       serial
   in
   let micro_entries =
@@ -320,20 +401,31 @@ let write_bench_json ~out ~jobs ~serial ~parallel ~micro =
   in
   let total_serial = total serial in
   let total_parallel = if parallel = [] then None else Some (total parallel) in
+  let events_json =
+    match events with
+    | None -> "null"
+    | Some e ->
+      Printf.sprintf
+        "{\"workload_events\": %d, \"serial\": %s, \"parallel\": %s%s}"
+        e.workload_events (json_float e.serial_eps) (json_opt e.parallel_eps)
+        (adv_field (e.parallel_eps <> None))
+  in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": 1,\n\
+    \  \"schema\": 2,\n\
     \  \"generated_by\": \"bench/main.exe\",\n\
     \  \"jobs\": %d,\n\
     \  \"cores\": %d,\n\
-    \  \"total\": {\"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s},\n\
+    \  \"advisory\": %b,\n\
+    \  \"events_per_sec\": %s,\n\
+    \  \"total\": {\"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s%s},\n\
     \  \"figures\": [\n%s\n  ],\n\
     \  \"microbench_ns_per_run\": [\n%s\n  ]\n\
      }\n"
-    jobs
-    (Domain.recommended_domain_count ())
+    jobs cores adv events_json
     (json_float total_serial) (json_opt total_parallel)
     (json_opt (Option.map (fun p -> total_serial /. p) total_parallel))
+    (adv_field (total_parallel <> None))
     (String.concat ",\n" fig_entries)
     (String.concat ",\n" micro_entries);
   close_out oc;
@@ -341,7 +433,7 @@ let write_bench_json ~out ~jobs ~serial ~parallel ~micro =
 
 (* --- smoke mode (CI): tiny ops, parallel path, bit-equality check -------- *)
 
-let run_smoke ~jobs =
+let run_smoke ~jobs ~out =
   section (Printf.sprintf "Smoke: tiny figures, serial vs -j %d (must be bit-identical)" jobs);
   E.set_jobs 1;
   let fig6a_serial = E.fig6a ~ops:20 () in
@@ -358,7 +450,22 @@ let run_smoke ~jobs =
   else begin
     prerr_endline "smoke FAILED: parallel output differs from serial";
     exit 1
-  end
+  end;
+  (* PDES determinism diff: the site-partitioned workload, with loss
+     and a crash window, serial vs pooled — histories, merged metrics
+     JSON, counters and checker verdicts must all match. *)
+  section (Printf.sprintf "Smoke: PDES serial oracle vs -j %d (must be bit-identical)" jobs);
+  let cfg = { Sites.default with loss = 0.02; crash_sites = 1; seed = 7L } in
+  let serial = Sites.run cfg in
+  let pooled = Dq_par.Pool.with_pool ~jobs (fun pool -> Sites.run ~pool cfg) in
+  check_deterministic ~what:"smoke PDES" serial pooled;
+  Printf.printf
+    "smoke OK: PDES bit-identical (%d events, %d windows, %d ops, 0 violations)\n"
+    serial.Sites.events serial.Sites.windows serial.Sites.ops_completed;
+  (* A small throughput sample so CI validates the schema-2 JSON shape
+     (figures/microbench stay empty in smoke mode). *)
+  let eps = run_events_per_sec ~jobs { cfg with ops_per_client = 200 } in
+  write_bench_json ~out ~jobs ~serial:[] ~parallel:[] ~micro:[] ~events:(Some eps)
 
 (* --- entry point ---------------------------------------------------------- *)
 
@@ -369,7 +476,7 @@ let usage () =
 let parse_args () =
   let jobs = ref (Dq_par.Pool.default_jobs ()) in
   let smoke = ref false in
-  let out = ref "BENCH_1.json" in
+  let out = ref "BENCH_2.json" in
   let rec go = function
     | [] -> ()
     | "-j" :: n :: rest -> (
@@ -391,7 +498,8 @@ let parse_args () =
 
 let () =
   let jobs, smoke, out = parse_args () in
-  if smoke then run_smoke ~jobs
+  warn_advisory ~jobs;
+  if smoke then run_smoke ~jobs ~out
   else begin
     (* Serial pass: print every table/figure (as before) and time it. *)
     E.set_jobs 1;
@@ -423,6 +531,7 @@ let () =
       end
     in
     E.set_jobs 1;
+    let events = run_events_per_sec ~jobs eps_config in
     let micro = run_benchmarks () in
-    write_bench_json ~out ~jobs ~serial ~parallel ~micro
+    write_bench_json ~out ~jobs ~serial ~parallel ~micro ~events:(Some events)
   end

@@ -113,6 +113,16 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
              | `Partition groups -> on_net_event (`Partition groups)
              | `Heal -> on_net_event `Heal)))
     events;
+  (* The run loop asks "is everything finished?" before every event, so
+     completion is tracked with a counter instead of a per-event walk
+     over the client list. *)
+  let unfinished = ref (List.length clients) in
+  let finish_client client =
+    if not client.finished then begin
+      client.finished <- true;
+      decr unfinished
+    end
+  in
   (* [chain]: closed-loop clients issue the next operation from the
      completion (or timeout) of the current one; open-loop clients'
      operations are issued by the arrival process instead, and only
@@ -160,7 +170,7 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
       in
       let advance () =
         client.done_ops <- client.done_ops + 1;
-        if client.done_ops >= config.ops_per_client then client.finished <- true
+        if client.done_ops >= config.ops_per_client then finish_client client
         else if chain then begin
           if config.spec.Spec.think_time_ms > 0. then
             ignore
@@ -230,7 +240,7 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
     end
   in
   let start_client client =
-    if config.ops_per_client <= 0 then client.finished <- true
+    if config.ops_per_client <= 0 then finish_client client
     else
     match config.spec.Spec.arrival with
     | Spec.Closed -> issue_op client ~chain:true
@@ -248,9 +258,8 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
   let before_messages = Dq_net.Msg_stats.remote_total (api.R.message_stats ()) in
   let before_bytes = Dq_net.Msg_stats.remote_bytes (api.R.message_stats ()) in
   List.iter start_client clients;
-  let all_finished () = List.for_all (fun c -> c.finished) clients in
   Engine.run_while engine (fun () ->
-      (not (all_finished ())) && Engine.now engine <= config.horizon_ms);
+      !unfinished > 0 && Engine.now engine <= config.horizon_ms);
   api.R.quiesce ();
   let after_messages = Dq_net.Msg_stats.remote_total (api.R.message_stats ()) in
   let remote_messages = after_messages - before_messages in

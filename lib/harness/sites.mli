@@ -1,0 +1,48 @@
+(** Site-partitioned synthetic workload for the parallel (PDES)
+    engine.
+
+    Each edge site is one PDES partition holding one server and a set
+    of closed-loop clients; clients write their own site's volume and
+    read locally or from remote sites across the WAN. Faults: per-send
+    loss and seeded server crash windows, with client retry/give-up.
+
+    [run] with and without [?pool] are bit-identical — histories,
+    merged metrics JSON and checker verdicts diff clean — which makes
+    this workload the PDES determinism oracle and the standard
+    events-per-second benchmark body (see DESIGN.md §"Parallel
+    engine"). *)
+
+type config = {
+  n_sites : int; (* partitions; one server each *)
+  clients_per_site : int;
+  keys_per_site : int;
+  ops_per_client : int;
+  remote_ratio : float; (* fraction of reads sent to a remote site *)
+  write_ratio : float;
+  loss : float; (* per-send drop probability *)
+  batch_ms : float; (* intra-site delivery batching; 0 = exact *)
+  crash_sites : int; (* servers given one seeded crash window *)
+  seed : int64;
+}
+
+val default : config
+
+type result = {
+  ops_completed : int;
+  ops_gave_up : int;
+  events : int; (* engine events executed, all partitions *)
+  windows : int; (* PDES barrier windows *)
+  msgs_sent : int;
+  msgs_delivered : int;
+  msgs_dropped : int;
+  metrics_json : string; (* merged per-partition metrics *)
+  history : History.op list; (* merged, renumbered in time order *)
+  checked_reads : int;
+  violations : int; (* regular-register violations (expect 0) *)
+}
+
+val run : ?pool:Dq_par.Pool.t -> config -> result
+(** Build the topology, run to quiescence, merge per-partition
+    results deterministically and check the merged history. With
+    [pool], windows execute in parallel; without, serially — the
+    result is identical either way. *)

@@ -309,8 +309,10 @@ let report ctx id ~loc fmt =
           ctx.diags := D.make ~rule:id ~loc ~message :: !(ctx.diags))
     fmt
 
-(* R5: one closure handed to Pool.map/map_array. *)
-let check_worker_closure ctx closure =
+(* R5: one closure handed to Pool.map/map_array (runs on a pool worker
+   domain) or to Pdes.post (runs on the destination partition's
+   domain). [race] names the crossing in the message. *)
+let check_worker_closure ctx ~race closure =
   let locals = bound_idents_within closure in
   let it =
     {
@@ -321,32 +323,28 @@ let check_worker_closure ctx closure =
           | Texp_setfield (tgt, _, lbl, _)
             when is_captured locals (head_of tgt) ->
             report ctx "R5" ~loc:e.exp_loc
-              "worker closure mutates field '%s' of captured state (data race \
-               across pool domains)"
-              lbl.lbl_name
+              "worker closure mutates field '%s' of captured state (%s)"
+              lbl.lbl_name race
           | Texp_setinstvar (_, _, _, _) ->
             report ctx "R5" ~loc:e.exp_loc
-              "worker closure mutates an instance variable (data race across \
-               pool domains)"
+              "worker closure mutates an instance variable (%s)" race
           | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
             let n = Path.name p in
             match first_nolabel_arg args with
             | Some tgt when is_captured locals (head_of tgt) ->
               if mem ref_write_names n then
                 report ctx "R5" ~loc:e.exp_loc
-                  "worker closure writes a captured ref via %s (data race \
-                   across pool domains)"
-                  (Path.last p)
+                  "worker closure writes a captured ref via %s (%s)"
+                  (Path.last p) race
               else if mem hashtbl_mutators n then
                 report ctx "R5" ~loc:e.exp_loc
                   "worker closure mutates a captured hash table via \
-                   Hashtbl.%s (data race across pool domains)"
-                  (Path.last p)
+                   Hashtbl.%s (%s)"
+                  (Path.last p) race
               else if mem array_writes n then
                 report ctx "R5" ~loc:e.exp_loc
-                  "worker closure writes a captured array/bytes via %s (data \
-                   race across pool domains)"
-                  n
+                  "worker closure writes a captured array/bytes via %s (%s)" n
+                  race
             | _ -> ())
           | _ -> ());
           Tast_iterator.default_iterator.expr sub e);
@@ -354,9 +352,17 @@ let check_worker_closure ctx closure =
   in
   it.expr it closure
 
+let pool_race = "data race across pool domains"
+
+let pdes_race =
+  "the post callback runs on the destination partition's domain; mutate only \
+   destination-owned state or communicate through the mailbox API"
+
 let is_pool_map_callee p =
   let n = Path.name p in
   ends_with ~suffix:"Pool.map" n || ends_with ~suffix:"Pool.map_array" n
+
+let is_pdes_post_callee p = ends_with ~suffix:"Pdes.post" (Path.name p)
 
 (* Point checks that only need to look at one identifier occurrence. *)
 let check_ident ctx e p =
@@ -409,8 +415,9 @@ let check_expr_node ctx e =
         "telemetry publish constructs its event outside a Bus.subscribed \
          guard; wrap it in 'if Bus.subscribed bus then ...' so the no-sink \
          path allocates nothing";
-    (* R5: closure handed to the domain pool *)
-    if is_pool_map_callee p then begin
+    (* R5: closure handed to the domain pool or posted across partitions *)
+    let pool = is_pool_map_callee p in
+    if pool || is_pdes_post_callee p then begin
       match
         List.find_map
           (fun (lbl, a) ->
@@ -420,7 +427,8 @@ let check_expr_node ctx e =
             | _ -> None)
           args
       with
-      | Some closure -> check_worker_closure ctx closure
+      | Some closure ->
+        check_worker_closure ctx ~race:(if pool then pool_race else pdes_race) closure
       | None -> ()
     end
   | _ -> ()

@@ -1,0 +1,204 @@
+(* Partition-aware message network over {!Dq_sim.Pdes}.
+
+   Every node belongs to a partition; a node's handler, liveness flag
+   and timers live on its partition's engine, so all state is
+   single-writer: send-side decisions (loss draw, send counter) happen
+   on the source partition's domain, delivery-side effects (handler,
+   delivered/dropped counters) on the destination's. Intra-partition
+   sends are ordinary engine events — optionally batched so one heap
+   event carries every message of a (directed link, tick bucket) pair —
+   while cross-partition sends travel through {!Dq_sim.Pdes.post},
+   which is safe because {!lookahead} is the minimum cross-partition
+   delay of the topology.
+
+   All per-node and per-partition state is held in flat preallocated
+   arrays; in steady state a batched send allocates nothing beyond the
+   one flush closure per (link, bucket). *)
+
+type 'msg batch = {
+  mutable bucket : float; (* absolute flush time of the pending batch *)
+  mutable scheduled : bool;
+  mutable buf : 'msg array;
+  mutable len : int;
+}
+
+type 'msg t = {
+  pdes : Dq_sim.Pdes.t;
+  topo : Topology.t;
+  part_of : int array; (* node -> partition *)
+  dummy : 'msg;
+  handlers : (src:int -> 'msg -> unit) array; (* per node *)
+  up : bool array; (* per node; written on the owning domain *)
+  epochs : int array; (* per node incarnation, bumped by crash/recover *)
+  rngs : Dq_util.Rng.t array; (* per partition: loss draws *)
+  loss : float;
+  batch_ms : float; (* 0 = exact per-message delivery *)
+  batches : 'msg batch array; (* src * n + dst, intra-partition only *)
+  sent : int array; (* per partition, incremented on src domain *)
+  delivered : int array; (* per partition, incremented on dst domain *)
+  dropped : int array; (* per partition; loss on src, crash on dst *)
+}
+
+let lookahead topo ~part_of =
+  let n = Topology.n_nodes topo in
+  let best = ref Float.infinity in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if not (Int.equal (part_of src) (part_of dst)) then begin
+        let d = Topology.delay topo ~src ~dst in
+        if d < !best then best := d
+      end
+    done
+  done;
+  !best
+
+let create pdes topo ~part_of ~dummy ?(loss = 0.) ?(batch_ms = 0.) () =
+  if loss < 0. || loss >= 1. then invalid_arg "Pnet.create: loss must be in [0, 1)";
+  if batch_ms < 0. then invalid_arg "Pnet.create: batch_ms must be non-negative";
+  let n = Topology.n_nodes topo in
+  let n_parts = Dq_sim.Pdes.n_partitions pdes in
+  let part_of =
+    Array.init n (fun node ->
+        let p = part_of node in
+        if p < 0 || p >= n_parts then
+          invalid_arg (Printf.sprintf "Pnet.create: node %d mapped to partition %d" node p);
+        p)
+  in
+  let no_handler ~src:_ _ = () in
+  {
+    pdes;
+    topo;
+    part_of;
+    dummy;
+    handlers = Array.make n no_handler;
+    up = Array.make n true;
+    epochs = Array.make n 0;
+    rngs =
+      Array.init n_parts (fun p ->
+          Dq_util.Rng.split (Dq_sim.Engine.rng (Dq_sim.Pdes.engine pdes p)));
+    loss;
+    batch_ms;
+    batches =
+      (if batch_ms > 0. then
+         Array.init (n * n) (fun _ ->
+             { bucket = 0.; scheduled = false; buf = [||]; len = 0 })
+       else [||]);
+    sent = Array.make n_parts 0;
+    delivered = Array.make n_parts 0;
+    dropped = Array.make n_parts 0;
+  }
+
+let pdes t = t.pdes
+
+let topology t = t.topo
+
+let part_of t node = t.part_of.(node)
+
+let node_engine t node = Dq_sim.Pdes.engine t.pdes t.part_of.(node)
+
+let register t ~node handler = t.handlers.(node) <- handler
+
+let is_up t node = t.up.(node)
+
+let sent t = Array.fold_left ( + ) 0 t.sent
+
+let delivered t = Array.fold_left ( + ) 0 t.delivered
+
+let dropped t = Array.fold_left ( + ) 0 t.dropped
+
+(* Runs on [dst]'s domain. *)
+let deliver t ~src ~dst msg =
+  let p = t.part_of.(dst) in
+  if t.up.(dst) then begin
+    t.delivered.(p) <- t.delivered.(p) + 1;
+    t.handlers.(dst) ~src msg
+  end
+  else t.dropped.(p) <- t.dropped.(p) + 1
+
+let batch_push t b msg =
+  if b.len = Array.length b.buf then begin
+    let cap = Stdlib.max 8 (2 * b.len) in
+    let buf = Array.make cap t.dummy in
+    Array.blit b.buf 0 buf 0 b.len;
+    b.buf <- buf
+  end;
+  b.buf.(b.len) <- msg;
+  b.len <- b.len + 1
+
+let flush_batch t b ~src ~dst =
+  for i = 0 to b.len - 1 do
+    let msg = b.buf.(i) in
+    b.buf.(i) <- t.dummy;
+    deliver t ~src ~dst msg
+  done;
+  b.len <- 0;
+  b.scheduled <- false
+
+(* Quantize the arrival up to the end of its tick bucket. Messages on a
+   link share one heap event per bucket, delivered FIFO; a message whose
+   bucket differs from the link's pending one gets its own bucket event
+   (constant delay keeps arrivals monotone, so it is a later bucket and
+   order is preserved). *)
+let batched_send t eng ~src ~dst ~arrival msg =
+  let bucket = Float.of_int (int_of_float (Float.ceil (arrival /. t.batch_ms))) *. t.batch_ms in
+  let b = t.batches.(((src * Topology.n_nodes t.topo) + dst)) in
+  if b.scheduled && Float.equal bucket b.bucket then batch_push t b msg
+  else if b.scheduled then
+    ignore
+      (Dq_sim.Engine.schedule_at eng ~time:bucket (fun () -> deliver t ~src ~dst msg))
+  else begin
+    b.scheduled <- true;
+    b.bucket <- bucket;
+    batch_push t b msg;
+    ignore (Dq_sim.Engine.schedule_at eng ~time:bucket (fun () -> flush_batch t b ~src ~dst))
+  end
+
+let send t ~src ~dst msg =
+  let p_src = t.part_of.(src) in
+  if t.up.(src) then begin
+    t.sent.(p_src) <- t.sent.(p_src) + 1;
+    if t.loss > 0. && Dq_util.Rng.bernoulli t.rngs.(p_src) t.loss then
+      t.dropped.(p_src) <- t.dropped.(p_src) + 1
+    else begin
+      let p_dst = t.part_of.(dst) in
+      let eng = Dq_sim.Pdes.engine t.pdes p_src in
+      let arrival = Dq_sim.Engine.now eng +. Topology.delay t.topo ~src ~dst in
+      if p_src = p_dst then begin
+        if t.batch_ms > 0. then batched_send t eng ~src ~dst ~arrival msg
+        else
+          ignore
+            (Dq_sim.Engine.schedule_at eng ~time:arrival (fun () -> deliver t ~src ~dst msg))
+      end
+      else
+        Dq_sim.Pdes.post t.pdes ~src:p_src ~dst:p_dst ~time:arrival (fun () ->
+            deliver t ~src ~dst msg)
+    end
+  end
+
+(* Crash windows are pre-scheduled on the owning partition's engine, so
+   liveness flips happen on the owning domain at a deterministic point
+   in virtual time. *)
+let crash_at t ~node ~time =
+  let eng = node_engine t node in
+  ignore
+    (Dq_sim.Engine.schedule_at eng ~time (fun () ->
+         if t.up.(node) then begin
+           t.up.(node) <- false;
+           t.epochs.(node) <- t.epochs.(node) + 1
+         end))
+
+let recover_at t ~node ~time =
+  let eng = node_engine t node in
+  ignore
+    (Dq_sim.Engine.schedule_at eng ~time (fun () ->
+         if not t.up.(node) then begin
+           t.up.(node) <- true;
+           t.epochs.(node) <- t.epochs.(node) + 1
+         end))
+
+let timer t ~node ~delay_ms f =
+  let eng = node_engine t node in
+  let epoch = t.epochs.(node) in
+  ignore
+    (Dq_sim.Engine.schedule eng ~delay:delay_ms (fun () ->
+         if t.up.(node) && t.epochs.(node) = epoch then f ()))

@@ -1,0 +1,81 @@
+(** Partition-aware message network for the parallel (PDES) engine.
+
+    Nodes are assigned to {!Dq_sim.Pdes} partitions; each node's
+    handler, liveness and timers live on its partition's engine.
+    Intra-partition messages are ordinary engine events — optionally
+    batched so a (directed link, tick bucket) pair costs one heap
+    event no matter how many messages it carries — and cross-partition
+    messages go through the PDES mailboxes, which is conservative
+    because {!lookahead} is the minimum cross-partition delay.
+
+    Fault surface: per-send Bernoulli loss (drawn from a per-partition
+    stream, so runs are deterministic under any domain interleaving)
+    and pre-scheduled fail-stop crash/recovery windows. This is
+    narrower than {!Net} (no runtime partitions/cuts/flap): the nemesis
+    layer drives the serial {!Net}; [Pnet] exists for scale. *)
+
+type 'msg t
+
+val lookahead : Topology.t -> part_of:(int -> int) -> float
+(** Minimum delay between nodes of different partitions — the
+    conservative lookahead to build the {!Dq_sim.Pdes.t} with.
+    [infinity] when every node is in one partition. *)
+
+val create :
+  Dq_sim.Pdes.t ->
+  Topology.t ->
+  part_of:(int -> int) ->
+  dummy:'msg ->
+  ?loss:float ->
+  ?batch_ms:float ->
+  unit ->
+  'msg t
+(** [part_of node] is the partition owning [node] (must be within the
+    PDES partition count). [dummy] fills vacated batch slots and is
+    never delivered. [loss] in [\[0, 1)] drops each send with that
+    probability. [batch_ms > 0] quantizes intra-partition arrivals up
+    to the end of their [batch_ms] bucket and delivers each (link,
+    bucket) batch with a single heap event — a throughput/fidelity
+    trade documented in DESIGN.md; [0.] (default) keeps exact
+    per-message delivery. *)
+
+val pdes : 'msg t -> Dq_sim.Pdes.t
+
+val topology : 'msg t -> Topology.t
+
+val part_of : 'msg t -> int -> int
+
+val node_engine : 'msg t -> int -> Dq_sim.Engine.t
+(** The engine owning a node (for scheduling node-local work). *)
+
+val register : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the handler for [node] (replaces any previous one). Call
+    before {!Dq_sim.Pdes.run}. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget, from code running on [src]'s partition. Dropped
+    if [src] is down, the loss draw fires, or [dst] is down at
+    delivery time. *)
+
+val crash_at : 'msg t -> node:int -> time:float -> unit
+(** Schedule a fail-stop crash at absolute virtual [time]. Messages to
+    and from a down node are dropped, and its pending timers are
+    invalidated. *)
+
+val recover_at : 'msg t -> node:int -> time:float -> unit
+(** Schedule recovery (a fresh incarnation) at [time]. *)
+
+val is_up : 'msg t -> int -> bool
+(** Read only from the node's own partition during a run. *)
+
+val timer : 'msg t -> node:int -> delay_ms:float -> (unit -> unit) -> unit
+(** Node-scoped timer: skipped if the node is down at expiry or has
+    crashed or recovered since the timer was set. *)
+
+val sent : 'msg t -> int
+(** Total sends attempted (summed across partitions; read at
+    quiescence). *)
+
+val delivered : 'msg t -> int
+
+val dropped : 'msg t -> int

@@ -1,0 +1,67 @@
+(* A bounded single-producer single-consumer ring over a flat array.
+
+   The producer and consumer touch disjoint slot ranges ([head, tail)
+   belongs to the consumer, the rest to the producer) and publish their
+   progress through the [head]/[tail] atomics, which order the slot
+   writes under the OCaml memory model. [push] never blocks: a full
+   ring returns [false] and the producer keeps the item in a local
+   overflow structure — in the PDES use the consumer only drains at
+   barrier points, so waiting for space would deadlock. *)
+
+type 'a t = {
+  dummy : 'a; (* fills vacated slots so drained values are not retained *)
+  buf : 'a array;
+  mask : int;
+  head : int Atomic.t; (* consumer position *)
+  tail : int Atomic.t; (* producer position *)
+}
+
+let create ~dummy capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap =
+    let rec up k = if k >= capacity then k else up (k * 2) in
+    up 1
+  in
+  {
+    dummy;
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head >= Array.length t.buf then false
+  else begin
+    t.buf.(tail land t.mask) <- x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let drain t f =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  for i = head to tail - 1 do
+    let j = i land t.mask in
+    let x = t.buf.(j) in
+    t.buf.(j) <- t.dummy;
+    f x
+  done;
+  if tail <> head then Atomic.set t.head tail;
+  tail - head
+
+let pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let j = head land t.mask in
+    let x = t.buf.(j) in
+    t.buf.(j) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end

@@ -1,0 +1,32 @@
+(** A bounded single-producer single-consumer queue.
+
+    This is the cross-partition mailbox primitive for the parallel
+    simulation: exactly one domain pushes, exactly one domain drains,
+    and the drain happens at barrier points where the producer is
+    known to be quiescent. {!push} never blocks — a full ring returns
+    [false] and the producer must park the item in a local overflow
+    structure until the next barrier. FIFO order is preserved. *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy capacity] makes a queue holding at least [capacity]
+    items (rounded up to a power of two). [dummy] fills vacated slots
+    and is never returned. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Items currently queued. Exact at a barrier; a racing estimate
+    otherwise. *)
+
+val push : 'a t -> 'a -> bool
+(** Producer side. [false] means the ring is full; the item was not
+    enqueued. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer side: dequeue everything currently visible, oldest first,
+    returning the count. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: dequeue one item. *)

@@ -8,17 +8,26 @@ type event = {
 
 type handle = event
 
+(* Pending events live in two places: the hierarchical timer wheel
+   (O(1) insert for the dense near-horizon timers) and the event heap
+   (imminent events — below the wheel's boundary — plus anything the
+   wheel rejected: far-future overflow and float-edge cases). [refill]
+   migrates wheel slots into the heap as the boundary advances, so the
+   heap's (time, seq) order remains the exact global firing order and
+   the wheel never changes observable behaviour. *)
 type t = {
   mutable clock : float;
   mutable next_seq : int;
   live : int ref; (* pending (not cancelled, not fired) events *)
   queue : event Event_heap.t;
+  wheel : event Timer_wheel.t;
+  mutable fired : int; (* events executed since creation *)
   root_rng : Dq_util.Rng.t;
   bus : Dq_telemetry.Bus.t;
 }
 
 let create ?(seed = 1L) () =
-  (* The dummy only fills vacated heap slots; it is never scheduled. *)
+  (* The dummy only fills vacated heap/wheel slots; it is never scheduled. *)
   let dummy = { time = 0.; seq = -1; action = ignore; cancelled = true; live = ref 0 } in
   let t =
     {
@@ -26,6 +35,8 @@ let create ?(seed = 1L) () =
       next_seq = 0;
       live = ref 0;
       queue = Event_heap.create ~dummy;
+      wheel = Timer_wheel.create ~dummy ();
+      fired = 0;
       root_rng = Dq_util.Rng.create seed;
       bus = Dq_telemetry.Bus.create ();
     }
@@ -41,6 +52,8 @@ let rng t = t.root_rng
 
 let split_rng t = Dq_util.Rng.split t.root_rng
 
+let events_executed t = t.fired
+
 let schedule_at t ~time f =
   if time < t.clock then
     invalid_arg
@@ -48,7 +61,9 @@ let schedule_at t ~time f =
   let ev = { time; seq = t.next_seq; action = f; cancelled = false; live = t.live } in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
-  Event_heap.push t.queue ~time ~seq:ev.seq ev;
+  if Timer_wheel.length t.wheel = 0 then Timer_wheel.rebase t.wheel ~now:t.clock;
+  if not (Timer_wheel.add t.wheel ~time ~seq:ev.seq ev) then
+    Event_heap.push t.queue ~time ~seq:ev.seq ev;
   ev
 
 let schedule t ~delay f =
@@ -67,8 +82,23 @@ let is_pending ev = not ev.cancelled
 
 let pending_events t = !(t.live)
 
+(* Migrate wheel slots into the heap until the heap's minimum is
+   strictly below the wheel boundary (and hence the global minimum),
+   or the wheel empties. *)
+let refill t =
+  let continue_ = ref (Timer_wheel.length t.wheel > 0) in
+  while !continue_ do
+    (match Event_heap.peek t.queue with
+    | Some ev when ev.time < Timer_wheel.boundary t.wheel -> continue_ := false
+    | Some _ | None ->
+      Timer_wheel.advance t.wheel ~drain:(fun ~time ~seq ev ->
+          Event_heap.push t.queue ~time ~seq ev));
+    if Timer_wheel.length t.wheel = 0 then continue_ := false
+  done
+
 let step t =
   let rec next () =
+    refill t;
     match Event_heap.pop t.queue with
     | None -> false
     | Some ev when ev.cancelled -> next ()
@@ -76,19 +106,23 @@ let step t =
       t.clock <- ev.time;
       ev.cancelled <- true;
       decr t.live;
+      t.fired <- t.fired + 1;
       ev.action ();
       true
   in
   next ()
 
-(* Drop cancelled events from the top so [Heap.peek] reflects the next
-   event that will actually fire. *)
-let rec purge_cancelled t =
+(* The time of the next event that will actually fire, dropping
+   cancelled events from the heap top so [Event_heap.peek] reflects
+   it. *)
+let rec next_time t =
+  refill t;
   match Event_heap.peek t.queue with
+  | None -> None
   | Some ev when ev.cancelled ->
     ignore (Event_heap.pop t.queue);
-    purge_cancelled t
-  | Some _ | None -> ()
+    next_time t
+  | Some ev -> Some ev.time
 
 let run ?until ?max_events t =
   let fired = ref 0 in
@@ -96,13 +130,10 @@ let run ?until ?max_events t =
     match max_events with None -> true | Some m -> !fired < m
   in
   let horizon_ok () =
-    purge_cancelled t;
     match until with
     | None -> true
     | Some limit -> (
-      match Event_heap.peek t.queue with
-      | None -> false
-      | Some ev -> ev.time <= limit)
+      match next_time t with None -> false | Some time -> time <= limit)
   in
   let rec loop () =
     if budget_ok () && horizon_ok () then
@@ -118,4 +149,18 @@ let run ?until ?max_events t =
 
 let run_while t cond =
   let rec loop () = if cond () && step t then loop () in
+  loop ()
+
+(* PDES window execution: fire events strictly below [limit], leaving
+   the clock at the last fired event (never advanced to [limit], so a
+   partition can still accept cross-partition posts inside the next
+   window). *)
+let run_before t ~limit =
+  let rec loop () =
+    match next_time t with
+    | Some time when time < limit ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
   loop ()

@@ -1,0 +1,151 @@
+(* Conservative barrier-synchronous parallel discrete-event simulation
+   (YAWNS-style windowing over Chandy–Misra lookahead).
+
+   The event space is split into [n] partitions, each owning a full
+   {!Engine} — its own clock, heap, wheel, RNG stream and telemetry
+   bus — so partitions share no mutable state. Execution proceeds in
+   windows: with [tmin] the global minimum next-event time, every
+   partition may safely fire all events with time strictly below
+   [tmin + lookahead], because any message a partition emits while at
+   local time [s >= tmin] arrives no earlier than [s + lookahead >=
+   tmin + lookahead]. Cross-partition messages travel through
+   single-producer single-consumer per-(src, dst) mailboxes and are
+   flushed into the destination engines at the barrier between
+   windows, sorted by (time, src partition, per-channel sequence) so
+   the destination's tie-breaking sequence numbers — and hence the
+   entire run — do not depend on domain interleaving. Running the
+   windows serially in partition order is therefore bit-identical to
+   running them on a pool: the serial mode is the verification oracle
+   for the parallel mode. *)
+
+type msg = { at : float; src : int; mseq : int; fn : unit -> unit }
+
+(* One direction of one (src, dst) pair. Written only by src's worker
+   (ring pushes, overflow, mseq), read only at barriers where workers
+   are quiescent. *)
+type channel = {
+  ring : msg Dq_par.Spsc.t;
+  mutable overflow : msg list; (* newest first; drained at the barrier *)
+  mutable mseq : int;
+}
+
+type t = {
+  engines : Engine.t array;
+  channels : channel array array; (* channels.(dst).(src) *)
+  lookahead : float;
+  mutable windows : int;
+}
+
+let create ?(seed = 1L) ?(channel_capacity = 1024) ~lookahead n_partitions =
+  if n_partitions < 1 then invalid_arg "Pdes.create: need at least one partition";
+  if not (lookahead > 0.) then invalid_arg "Pdes.create: lookahead must be positive";
+  let root = Dq_util.Rng.create seed in
+  (* Engine seeds derive from the root stream in partition order, so the
+     whole ensemble is a pure function of [seed]. *)
+  let engines =
+    Array.init n_partitions (fun _ -> Engine.create ~seed:(Dq_util.Rng.int64 root) ())
+  in
+  let dummy_msg = { at = 0.; src = -1; mseq = -1; fn = ignore } in
+  let channels =
+    Array.init n_partitions (fun _ ->
+        Array.init n_partitions (fun _ ->
+            {
+              ring = Dq_par.Spsc.create ~dummy:dummy_msg channel_capacity;
+              overflow = [];
+              mseq = 0;
+            }))
+  in
+  { engines; channels; lookahead; windows = 0 }
+
+let n_partitions t = Array.length t.engines
+
+let engine t i = t.engines.(i)
+
+let lookahead t = t.lookahead
+
+let windows t = t.windows
+
+let total_events t =
+  Array.fold_left (fun acc e -> acc + Engine.events_executed e) 0 t.engines
+
+let post t ~src ~dst ~time fn =
+  if src = dst then ignore (Engine.schedule_at t.engines.(src) ~time fn)
+  else begin
+    let now = Engine.now t.engines.(src) in
+    (* Float-exact conservative guard: callers compute [time] as
+       [now +. delay] with [delay >= lookahead], and float addition is
+       monotone, so [time >= now +. lookahead >= tmin +. lookahead]
+       — the message cannot land inside the current window. *)
+    if not (time >= now +. t.lookahead) then
+      invalid_arg
+        (Printf.sprintf
+           "Pdes.post: arrival %g from partition %d at %g violates lookahead %g" time
+           src now t.lookahead);
+    let ch = t.channels.(dst).(src) in
+    let m = { at = time; src; mseq = ch.mseq; fn } in
+    ch.mseq <- ch.mseq + 1;
+    if not (Dq_par.Spsc.push ch.ring m) then ch.overflow <- m :: ch.overflow
+  end
+
+let cmp_msg a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.src b.src in
+    if c <> 0 then c else Int.compare a.mseq b.mseq
+
+(* Barrier flush: move every queued message into its destination
+   engine. The sort gives a total order independent of how the ring
+   and overflow interleaved across windows; [schedule_at] then assigns
+   destination sequence numbers in that order, making same-time
+   firings deterministic. Runs on the coordinator with all workers
+   quiescent. *)
+let flush t =
+  let n = Array.length t.engines in
+  for dst = 0 to n - 1 do
+    let acc = ref [] in
+    let inbox = t.channels.(dst) in
+    for src = 0 to n - 1 do
+      let ch = inbox.(src) in
+      ignore (Dq_par.Spsc.drain ch.ring (fun m -> acc := m :: !acc));
+      (match ch.overflow with
+      | [] -> ()
+      | ov ->
+        acc := List.rev_append ov !acc;
+        ch.overflow <- [])
+    done;
+    match !acc with
+    | [] -> ()
+    | ms ->
+      let eng = t.engines.(dst) in
+      List.iter
+        (fun m -> ignore (Engine.schedule_at eng ~time:m.at m.fn))
+        (List.sort cmp_msg ms)
+  done
+
+let next_global t =
+  let best = ref Float.infinity in
+  Array.iter
+    (fun e ->
+      match Engine.next_time e with
+      | Some time when time < !best -> best := time
+      | Some _ | None -> ())
+    t.engines;
+  if !best = Float.infinity then None else Some !best
+
+let run ?pool t =
+  let n = Array.length t.engines in
+  let parts = Array.init n (fun i -> i) in
+  let continue_ = ref true in
+  while !continue_ do
+    flush t;
+    match next_global t with
+    | None -> continue_ := false
+    | Some tmin ->
+      let limit = tmin +. t.lookahead in
+      t.windows <- t.windows + 1;
+      let run_window i = Engine.run_before t.engines.(i) ~limit in
+      (match pool with
+      | Some pool -> ignore (Dq_par.Pool.map_array pool run_window parts)
+      | None -> Array.iter run_window parts)
+  done

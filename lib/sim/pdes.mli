@@ -1,0 +1,60 @@
+(** Conservative parallel discrete-event simulation over partitioned
+    engines.
+
+    The event space is split into partitions (by site or volume), each
+    owning a private {!Engine} — clock, heap, timer wheel, RNG stream
+    and telemetry bus. Execution proceeds in barrier-synchronous
+    windows of width {!lookahead} past the global minimum next-event
+    time: within a window every partition advances independently, and
+    cross-partition messages — which by the conservative guard cannot
+    arrive inside the window that produced them — are flushed into
+    destination engines at the barrier, in an order independent of
+    domain interleaving.
+
+    Running windows serially in partition order is bit-identical to
+    running them on a {!Dq_par.Pool}: pass [?pool] to {!run} for
+    parallel execution, omit it for the serial oracle. See DESIGN.md
+    §"Parallel engine". *)
+
+type t
+
+val create : ?seed:int64 -> ?channel_capacity:int -> lookahead:float -> int -> t
+(** [create ~lookahead n] builds [n] partitions. [lookahead] (seconds
+    of virtual time, must be positive) is the minimum cross-partition
+    message latency — for a WAN topology, the smallest delay-matrix
+    entry between nodes in different partitions
+    (see {!Dq_net.Pnet.lookahead}). Engine seeds derive from [seed]
+    (default [1L]) in partition order. [channel_capacity] (default
+    1024) sizes each mailbox ring; overflow degrades to a list, never
+    drops. *)
+
+val n_partitions : t -> int
+
+val engine : t -> int -> Engine.t
+(** The engine owned by a partition. Schedule the partition's initial
+    events here; during {!run}, partition [i]'s events must touch only
+    partition [i]'s state. *)
+
+val lookahead : t -> float
+
+val post : t -> src:int -> dst:int -> time:float -> (unit -> unit) -> unit
+(** [post t ~src ~dst ~time fn] schedules [fn] at virtual time [time]
+    on partition [dst], called from partition [src]'s running code.
+    When [src = dst] this is a direct [schedule_at]. Otherwise [time]
+    must be at least [lookahead] past [src]'s clock (compute it as
+    [now +. delay] with [delay >= lookahead]); raises
+    [Invalid_argument] when the conservative bound is violated. The
+    callback runs on [dst]'s domain: it must only touch [dst]'s state
+    (no mutation of state captured from [src]). *)
+
+val run : ?pool:Dq_par.Pool.t -> t -> unit
+(** Run until every partition is quiescent and all mailboxes are
+    empty. With [pool], windows execute on the pool's domains; without
+    it, serially in partition order — both produce bit-identical
+    histories, metrics and RNG streams. *)
+
+val windows : t -> int
+(** Barrier windows executed so far. *)
+
+val total_events : t -> int
+(** Sum of {!Engine.events_executed} across partitions. *)

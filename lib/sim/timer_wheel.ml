@@ -1,0 +1,162 @@
+(* A two-level hierarchical timer wheel over absolute virtual times.
+
+   Level 1 is a ring of [l1_slots] slots of [slot_ms] each; level 2 a
+   ring of [l2_slots] slots spanning one full level-1 rotation each.
+   The wheel never fires events itself: it stores them until the owner
+   advances the boundary, at which point the events of the crossed
+   slots are handed back (to be merged into the owner's event heap,
+   which provides the exact (time, seq) total order). Events outside
+   the covered horizon — or on a float-rounding edge where the slot
+   computation disagrees with the boundary comparison — are rejected at
+   [add] and must live in the heap: the wheel <-> heap overflow
+   handoff. Rejecting edge cases to the heap is always safe; placing an
+   event in a too-late slot never is, so membership is decided by the
+   slot index itself.
+
+   Slot buffers are grown-once flat arrays reused across drains, so a
+   schedule into the wheel allocates nothing in steady state. *)
+
+type 'a slot = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+type 'a t = {
+  dummy : 'a;
+  slot_ms : float;
+  l1 : 'a slot array;
+  l2 : 'a slot array;
+  mutable base1 : float; (* absolute start of the level-1 window *)
+  mutable cursor : int; (* current level-1 slot; boundary = end of it *)
+  mutable base2 : float; (* absolute start of the level-2 window *)
+  mutable next2 : int; (* next level-2 slot to promote into level 1 *)
+  mutable count : int; (* events stored across both levels *)
+}
+
+let l1_slots = 256
+let l2_slots = 256
+
+let fresh_slot () = { times = [||]; seqs = [||]; data = [||]; len = 0 }
+
+let slot_push w s ~time ~seq x =
+  if s.len = Array.length s.data then begin
+    let cap = Stdlib.max 8 (2 * s.len) in
+    let times = Array.make cap 0. in
+    let seqs = Array.make cap 0 in
+    let data = Array.make cap w.dummy in
+    Array.blit s.times 0 times 0 s.len;
+    Array.blit s.seqs 0 seqs 0 s.len;
+    Array.blit s.data 0 data 0 s.len;
+    s.times <- times;
+    s.seqs <- seqs;
+    s.data <- data
+  end;
+  s.times.(s.len) <- time;
+  s.seqs.(s.len) <- seq;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let create ?(slot_ms = 1.0) ~dummy () =
+  if slot_ms <= 0. then invalid_arg "Timer_wheel.create: slot_ms must be positive";
+  {
+    dummy;
+    slot_ms;
+    l1 = Array.init l1_slots (fun _ -> fresh_slot ());
+    l2 = Array.init l2_slots (fun _ -> fresh_slot ());
+    base1 = 0.;
+    cursor = 0;
+    base2 = 0.;
+    next2 = 1;
+    count = 0;
+  }
+
+let length t = t.count
+
+let rotation_ms t = t.slot_ms *. float_of_int l1_slots
+
+(* End of the current level-1 slot: every stored event has
+   [time >= boundary], so the owner may freely order anything
+   strictly below it. *)
+let boundary t = t.base1 +. (t.slot_ms *. float_of_int (t.cursor + 1))
+
+(* Absolute end of the covered horizon (exclusive). *)
+let horizon t = t.base2 +. (rotation_ms t *. float_of_int l2_slots)
+
+(* Re-anchor an empty wheel so that [now] sits inside the first slot.
+   Callers re-anchor whenever the wheel drains empty, which keeps the
+   horizon rolling forward indefinitely. *)
+let rebase t ~now =
+  if t.count <> 0 then invalid_arg "Timer_wheel.rebase: wheel not empty";
+  let slot = Float.of_int (int_of_float (now /. t.slot_ms)) *. t.slot_ms in
+  t.base1 <- slot;
+  t.cursor <- 0;
+  t.base2 <- slot;
+  t.next2 <- 1
+
+let add t ~time ~seq x =
+  if time < boundary t then false
+  else begin
+    let rot = rotation_ms t in
+    let l1_end = t.base1 +. rot in
+    if time < l1_end then begin
+      let idx = int_of_float ((time -. t.base1) /. t.slot_ms) in
+      if idx <= t.cursor || idx >= l1_slots then false
+      else begin
+        slot_push t (Array.unsafe_get t.l1 idx) ~time ~seq x;
+        t.count <- t.count + 1;
+        true
+      end
+    end
+    else if time < horizon t then begin
+      let idx = int_of_float ((time -. t.base2) /. rot) in
+      if idx < t.next2 || idx >= l2_slots then false
+      else begin
+        slot_push t (Array.unsafe_get t.l2 idx) ~time ~seq x;
+        t.count <- t.count + 1;
+        true
+      end
+    end
+    else false
+  end
+
+(* Promote level-2 slot [next2] into the level-1 ring and advance the
+   level-1 window to cover its span. An event landing one slot early
+   from float rounding merely reaches the heap one slot sooner; the
+   [add] index checks guarantee no event can land late. *)
+let promote t =
+  if t.next2 >= l2_slots then invalid_arg "Timer_wheel.promote: horizon exhausted";
+  t.base1 <- t.base2 +. (rotation_ms t *. float_of_int t.next2);
+  t.cursor <- -1;
+  let s = t.l2.(t.next2) in
+  t.next2 <- t.next2 + 1;
+  for i = 0 to s.len - 1 do
+    let time = s.times.(i) in
+    let idx = int_of_float ((time -. t.base1) /. t.slot_ms) in
+    let idx = Stdlib.min (l1_slots - 1) (Stdlib.max 0 idx) in
+    slot_push t t.l1.(idx) ~time ~seq:s.seqs.(i) s.data.(i)
+  done;
+  s.len <- 0
+
+(* Advance the boundary past the next non-empty slot, handing its
+   events to [drain] (unordered within the slot: the caller's heap
+   restores the (time, seq) order). Requires [length t > 0]. *)
+let advance t ~drain =
+  if t.count = 0 then invalid_arg "Timer_wheel.advance: empty wheel";
+  let drained = ref false in
+  while not !drained do
+    if t.cursor + 1 >= l1_slots then promote t
+    else begin
+      t.cursor <- t.cursor + 1;
+      let s = t.l1.(t.cursor) in
+      if s.len > 0 then begin
+        for i = 0 to s.len - 1 do
+          drain ~time:s.times.(i) ~seq:s.seqs.(i) s.data.(i)
+        done;
+        t.count <- t.count - s.len;
+        s.len <- 0;
+        drained := true
+      end
+    end
+  done

@@ -37,13 +37,17 @@ let add_new t k v =
   t.buckets.(i) <- (k, v) :: t.buckets.(i);
   t.size <- t.size + 1
 
+(* The replica hot path calls [get] once per request; a direct bucket
+   scan keeps the hit case allocation-free (no option box). *)
 let get t k =
-  match find_opt t k with
-  | Some v -> v
-  | None ->
-    let v = t.default k in
-    add_new t k v;
-    v
+  let rec scan = function
+    | [] ->
+      let v = t.default k in
+      add_new t k v;
+      v
+    | (k', v) :: rest -> if t.equal k k' then v else scan rest
+  in
+  scan t.buckets.(bucket_index t k)
 
 let set t k v =
   let i = bucket_index t k in

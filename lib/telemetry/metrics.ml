@@ -61,6 +61,25 @@ let record_latency t ~kind latency_ms =
   | "write" -> Histogram.add t.write_latency latency_ms
   | _ -> ()
 
+(* Counter addition commutes and every reported table is re-sorted, so
+   merging per-partition metrics gives one deterministic aggregate no
+   matter the merge order — the parallel engine's metrics equal the
+   serial oracle's. *)
+let merge_into ~src ~dst =
+  dst.remote <- dst.remote + src.remote;
+  dst.local <- dst.local + src.local;
+  dst.bytes <- dst.bytes + src.bytes;
+  Hashtbl.iter
+    (fun label c ->
+      let d = cell dst label in
+      d.c_remote <- d.c_remote + c.c_remote;
+      d.c_local <- d.c_local + c.c_local;
+      d.c_bytes <- d.c_bytes + c.c_bytes)
+    src.labels;
+  Hashtbl.iter (fun name r -> bump dst.events name !r) src.events;
+  Histogram.merge_into ~src:src.read_latency ~dst:dst.read_latency;
+  Histogram.merge_into ~src:src.write_latency ~dst:dst.write_latency
+
 let total t = t.remote + t.local
 
 let remote_total t = t.remote

@@ -21,6 +21,12 @@ val record_latency : t -> kind:string -> float -> unit
 (** Feed an operation latency (ms) into the [kind] histogram
     (["read"] or ["write"]; other kinds are ignored). *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Fold [src]'s counters, per-label tables, event counts and latency
+    histograms into [dst]. Commutative, so per-partition metrics from
+    a parallel run merge into the same aggregate as the serial
+    oracle's single instance. *)
+
 val total : t -> int
 val remote_total : t -> int
 val local_total : t -> int

@@ -20,6 +20,14 @@ let of_samples ~buckets samples =
   List.iter (add t) samples;
   t
 
+let merge_into ~src ~dst =
+  if
+    Array.length src.bounds <> Array.length dst.bounds
+    || not (Array.for_all2 Float.equal src.bounds dst.bounds)
+  then invalid_arg "Histogram.merge_into: bucket layouts differ";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total
+
 let count t = t.total
 
 let label t i =

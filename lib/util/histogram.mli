@@ -11,6 +11,12 @@ val of_samples : buckets:float list -> float list -> t
 
 val add : t -> float -> unit
 
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s bucket counts into [dst]. The two histograms must have
+    identical bucket bounds; raises [Invalid_argument] otherwise.
+    Merging is commutative, so per-partition histograms merge to the
+    same result in any order. *)
+
 val count : t -> int
 
 val bucket_counts : t -> (string * int) list

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_<n>.json emitted by bench/main.exe (schema 2).
+
+Checks structure and the advisory invariant: any parallel timing taken
+with more jobs than cores must carry "advisory": true, so single-core
+CI runs can never be misread as speedup measurements.
+
+Usage: validate_bench.py BENCH_2.json [...]
+Exits non-zero with one message per problem.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def require(doc, path, key, types):
+    if key not in doc:
+        err(path, f"missing key '{key}'")
+        return None
+    v = doc[key]
+    if not isinstance(v, types):
+        names = "/".join(t.__name__ for t in types) if isinstance(types, tuple) else types.__name__
+        err(path, f"'{key}' should be {names}, got {type(v).__name__}")
+        return None
+    return v
+
+
+def check_advisory(doc, path, advisory_expected, parallel_key):
+    """A non-null parallel timing must be flagged advisory iff the run was."""
+    has_parallel = doc.get(parallel_key) is not None
+    flagged = doc.get("advisory", False)
+    if has_parallel and advisory_expected and flagged is not True:
+        err(path, f"parallel timing present on an advisory run but 'advisory' is not true")
+    if flagged and not has_parallel:
+        err(path, "'advisory' set but no parallel timing present")
+
+
+def validate(fname):
+    path = fname
+    try:
+        with open(fname) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, str(e))
+        return
+
+    if require(doc, path, "schema", int) != 2:
+        err(path, f"schema {doc.get('schema')!r}, expected 2")
+        return
+    require(doc, path, "generated_by", str)
+    jobs = require(doc, path, "jobs", int)
+    cores = require(doc, path, "cores", int)
+    advisory = require(doc, path, "advisory", bool)
+    if None in (jobs, cores, advisory):
+        return
+    advisory_expected = jobs > 1 and cores <= 1
+    if advisory != advisory_expected:
+        err(path, f"advisory is {advisory} but jobs={jobs}, cores={cores} imply {advisory_expected}")
+
+    eps = require(doc, path, "events_per_sec", (dict, type(None)))
+    if isinstance(eps, dict):
+        p = f"{path}/events_per_sec"
+        require(eps, p, "workload_events", int)
+        require(eps, p, "serial", (int, float))
+        if "parallel" not in eps:
+            err(p, "missing key 'parallel'")
+        check_advisory(eps, p, advisory_expected, "parallel")
+
+    total = require(doc, path, "total", dict)
+    if total is not None:
+        p = f"{path}/total"
+        require(total, p, "serial_s", (int, float))
+        check_advisory(total, p, advisory_expected, "parallel_s")
+
+    figures = require(doc, path, "figures", list)
+    for i, fig in enumerate(figures or []):
+        p = f"{path}/figures[{i}]"
+        if not isinstance(fig, dict):
+            err(p, "not an object")
+            continue
+        require(fig, p, "name", str)
+        require(fig, p, "serial_s", (int, float))
+        check_advisory(fig, p, advisory_expected, "parallel_s")
+
+    micro = require(doc, path, "microbench_ns_per_run", list)
+    for i, m in enumerate(micro or []):
+        p = f"{path}/microbench_ns_per_run[{i}]"
+        if not isinstance(m, dict):
+            err(p, "not an object")
+            continue
+        require(m, p, "name", str)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for fname in argv[1:]:
+        validate(fname)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"validate_bench: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

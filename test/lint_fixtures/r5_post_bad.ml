@@ -1,0 +1,16 @@
+(* R5 fixture: closures posted across partitions mutating state
+   captured from the posting side — three findings (ref write, hashtable
+   mutation, field write). *)
+
+type cell = { mutable v : int }
+
+let count_on_remote pdes =
+  let acc = ref 0 in
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () -> acc := !acc + 1);
+  !acc
+
+let tally_on_remote pdes (seen : (int, bool) Hashtbl.t) =
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () -> Hashtbl.replace seen 1 true)
+
+let write_field_on_remote pdes (c : cell) =
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () -> c.v <- 7)

@@ -1,0 +1,15 @@
+(* R5 fixture, clean: post callbacks that only call functions (the
+   sanctioned delivery pattern) or mutate state they create. *)
+
+let deliver pdes (handlers : (int -> unit) array) =
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () -> handlers.(1) 7)
+
+let local_state pdes =
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () ->
+      let c = ref 0 in
+      incr c;
+      ignore !c)
+
+let relay pdes =
+  Dq_sim.Pdes.post pdes ~src:0 ~dst:1 ~time:100. (fun () ->
+      Dq_sim.Pdes.post pdes ~src:1 ~dst:0 ~time:300. (fun () -> ()))

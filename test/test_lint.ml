@@ -34,13 +34,14 @@ let test_bad_fixtures () =
   expect "r2_bad" "R2" 2;
   expect "r3_bad" "R3" 3;
   expect "r4_bad" "R4" 2;
-  expect "r5_bad" "R5" 3
+  expect "r5_bad" "R5" 3;
+  expect "r5_post_bad" "R5" 3
 
 let test_ok_fixtures () =
   List.iter
     (fun name ->
       Alcotest.(check (list string)) (name ^ " is clean") [] (strings (lint name)))
-    [ "r1_ok"; "r2_ok"; "r3_ok"; "r4_ok"; "r5_ok" ]
+    [ "r1_ok"; "r2_ok"; "r3_ok"; "r4_ok"; "r5_ok"; "r5_post_ok" ]
 
 (* ------------------------------------------------------------------ *)
 (* Golden diagnostics: exact file:line:col, rule id and message text   *)
@@ -70,6 +71,27 @@ let test_golden_r5 () =
     ]
   in
   Alcotest.(check (list string)) "r5_bad golden" expected (strings (lint "r5_bad"))
+
+let test_golden_r5_post () =
+  let expected =
+    [
+      "test/lint_fixtures/r5_post_bad.ml:9:60: [R5] worker closure writes a \
+       captured ref via := (the post callback runs on the destination \
+       partition's domain; mutate only destination-owned state or communicate \
+       through the mailbox API)";
+      "test/lint_fixtures/r5_post_bad.ml:13:60: [R5] worker closure mutates a \
+       captured hash table via Hashtbl.replace (the post callback runs on the \
+       destination partition's domain; mutate only destination-owned state or \
+       communicate through the mailbox API)";
+      "test/lint_fixtures/r5_post_bad.ml:16:60: [R5] worker closure mutates \
+       field 'v' of captured state (the post callback runs on the destination \
+       partition's domain; mutate only destination-owned state or communicate \
+       through the mailbox API)";
+    ]
+  in
+  Alcotest.(check (list string))
+    "r5_post_bad golden" expected
+    (strings (lint "r5_post_bad"))
 
 (* ------------------------------------------------------------------ *)
 (* Suppression: attributes and the allowlist file                      *)
@@ -186,6 +208,7 @@ let () =
           Alcotest.test_case "clean fixtures" `Quick test_ok_fixtures;
           Alcotest.test_case "golden R2" `Quick test_golden_r2;
           Alcotest.test_case "golden R5" `Quick test_golden_r5;
+          Alcotest.test_case "golden R5 post" `Quick test_golden_r5_post;
         ] );
       ( "suppression",
         [

@@ -1,0 +1,179 @@
+module W = Dq_sim.Timer_wheel
+module Engine = Dq_sim.Engine
+
+(* {2 Direct wheel API} *)
+
+let test_reject_edges () =
+  let w = W.create ~dummy:(-1) () in
+  (* boundary after creation is the end of slot 0 *)
+  Alcotest.(check (float 1e-9)) "boundary" 1.0 (W.boundary w);
+  Alcotest.(check bool) "below boundary" false (W.add w ~time:0.5 ~seq:0 0);
+  Alcotest.(check bool) "past horizon" false (W.add w ~time:(W.horizon w +. 1.) ~seq:1 1);
+  Alcotest.(check bool) "exactly horizon" false (W.add w ~time:(W.horizon w) ~seq:2 2);
+  Alcotest.(check bool) "in range" true (W.add w ~time:5.5 ~seq:3 3);
+  Alcotest.(check int) "length" 1 (W.length w)
+
+let test_advance_drains_in_slot_batches () =
+  let w = W.create ~dummy:(-1) () in
+  Alcotest.(check bool) "a" true (W.add w ~time:5.5 ~seq:0 0);
+  Alcotest.(check bool) "b" true (W.add w ~time:5.9 ~seq:1 1);
+  Alcotest.(check bool) "c" true (W.add w ~time:9.1 ~seq:2 2);
+  let emitted = ref [] in
+  W.advance w ~drain:(fun ~time:_ ~seq:_ x -> emitted := x :: !emitted);
+  Alcotest.(check (list int)) "slot 5 first" [ 0; 1 ] (List.rev !emitted);
+  Alcotest.(check bool) "boundary passed slot" true (W.boundary w > 5.9);
+  emitted := [];
+  W.advance w ~drain:(fun ~time:_ ~seq:_ x -> emitted := x :: !emitted);
+  Alcotest.(check (list int)) "slot 9 next" [ 2 ] (List.rev !emitted);
+  Alcotest.(check int) "empty" 0 (W.length w);
+  Alcotest.check_raises "advance on empty" (Invalid_argument "Timer_wheel.advance: empty wheel")
+    (fun () -> W.advance w ~drain:(fun ~time:_ ~seq:_ _ -> ()))
+
+let test_level2_promotion () =
+  let w = W.create ~dummy:(-1) () in
+  (* past the level-1 rotation (256 slots of 1 ms) but inside level 2 *)
+  Alcotest.(check bool) "l2 accept" true (W.add w ~time:1000.25 ~seq:0 7);
+  Alcotest.(check bool) "l2 accept 2" true (W.add w ~time:1000.75 ~seq:1 8);
+  let emitted = ref [] in
+  W.advance w ~drain:(fun ~time ~seq x -> emitted := (time, seq, x) :: !emitted);
+  Alcotest.(check int) "both promoted out of one slot" 2 (List.length !emitted);
+  Alcotest.(check bool) "boundary covers them" true (W.boundary w > 1000.75);
+  Alcotest.(check int) "drained" 0 (W.length w)
+
+let test_rebase () =
+  let w = W.create ~dummy:(-1) () in
+  ignore (W.add w ~time:3.5 ~seq:0 0);
+  Alcotest.check_raises "rebase non-empty" (Invalid_argument "Timer_wheel.rebase: wheel not empty")
+    (fun () -> W.rebase w ~now:10.);
+  W.advance w ~drain:(fun ~time:_ ~seq:_ _ -> ());
+  W.rebase w ~now:5000.3;
+  Alcotest.(check bool) "below new boundary rejected" false (W.add w ~time:5000.4 ~seq:1 1);
+  Alcotest.(check bool) "new range accepted" true (W.add w ~time:5002.5 ~seq:2 2)
+
+(* {2 Engine-level behaviour (wheel + heap together)} *)
+
+let fire_order ~schedule =
+  let eng = Engine.create () in
+  let order = ref [] in
+  schedule eng (fun tag () -> order := tag :: !order);
+  Engine.run eng;
+  List.rev !order
+
+let test_equal_timestamp_fifo () =
+  let order =
+    fire_order ~schedule:(fun eng tag ->
+        for i = 0 to 9 do
+          ignore (Engine.schedule_at eng ~time:5. (tag i))
+        done)
+  in
+  Alcotest.(check (list int)) "FIFO at equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_cancellation () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  let keep = Engine.schedule_at eng ~time:2. (fun () -> fired := 0 :: !fired) in
+  let drop_wheel = Engine.schedule_at eng ~time:3. (fun () -> fired := 1 :: !fired) in
+  (* below the initial boundary: lands in the heap *)
+  let drop_heap = Engine.schedule_at eng ~time:0.5 (fun () -> fired := 2 :: !fired) in
+  ignore keep;
+  Engine.cancel drop_wheel;
+  Engine.cancel drop_heap;
+  Engine.cancel drop_heap;
+  Alcotest.(check int) "pending excludes cancelled" 1 (Engine.pending_events eng);
+  Alcotest.(check bool) "cancelled not pending" false (Engine.is_pending drop_wheel);
+  Engine.run eng;
+  Alcotest.(check (list int)) "only the kept event fired" [ 0 ] (List.rev !fired);
+  Alcotest.(check int) "events executed" 1 (Engine.events_executed eng)
+
+let test_overflow_handoff () =
+  (* Events beyond the wheel horizon live in the heap until the wheel
+     rolls forward; order must still be global (time, seq). *)
+  let order =
+    fire_order ~schedule:(fun eng tag ->
+        ignore (Engine.schedule_at eng ~time:200_000. (tag 3));
+        ignore (Engine.schedule_at eng ~time:70_000. (tag 2));
+        ignore (Engine.schedule_at eng ~time:100. (tag 0));
+        ignore (Engine.schedule_at eng ~time:65_000. (tag 1)))
+  in
+  Alcotest.(check (list int)) "horizon overflow ordered" [ 0; 1; 2; 3 ] order
+
+let test_run_before_strict () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at eng ~time:1. (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule_at eng ~time:2. (fun () -> fired := 2 :: !fired));
+  ignore (Engine.schedule_at eng ~time:3. (fun () -> fired := 3 :: !fired));
+  Engine.run_before eng ~limit:2.;
+  Alcotest.(check (list int)) "strictly below limit" [ 1 ] (List.rev !fired);
+  Alcotest.(check (option (float 1e-9))) "next_time" (Some 2.) (Engine.next_time eng);
+  Engine.run_before eng ~limit:10.;
+  Alcotest.(check (list int)) "rest" [ 1; 2; 3 ] (List.rev !fired)
+
+(* {2 Property: wheel + heap scheduling is order-identical to the
+   heap-only model} *)
+
+let prop_engine_order_matches_heap_model =
+  QCheck.Test.make ~name:"engine (wheel+heap) fires in (time, seq) order" ~count:300
+    QCheck.(list (int_range 0 3000))
+    (fun raw ->
+      (* Offsets in tenths of ms spanning both wheel levels, the
+         pre-boundary heap path and duplicates for FIFO ties. *)
+      let times = List.map (fun i -> float_of_int i /. 10.) raw in
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun seq time ->
+          ignore (Engine.schedule_at eng ~time (fun () -> fired := (time, seq) :: !fired)))
+        times;
+      Engine.run eng;
+      let got = List.rev !fired in
+      let model =
+        List.mapi (fun seq time -> (time, seq)) times
+        |> List.sort (fun (ta, sa) (tb, sb) ->
+               let c = Float.compare ta tb in
+               if c <> 0 then c else Int.compare sa sb)
+      in
+      got = model)
+
+let prop_wheel_never_loses_events =
+  QCheck.Test.make ~name:"wheel add/advance conserves events" ~count:300
+    QCheck.(list (pair (int_range 0 70_000) small_nat))
+    (fun raw ->
+      let w = W.create ~dummy:(-1) () in
+      let in_wheel = ref 0 in
+      List.iteri
+        (fun i (t, _) ->
+          if W.add w ~time:(float_of_int t /. 1.7) ~seq:i i then incr in_wheel)
+        raw;
+      let emitted = ref 0 in
+      let ok = ref true in
+      while W.length w > 0 do
+        let b = W.boundary w in
+        W.advance w ~drain:(fun ~time ~seq:_ _ ->
+            incr emitted;
+            (* nothing below the pre-advance boundary is ever stored *)
+            if time < b then ok := false)
+      done;
+      !ok && !emitted = !in_wheel)
+
+let () =
+  Alcotest.run "timer_wheel"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "rejects edges to heap" `Quick test_reject_edges;
+          Alcotest.test_case "advance drains slot batches" `Quick test_advance_drains_in_slot_batches;
+          Alcotest.test_case "level-2 promotion" `Quick test_level2_promotion;
+          Alcotest.test_case "rebase" `Quick test_rebase;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "equal-timestamp FIFO" `Quick test_equal_timestamp_fifo;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "wheel-heap overflow handoff" `Quick test_overflow_handoff;
+          Alcotest.test_case "run_before is strict" `Quick test_run_before_strict;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_engine_order_matches_heap_model; prop_wheel_never_loses_events ] );
+    ]
