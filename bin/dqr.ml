@@ -201,16 +201,6 @@ let ablation_cmd =
 
 (* --- run ----------------------------------------------------------------- *)
 
-let builder_of_name = function
-  | "dqvl" -> Some (Registry.dqvl ())
-  | "dqvl-paper" -> Some (Registry.dqvl ~volume_lease_ms:1_000. ~proactive_renew:false ())
-  | "dq-basic" -> Some Registry.dq_basic
-  | "primary-backup" -> Some Registry.primary_backup
-  | "majority" -> Some Registry.majority
-  | "rowa" -> Some Registry.rowa
-  | "rowa-async" -> Some (Registry.rowa_async ())
-  | _ -> None
-
 let write_text_file path contents =
   let oc = open_out path in
   output_string oc contents;
@@ -218,11 +208,10 @@ let write_text_file path contents =
 
 let run_custom protocol seed ops servers clients write_ratio locality objects verbose
     trace_file metrics_file =
-  match builder_of_name protocol with
+  match Registry.find protocol with
   | None ->
-    Printf.eprintf
-      "unknown protocol %S (dqvl, dqvl-paper, dq-basic, primary-backup, majority, rowa, rowa-async)\n"
-      protocol
+    Printf.eprintf "unknown protocol %S (%s)\n" protocol
+      (String.concat ", " Registry.known_names)
   | Some builder ->
     let engine = Dq_sim.Engine.create ~seed () in
     if verbose then Dq_sim.Sim_log.setup ~level:Logs.Debug engine;
@@ -329,6 +318,173 @@ let run_cmd =
       const run_custom $ protocol $ seed_arg $ ops_arg 200 $ servers $ clients $ write_ratio
       $ locality $ objects $ verbose $ trace_file $ metrics_file)
 
+(* --- bench ---------------------------------------------------------------- *)
+
+module Scenario = Dq_bench.Scenario
+module Results = Dq_bench.Results
+module Bench_diff = Dq_bench.Diff
+
+let bench_list () =
+  let t = Table.create ~header:[ "scenario"; "v"; "protocols"; "description" ] in
+  List.iter
+    (fun (s : Scenario.t) ->
+      Table.add_row t
+        [
+          s.Scenario.name;
+          string_of_int s.Scenario.version;
+          String.concat "," s.Scenario.protocols;
+          s.Scenario.description;
+        ])
+    Scenario.all;
+  Table.print t
+
+let print_outcomes outcomes =
+  let t =
+    Table.create
+      ~header:
+        [
+          "run"; "done"; "fail"; "read p50"; "write p50"; "msgs/req"; "stale";
+          "mean age"; "avg AoI"; "wall s";
+        ]
+  in
+  List.iter
+    (fun (o : Scenario.outcome) ->
+      let r = o.Scenario.result in
+      let aoi = Dq_telemetry.Aoi.summary o.Scenario.aoi in
+      Table.add_row t
+        [
+          Printf.sprintf "%s w=%.2f wan=%.2g" o.Scenario.protocol o.Scenario.write_ratio
+            o.Scenario.wan_scale;
+          string_of_int r.Driver.completed;
+          string_of_int r.Driver.failed;
+          Printf.sprintf "%.1f" (Dq_util.Stats.percentile r.Driver.read_latency 50.);
+          Printf.sprintf "%.1f" (Dq_util.Stats.percentile r.Driver.write_latency 50.);
+          Printf.sprintf "%.1f" r.Driver.messages_per_request;
+          Printf.sprintf "%.1f%%" (100. *. aoi.Dq_telemetry.Aoi.stale_fraction);
+          Printf.sprintf "%.1f" aoi.Dq_telemetry.Aoi.mean_read_age_ms;
+          Printf.sprintf "%.1f" aoi.Dq_telemetry.Aoi.time_avg_age_ms;
+          (match o.Scenario.wall_s with Some s -> Printf.sprintf "%.2f" s | None -> "-");
+        ])
+    outcomes;
+  Table.print t
+
+let find_scenario name =
+  match Scenario.find name with
+  | Some s -> s
+  | None ->
+    Printf.eprintf "unknown scenario %S (%s)\n" name
+      (String.concat ", " (List.map (fun (s : Scenario.t) -> s.Scenario.name) Scenario.all));
+    exit 2
+
+let bench_run name smoke seed out noise_band wan_scale write_ratio =
+  let scenario = find_scenario name in
+  let now_s = Unix.gettimeofday in
+  let outcomes =
+    List.map
+      (fun protocol ->
+        Scenario.run_protocol ~now_s ~wan_scale ?write_ratio ~smoke ~seed scenario ~protocol)
+      scenario.Scenario.protocols
+  in
+  print_outcomes outcomes;
+  Option.iter
+    (fun path ->
+      Results.write_file path (Results.render ?noise_band ~smoke ~seed scenario outcomes);
+      Printf.printf "wrote %s\n" path)
+    out
+
+let bench_sweep name smoke seed out noise_band wan_scales write_ratios =
+  let scenario = find_scenario name in
+  let now_s = Unix.gettimeofday in
+  let outcomes = Scenario.sweep ~now_s ~smoke ~seed ~wan_scales ~write_ratios scenario in
+  print_outcomes outcomes;
+  Option.iter
+    (fun path ->
+      Results.write_file path
+        (Results.render ?noise_band ~sweep_axes:(wan_scales, write_ratios) ~smoke ~seed
+           scenario outcomes);
+      Printf.printf "wrote %s\n" path)
+    out
+
+let bench_diff old_path new_path noise_band =
+  match Bench_diff.diff_files ?band:noise_band ~old_path ~new_path () with
+  | Error msg ->
+    Printf.eprintf "dqr bench diff: %s\n" msg;
+    exit 2
+  | Ok report ->
+    Format.printf "%a" Bench_diff.pp report;
+    if not (Bench_diff.passed report) then exit 1
+
+let scenario_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see $(b,bench list)).")
+
+let smoke_arg =
+  Arg.(value & flag & info [ "smoke" ] ~doc:"Small op counts (CI-sized run).")
+
+let bench_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write schema-3 results JSON to $(docv).")
+
+let noise_band_opt =
+  Arg.(
+    value & opt (some float) None
+    & info [ "noise-band" ] ~docv:"B"
+        ~doc:"Relative noise band (e.g. 0.1 = 10%) recorded in the results / used by diff.")
+
+let bench_cmd =
+  let list_cmd =
+    Cmd.v (Cmd.info "list" ~doc:"List registered scenarios") Term.(const bench_list $ const ())
+  in
+  let run_cmd =
+    let wan_scale =
+      Arg.(
+        value & opt float 1.0
+        & info [ "wan-scale" ] ~docv:"X" ~doc:"Extra multiplier on WAN delays.")
+    in
+    let write_ratio =
+      Arg.(
+        value & opt (some float) None
+        & info [ "write-ratio"; "w" ] ~docv:"W" ~doc:"Override the scenario's write ratio.")
+    in
+    Cmd.v (Cmd.info "run" ~doc:"Run one scenario across its protocols")
+      Term.(
+        const bench_run $ scenario_pos $ smoke_arg $ seed_arg $ bench_out $ noise_band_opt
+        $ wan_scale $ write_ratio)
+  in
+  let sweep_cmd =
+    let wan_scales =
+      Arg.(
+        value & opt (list float) [ 1.0; 2.0 ]
+        & info [ "wan-scales" ] ~docv:"X,Y" ~doc:"WAN-delay multipliers to sweep.")
+    in
+    let write_ratios =
+      Arg.(
+        value & opt (list float) [ 0.05; 0.5 ]
+        & info [ "write-ratios" ] ~docv:"W,V" ~doc:"Write ratios to sweep.")
+    in
+    Cmd.v (Cmd.info "sweep" ~doc:"Sweep a scenario over WAN-delay and write-ratio axes")
+      Term.(
+        const bench_sweep $ scenario_pos $ smoke_arg $ seed_arg $ bench_out $ noise_band_opt
+        $ wan_scales $ write_ratios)
+  in
+  let diff_cmd =
+    let old_path =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json" ~doc:"Baseline results.")
+    in
+    let new_path =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json" ~doc:"Fresh results.")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two results files metric-by-metric; exit 1 on regression, 2 when the \
+            files are not comparable")
+      Term.(const bench_diff $ old_path $ new_path $ noise_band_opt)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Perf-campaign scenarios: run, sweep and regression-diff")
+    [ list_cmd; run_cmd; sweep_cmd; diff_cmd ]
+
 (* --- avail / overhead ----------------------------------------------------- *)
 
 let avail n p w =
@@ -417,4 +573,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig_cmd; ablation_cmd; run_cmd; avail_cmd; overhead_cmd; load_cmd; bandwidth_cmd ]))
+          [
+            fig_cmd; ablation_cmd; run_cmd; bench_cmd; avail_cmd; overhead_cmd; load_cmd;
+            bandwidth_cmd;
+          ]))

@@ -18,7 +18,10 @@ type cell = {
   mutable failed : int;
   mutable gave_up : int;
   mutable stale_reads : int;
+  mutable reads_checked : int;
   mutable max_staleness_ms : float;
+  mutable age_weight : float; (* sum of per-run mean_age_ms * reads, for the pooled mean *)
+  mutable max_age_ms : float;
   mutable max_gap_ms : float;
   mutable violation_seeds : int64 list;
 }
@@ -26,6 +29,9 @@ type cell = {
 let availability cell =
   let settled = cell.completed + cell.failed in
   if settled = 0 then 0. else float_of_int cell.completed /. float_of_int settled
+
+let stale_fraction ~stale_reads ~reads_checked =
+  if reads_checked = 0 then 0. else float_of_int stale_reads /. float_of_int reads_checked
 
 (* The scenario for one campaign cell: the seed-derived topology and
    workload, the legacy ad-hoc fault schedule disabled, and a nemesis
@@ -58,11 +64,20 @@ let json_of_report ~base_seed ~runs_per_cell ~cells =
   buf_addf buf "  \"classes\": [\n";
   List.iteri
     (fun ci cls ->
+      (* Availability first, then freshness: fewer stale reads ranks
+         higher, staleness depth breaks the remaining ties. *)
       let ranked =
         List.filter (fun c -> c.fault_class = cls) cells
         |> List.sort (fun a b ->
                match Float.compare (availability b) (availability a) with
-               | 0 -> Float.compare a.max_staleness_ms b.max_staleness_ms
+               | 0 -> (
+                 match
+                   Float.compare
+                     (stale_fraction ~stale_reads:a.stale_reads ~reads_checked:a.reads_checked)
+                     (stale_fraction ~stale_reads:b.stale_reads ~reads_checked:b.reads_checked)
+                 with
+                 | 0 -> Float.compare a.max_staleness_ms b.max_staleness_ms
+                 | c -> c)
                | c -> c)
       in
       buf_addf buf "    {\n      \"class\": %S,\n      \"protocols\": [\n"
@@ -72,12 +87,19 @@ let json_of_report ~base_seed ~runs_per_cell ~cells =
           buf_addf buf
             "        {\"rank\": %d, \"protocol\": %S, \"runs\": %d, \"completed\": %d, \
              \"failed\": %d, \"gave_up\": %d, \"availability\": %s, \"stale_reads\": %d, \
-             \"max_staleness_ms\": %s, \"max_unavailability_ms\": %s, \"violations\": %d, \
-             \"violation_seeds\": [%s]}%s\n"
+             \"reads_checked\": %d, \"stale_fraction\": %s, \"max_staleness_ms\": %s, \
+             \"mean_age_ms\": %s, \"max_age_ms\": %s, \"max_unavailability_ms\": %s, \
+             \"violations\": %d, \"violation_seeds\": [%s]}%s\n"
             (pi + 1) cell.protocol cell.runs cell.completed cell.failed cell.gave_up
             (json_float (availability cell))
-            cell.stale_reads
+            cell.stale_reads cell.reads_checked
+            (json_float
+               (stale_fraction ~stale_reads:cell.stale_reads ~reads_checked:cell.reads_checked))
             (json_float cell.max_staleness_ms)
+            (json_float
+               (if cell.reads_checked = 0 then 0.
+                else cell.age_weight /. float_of_int cell.reads_checked))
+            (json_float cell.max_age_ms)
             (json_float cell.max_gap_ms)
             (List.length cell.violation_seeds)
             (String.concat ", "
@@ -101,17 +123,37 @@ let json_of_report ~base_seed ~runs_per_cell ~cells =
         let max_stale =
           List.fold_left (fun acc c -> Float.max acc c.max_staleness_ms) 0. mine
         in
-        (name, avail, max_stale, sum (fun c -> List.length c.violation_seeds)))
+        let stale_reads = sum (fun c -> c.stale_reads) in
+        let reads_checked = sum (fun c -> c.reads_checked) in
+        let age_weight = List.fold_left (fun acc c -> acc +. c.age_weight) 0. mine in
+        let mean_age =
+          if reads_checked = 0 then 0. else age_weight /. float_of_int reads_checked
+        in
+        let max_age = List.fold_left (fun acc c -> Float.max acc c.max_age_ms) 0. mine in
+        ( name,
+          avail,
+          stale_fraction ~stale_reads ~reads_checked,
+          max_stale,
+          mean_age,
+          max_age,
+          sum (fun c -> List.length c.violation_seeds) ))
       protocols
-    |> List.sort (fun (_, a, sa, _) (_, b, sb, _) ->
-           match Float.compare b a with 0 -> Float.compare sa sb | c -> c)
+    |> List.sort (fun (_, a, fa, sa, _, _, _) (_, b, fb, sb, _, _, _) ->
+           match Float.compare b a with
+           | 0 -> (
+             match Float.compare fa fb with
+             | 0 -> Float.compare sa sb
+             | c -> c)
+           | c -> c)
   in
   List.iteri
-    (fun i (name, avail, max_stale, violations) ->
+    (fun i (name, avail, stale_frac, max_stale, mean_age, max_age, violations) ->
       buf_addf buf
         "    {\"rank\": %d, \"protocol\": %S, \"availability\": %s, \
-         \"max_staleness_ms\": %s, \"violations\": %d}%s\n"
-        (i + 1) name (json_float avail) (json_float max_stale) violations
+         \"stale_fraction\": %s, \"max_staleness_ms\": %s, \"mean_age_ms\": %s, \
+         \"max_age_ms\": %s, \"violations\": %d}%s\n"
+        (i + 1) name (json_float avail) (json_float stale_frac) (json_float max_stale)
+        (json_float mean_age) (json_float max_age) violations
         (if i + 1 < List.length overall then "," else ""))
     overall;
   buf_addf buf "  ]\n}\n";
@@ -157,7 +199,10 @@ let run_campaign runs base_seed out classes_spec verbose trace_file metrics_file
                 failed = 0;
                 gave_up = 0;
                 stale_reads = 0;
+                reads_checked = 0;
                 max_staleness_ms = 0.;
+                age_weight = 0.;
+                max_age_ms = 0.;
                 max_gap_ms = 0.;
                 violation_seeds = [];
               }
@@ -190,8 +235,13 @@ let run_campaign runs base_seed out classes_spec verbose trace_file metrics_file
               cell.failed <- cell.failed + outcome.Fuzz.failed;
               cell.gave_up <- cell.gave_up + outcome.Fuzz.gave_up;
               cell.stale_reads <- cell.stale_reads + outcome.Fuzz.stale_reads;
+              cell.reads_checked <- cell.reads_checked + outcome.Fuzz.reads_checked;
               cell.max_staleness_ms <-
                 Float.max cell.max_staleness_ms outcome.Fuzz.max_staleness_ms;
+              cell.age_weight <-
+                cell.age_weight
+                +. (outcome.Fuzz.mean_age_ms *. float_of_int outcome.Fuzz.reads_checked);
+              cell.max_age_ms <- Float.max cell.max_age_ms outcome.Fuzz.max_age_ms;
               cell.max_gap_ms <- Float.max cell.max_gap_ms outcome.Fuzz.max_gap_ms;
               if outcome.Fuzz.violations <> [] then begin
                 cell.violation_seeds <- seed :: cell.violation_seeds;

@@ -1,0 +1,198 @@
+(* Metric-by-metric comparison of two schema-3 results files.
+
+   Everything here is driven by the leaf paths of [Json.flatten] over
+   the "results" subtree. Per path the direction of "worse" is derived
+   from the metric name: latency, age, staleness, message and failure
+   metrics regress upward; completion and throughput metrics regress
+   downward; structural counters (histogram buckets, op counts) have no
+   direction and only ever produce notes. Wall-clock metrics are
+   excluded outright — they measure the machine, not the code. *)
+
+type direction = Lower_better | Higher_better | Neutral | Skip
+
+type finding = {
+  path : string;
+  old_v : float;
+  new_v : float;
+  direction : direction;
+}
+
+type report = {
+  band : float;
+  compared : int;
+  regressions : finding list;
+  improvements : finding list;
+  changes : finding list;  (* neutral drift beyond the band *)
+  missing : string list;   (* gated in OLD, absent from NEW *)
+  added : string list;     (* present only in NEW *)
+}
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Order matters: the first family a path matches wins, so e.g.
+   "wall.events_per_sec" is skipped before "per_sec" could classify it,
+   and "aoi...count" is neutral before the lower-better default. *)
+let direction_of path =
+  if contains ~sub:"wall" path then Skip
+  else if
+    contains ~sub:"buckets" path || contains ~sub:"count" path
+    || contains ~sub:"sim_events" path || contains ~sub:"issued" path
+    || contains ~sub:"checked" path || contains ~sub:"keys" path
+    || contains ~sub:"wan_scale" path || contains ~sub:"write_ratio" path
+  then Neutral
+  else if contains ~sub:"completed" path || contains ~sub:"throughput" path then
+    Higher_better
+  else Lower_better
+
+(* Relative band with an absolute floor of 1.0: tiny counters (a 2 ms
+   p50, 3 stale reads) would otherwise flag on any movement at all. *)
+let threshold ~band old_v = band *. Float.max (Float.abs old_v) 1.0
+
+let scenario_mismatch old_j new_j =
+  let get file v key = Option.bind (Option.bind (Json.member "scenario" v) (Json.member key)) file in
+  let check key file pp =
+    match get file old_j key, get file new_j key with
+    | Some a, Some b when not (pp a b) -> Some key
+    | None, _ | _, None -> Some key
+    | Some _, Some _ -> None
+  in
+  let schema v = Option.bind (Json.member "schema" v) Json.num in
+  match schema old_j, schema new_j with
+  | Some 3., Some 3. -> (
+    match
+      ( check "name" Json.str (fun (a : string) b -> String.equal a b),
+        check "version" Json.num (fun (a : float) b -> Float.equal a b),
+        Option.bind (Json.member "kind" old_j) Json.str,
+        Option.bind (Json.member "kind" new_j) Json.str )
+    with
+    | Some key, _, _, _ | None, Some key, _, _ ->
+      Some (Printf.sprintf "scenario %s differs (or is missing); regenerate the baseline" key)
+    | None, None, Some ka, Some kb when not (String.equal ka kb) ->
+      Some (Printf.sprintf "kind mismatch: %s vs %s" ka kb)
+    | None, None, _, _ -> None)
+  | a, b ->
+    let show = function Some v -> Printf.sprintf "%g" v | None -> "absent" in
+    Some (Printf.sprintf "schema mismatch: %s vs %s (need 3)" (show a) (show b))
+
+let resolve_band explicit old_j new_j =
+  match explicit with
+  | Some band -> band
+  | None -> (
+    let from v = Option.bind (Json.member "noise_band" v) Json.num in
+    match from new_j with
+    | Some band -> band
+    | None -> ( match from old_j with Some band -> band | None -> Results.default_noise_band))
+
+let diff ?band old_j new_j =
+  match scenario_mismatch old_j new_j with
+  | Some msg -> Error msg
+  | None ->
+    let band = resolve_band band old_j new_j in
+    let flat v =
+      match Json.member "results" v with
+      | Some results -> Json.flatten results
+      | None -> []
+    in
+    let old_flat = flat old_j in
+    let new_flat = flat new_j in
+    match old_flat with
+    | [] -> Error "OLD file has no results"
+    | _ :: _ ->
+      let new_tbl = Hashtbl.create 256 in
+      List.iter (fun (path, v) -> Hashtbl.replace new_tbl path v) new_flat;
+      let old_tbl = Hashtbl.create 256 in
+      List.iter (fun (path, v) -> Hashtbl.replace old_tbl path v) old_flat;
+      let regressions = ref [] in
+      let improvements = ref [] in
+      let changes = ref [] in
+      let missing = ref [] in
+      let compared = ref 0 in
+      List.iter
+        (fun (path, old_v) ->
+          match direction_of path with
+          | Skip -> ()
+          | dir -> (
+            match Hashtbl.find_opt new_tbl path with
+            | None -> (
+              match dir with
+              | Neutral -> ()
+              | _ -> missing := path :: !missing)
+            | Some new_v ->
+              incr compared;
+              let delta = new_v -. old_v in
+              let finding = { path; old_v; new_v; direction = dir } in
+              if Float.abs delta > threshold ~band old_v then
+                match dir with
+                | Lower_better ->
+                  if delta > 0. then regressions := finding :: !regressions
+                  else improvements := finding :: !improvements
+                | Higher_better ->
+                  if delta < 0. then regressions := finding :: !regressions
+                  else improvements := finding :: !improvements
+                | Neutral -> changes := finding :: !changes
+                | Skip -> ()))
+        old_flat;
+      let added =
+        List.filter_map
+          (fun (path, _) ->
+            match direction_of path with
+            | Skip -> None
+            | _ -> if Hashtbl.mem old_tbl path then None else Some path)
+          new_flat
+      in
+      Ok
+        {
+          band;
+          compared = !compared;
+          regressions = List.rev !regressions;
+          improvements = List.rev !improvements;
+          changes = List.rev !changes;
+          missing = List.rev !missing;
+          added;
+        }
+
+let diff_files ?band ~old_path ~new_path () =
+  match Json.parse_file old_path, Json.parse_file new_path with
+  | old_j, new_j -> diff ?band old_j new_j
+  | exception Json.Error msg -> Error (Printf.sprintf "JSON parse error: %s" msg)
+  | exception Sys_error msg -> Error msg
+
+let passed report =
+  match report.regressions, report.missing with [], [] -> true | _ -> false
+
+let pct old_v new_v =
+  if Float.abs old_v > 0. then Printf.sprintf "%+.1f%%" (100. *. (new_v -. old_v) /. Float.abs old_v)
+  else "new"
+
+let pp ppf report =
+  let section title findings =
+    match findings with
+    | [] -> ()
+    | _ ->
+      Format.fprintf ppf "%s:@." title;
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "  %-60s %12g -> %-12g (%s)@." f.path f.old_v f.new_v
+            (pct f.old_v f.new_v))
+        findings
+  in
+  section "REGRESSIONS" report.regressions;
+  (match report.missing with
+  | [] -> ()
+  | missing ->
+    Format.fprintf ppf "MISSING (gated metric disappeared):@.";
+    List.iter (fun p -> Format.fprintf ppf "  %s@." p) missing);
+  section "improvements" report.improvements;
+  section "neutral changes" report.changes;
+  (match report.added with
+  | [] -> ()
+  | added -> Format.fprintf ppf "new metrics: %d (not gated)@." (List.length added));
+  Format.fprintf ppf "%d metrics compared, band %.0f%%: %s@." report.compared
+    (100. *. report.band)
+    (if passed report then "PASS"
+     else
+       Printf.sprintf "FAIL (%d regressions, %d missing)"
+         (List.length report.regressions) (List.length report.missing))

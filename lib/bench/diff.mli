@@ -1,0 +1,53 @@
+(** The results differ behind [dqr bench diff OLD.json NEW.json].
+
+    Pairs the two files' gated metrics by flattened leaf path and flags
+    drift beyond a noise band. Per-path direction is derived from the
+    metric name:
+
+    - {e lower is better} (the default): latency, age, staleness,
+      message/byte, failure and violation metrics;
+    - {e higher is better}: [completed], [throughput*];
+    - {e neutral}: structural counters (histogram buckets, [count],
+      [issued], [sim_events], [checked], axis echoes) — drift is
+      reported but never gates;
+    - {e skipped}: anything under a [wall] path — wall-clock numbers
+      measure the machine, not the code.
+
+    A gated metric that disappears from NEW is a failure (a deleted
+    metric must come with a regenerated baseline); metrics only in NEW
+    are noted but pass. Files must both be schema 3 with the same
+    scenario name/version and kind, otherwise the comparison itself is
+    an error — changing a scenario means regenerating its baseline. *)
+
+type direction = Lower_better | Higher_better | Neutral | Skip
+
+type finding = { path : string; old_v : float; new_v : float; direction : direction }
+
+type report = {
+  band : float;  (** the relative band actually used *)
+  compared : int;
+  regressions : finding list;
+  improvements : finding list;
+  changes : finding list;  (** neutral drift beyond the band *)
+  missing : string list;   (** gated in OLD, absent from NEW *)
+  added : string list;     (** present only in NEW *)
+}
+
+val direction_of : string -> direction
+(** Classification of one flattened leaf path. *)
+
+val diff : ?band:float -> Json.t -> Json.t -> (report, string) result
+(** [diff old_ new_]. The band is [?band], else NEW's [noise_band]
+    field, else OLD's, else {!Results.default_noise_band}. The
+    threshold per metric is [band * max (abs old) 1.0] — a relative
+    band with an absolute floor, so tiny counters don't flag on any
+    movement. [Error] means the files are not comparable (schema or
+    scenario mismatch, no results). *)
+
+val diff_files : ?band:float -> old_path:string -> new_path:string -> unit -> (report, string) result
+
+val passed : report -> bool
+(** No regressions and no missing gated metrics. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary, regressions first. *)

@@ -1,0 +1,40 @@
+(** A minimal JSON tree, parser and flattener.
+
+    The toolchain has no JSON dependency, and the writers in this
+    repository are hand-rolled; this is the matching reader — enough of
+    RFC 8259 for the bench results the differ consumes (and for
+    externally edited baselines), a few hundred lines instead of a
+    package. Numbers are floats, objects keep field order, duplicate
+    keys resolve to the first occurrence. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+(** Parse failure, with a byte offset in the message. *)
+
+val parse : string -> t
+(** @raise Error on malformed input or trailing garbage. *)
+
+val parse_file : string -> t
+(** @raise Error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val num : t -> float option
+
+val str : t -> string option
+
+val arr : t -> t list option
+
+val flatten : t -> (string * float) list
+(** Every numeric leaf as a [("a.b.c[0].d", value)] pair, in document
+    order. Booleans flatten to 0/1; strings and nulls are skipped. The
+    differ compares two files leaf-by-leaf over this view. *)

@@ -1,0 +1,35 @@
+(** The schema-3 bench-results JSON writer.
+
+    Self-describing: the file carries the scenario definition (name,
+    version, seed, smoke flag, topology/workload parameters, sweep
+    axes) alongside one result object per run, keyed by run id — the
+    protocol name, or ["proto@wan=2,w=0.5"] for sweep cells.
+
+    Two metric families are deliberately separated:
+
+    - everything {e outside} a ["wall"] object is measured in virtual
+      time and is a pure function of the seed — byte-stable across
+      machines, and what {!Diff} gates;
+    - everything {e under} ["wall"] (wall-clock seconds, events/sec) is
+      machine-dependent and advisory; the differ skips it.
+
+    Validated by [scripts/validate_bench.py] (schema 3). *)
+
+val default_noise_band : float
+(** 0.1 — the relative drift the differ tolerates by default. *)
+
+val run_id : Scenario.outcome -> sweep:bool -> string
+
+val render :
+  ?noise_band:float ->
+  ?sweep_axes:float list * float list ->
+  smoke:bool ->
+  seed:int64 ->
+  Scenario.t ->
+  Scenario.outcome list ->
+  string
+(** The full results document. [sweep_axes = (wan_scales,
+    write_ratios)] marks a sweep file and records the axes. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -12,6 +12,7 @@ type config = {
   timeout_ms : float;
   horizon_ms : float;
   redirect_to_up : bool;
+  value_pad : int;
 }
 
 let default_config spec =
@@ -22,6 +23,7 @@ let default_config spec =
     timeout_ms = 30_000.;
     horizon_ms = 3.6e6;
     redirect_to_up = false;
+    value_pad = 0;
   }
 
 type result = {
@@ -140,7 +142,13 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
       let start = Engine.now engine in
       let value =
         match kind with
-        | History.Write -> Printf.sprintf "c%d-%d" client.node !issued
+        | History.Write ->
+          (* The wire-size model charges [String.length value] per copy,
+             so padding the value is how scenarios model large objects. *)
+          let base = Printf.sprintf "c%d-%d" client.node !issued in
+          if config.value_pad > String.length base then
+            base ^ String.make (config.value_pad - String.length base) '.'
+          else base
         | History.Read -> ""
       in
       let id =
@@ -213,7 +221,7 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
            the history (the write may have taken effect), but the client
            has already moved on. *)
         History.complete_op history ~id ~value ~lc ~now:(Engine.now engine);
-        if subscribed () then
+        if subscribed () then begin
           Dq_telemetry.Bus.emit bus
             (Dq_telemetry.Event.Op_complete
                {
@@ -223,6 +231,20 @@ let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
                  start_ms = start;
                  latency_ms = Engine.now engine -. start;
                });
+          (* The freshness-carrying twin of [Op_complete]: the served
+             version's logical clock, for the AoI sink. *)
+          Dq_telemetry.Bus.emit bus
+            (Dq_telemetry.Event.Op_served
+               {
+                 op = id;
+                 client = client.node;
+                 kind = kind_str;
+                 key = Dq_storage.Key.to_string op.Generator.key;
+                 lc_count = lc.Dq_storage.Lc.count;
+                 lc_node = lc.Dq_storage.Lc.node;
+                 start_ms = start;
+               })
+        end;
         if not !settled then begin
           settled := true;
           incr completed;

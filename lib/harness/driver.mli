@@ -21,11 +21,15 @@ type config = {
       (** model the paper's request-redirection architecture: when the
           front end chosen by the locality draw is down, route to a
           random live one instead (used by availability experiments) *)
+  value_pad : int;
+      (** pad write values to at least this many bytes; the wire-size
+          model charges [String.length value] per copy, so this is how
+          bench scenarios model large objects (0 = tiny values) *)
 }
 
 val default_config : Dq_workload.Spec.t -> config
 (** 200 operations per client, 10 warm-up operations, 30 s timeout,
-    1 h horizon, no redirection. *)
+    1 h horizon, no redirection, no value padding. *)
 
 type result = {
   protocol : string;

@@ -64,7 +64,10 @@ type outcome = {
   failed : int;
   gave_up : int;
   stale_reads : int;
+  reads_checked : int;
   max_staleness_ms : float;
+  mean_age_ms : float;
+  max_age_ms : float;
   max_gap_ms : float;
   phases : Nemesis.phase list;
   violations : string list;
@@ -173,6 +176,7 @@ let run ?(check_invariant = true) ?(check_regular = true) ?(instrument = fun _ -
       !cell
   | None -> ());
   let staleness = Staleness.measure result.Driver.history in
+  let age = Staleness.measure_age result.Driver.history in
   let phases =
     match nemesis_log with
     | Some log -> Nemesis.phases ~events:!log ~history:result.Driver.history
@@ -184,7 +188,10 @@ let run ?(check_invariant = true) ?(check_regular = true) ?(instrument = fun _ -
     failed = result.Driver.failed;
     gave_up = result.Driver.gave_up;
     stale_reads = List.length staleness.Staleness.stale;
+    reads_checked = staleness.Staleness.checked;
     max_staleness_ms = staleness.Staleness.max_behind_ms;
+    mean_age_ms = age.Staleness.mean_age_ms;
+    max_age_ms = age.Staleness.max_age_ms;
     max_gap_ms = max_completion_gap result.Driver.history;
     phases;
     violations = List.rev !violations;

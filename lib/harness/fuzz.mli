@@ -57,7 +57,12 @@ type outcome = {
       (** operations the protocol explicitly abandoned (bounded QRPC
           retransmission), a subset of [failed] *)
   stale_reads : int;  (** completed reads that returned a superseded value *)
+  reads_checked : int;  (** completed reads examined by the oracle *)
   max_staleness_ms : float;
+  mean_age_ms : float;
+      (** mean instantaneous age of returned values over all completed
+          reads ({!Staleness.measure_age}) *)
+  max_age_ms : float;
   max_gap_ms : float;
       (** longest interval between consecutive operation completions:
           the observed unavailability window *)

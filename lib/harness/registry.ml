@@ -166,6 +166,34 @@ let grid ~rows ~cols =
         base_instance engine topology ?faults (Dq_proto.Base_cluster.Custom_quorum system));
   }
 
+(* By-name lookup shared by the CLIs and the bench scenario registry.
+   "dqvl-paper" is the evaluation configuration (short on-demand
+   leases); plain "dqvl" keeps the builder's defaults. *)
+let find = function
+  | "dqvl" -> Some (dqvl ())
+  | "dqvl-paper" -> Some (dqvl ~volume_lease_ms:1_000. ~proactive_renew:false ())
+  | "dq-basic" -> Some dq_basic
+  | "primary-backup" -> Some primary_backup
+  | "majority" -> Some majority
+  | "atomic-majority" -> Some atomic_majority
+  | "dqvl-atomic" -> Some (dqvl_atomic ())
+  | "rowa" -> Some rowa
+  | "rowa-async" -> Some (rowa_async ())
+  | _ -> None
+
+let known_names =
+  [
+    "dqvl";
+    "dqvl-paper";
+    "dq-basic";
+    "primary-backup";
+    "majority";
+    "atomic-majority";
+    "dqvl-atomic";
+    "rowa";
+    "rowa-async";
+  ]
+
 (* The paper's five protocols with the evaluation configuration:
    short (1 s) volume leases renewed on demand, so that low access
    locality pays renewal costs at distant replicas (Figure 7) while

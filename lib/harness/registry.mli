@@ -76,3 +76,10 @@ val grid : rows:int -> cols:int -> builder
 val paper_five : builder list
 (** The five protocols of the paper's evaluation, in its order:
     DQVL, primary/backup, majority quorum, ROWA, ROWA-Async. *)
+
+val find : string -> builder option
+(** By-name lookup over {!known_names}, shared by the CLIs and the
+    bench scenario registry. ["dqvl-paper"] is {!dqvl} with the
+    evaluation configuration (1 s on-demand volume leases). *)
+
+val known_names : string list

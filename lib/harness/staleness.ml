@@ -74,6 +74,51 @@ let measure ops =
   in
   { checked = List.length reads; stale; max_behind_ms; mean_behind_ms; max_versions_behind }
 
+type age_report = { reads : int; mean_age_ms : float; max_age_ms : float }
+
+(* The offline twin of the online sink's read-age metric: for each
+   completed read, the time since the write that produced the returned
+   version completed — 0 when that write's own response was still in
+   flight (or the value is the initial one), matching the online
+   definition where only already-completed writes are visible. *)
+let measure_age ops =
+  let keys = Hashtbl.create 16 in
+  let writes_for key =
+    match Hashtbl.find_opt keys key with
+    | Some ws -> ws
+    | None ->
+      let ws = completed_writes ops key in
+      Hashtbl.add keys key ws;
+      ws
+  in
+  let reads = ref 0 in
+  let sum = ref 0. in
+  let max_age = ref 0. in
+  List.iter
+    (fun (op : History.op) ->
+      match op.kind, op.responded with
+      | History.Read, Some r_end ->
+        incr reads;
+        let age =
+          match op.lc with
+          | None -> 0.
+          | Some r_lc ->
+            (match
+               List.find_opt (fun (w_lc, _) -> Lc.equal w_lc r_lc) (writes_for op.key)
+             with
+            | Some (_, w_end) when w_end <= r_end -> r_end -. w_end
+            | _ -> 0.)
+        in
+        sum := !sum +. age;
+        if age > !max_age then max_age := age
+      | _ -> ())
+    ops;
+  {
+    reads = !reads;
+    mean_age_ms = (if !reads = 0 then 0. else !sum /. float_of_int !reads);
+    max_age_ms = !max_age;
+  }
+
 let stale_fraction report =
   if report.checked = 0 then 0.
   else float_of_int (List.length report.stale) /. float_of_int report.checked

@@ -28,6 +28,19 @@ type report = {
 
 val measure : History.op list -> report
 
+type age_report = {
+  reads : int;          (** completed reads examined *)
+  mean_age_ms : float;  (** over all completed reads; 0 when none *)
+  max_age_ms : float;
+}
+
+val measure_age : History.op list -> age_report
+(** Instantaneous age of the value each completed read returned: time
+    since the write that produced the returned version completed, 0
+    when that write's response was still in flight at read completion
+    or the value is the initial one — the offline twin of the online
+    {!Dq_telemetry.Aoi} read-age metric. *)
+
 val stale_fraction : report -> float
 (** Stale reads over checked reads; [0.] when no reads completed. *)
 

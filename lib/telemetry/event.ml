@@ -10,6 +10,15 @@ type t =
       start_ms : float;
       latency_ms : float;
     }
+  | Op_served of {
+      op : int;
+      client : int;
+      kind : string;
+      key : string;
+      lc_count : int;
+      lc_node : int;
+      start_ms : float;
+    }
   | Op_timeout of { op : int; client : int; kind : string }
   | Op_give_up of { op : int; client : int; kind : string }
   | Lease_granted of { node : int; peer : int; volume : int; lease_ms : float; epoch : int }
@@ -37,6 +46,7 @@ let name = function
   | Msg_dropped _ -> "msg_dropped"
   | Op_start _ -> "op_start"
   | Op_complete _ -> "op_complete"
+  | Op_served _ -> "op_served"
   | Op_timeout _ -> "op_timeout"
   | Op_give_up _ -> "op_give_up"
   | Lease_granted _ -> "lease_granted"
@@ -60,7 +70,7 @@ let name = function
 
 let cat = function
   | Msg_sent _ | Msg_delivered _ | Msg_dropped _ -> "msg"
-  | Op_start _ | Op_complete _ | Op_timeout _ | Op_give_up _ -> "op"
+  | Op_start _ | Op_complete _ | Op_served _ | Op_timeout _ | Op_give_up _ -> "op"
   | Lease_granted _ | Lease_expired _ -> "lease"
   | Inval_through _ | Inval_suppressed _ | Inval_delayed _ | Epoch_advance _ -> "inval"
   | Cache_read _ -> "cache"
@@ -77,6 +87,7 @@ let track = function
   | Msg_delivered { dst; _ } -> dst
   | Op_start { client; _ }
   | Op_complete { client; _ }
+  | Op_served { client; _ }
   | Op_timeout { client; _ }
   | Op_give_up { client; _ } ->
     client
@@ -109,6 +120,9 @@ let pp ppf = function
     Format.fprintf ppf "op %d: client %d %s %s" op client kind key
   | Op_complete { op; client; kind; latency_ms; _ } ->
     Format.fprintf ppf "op %d: client %d %s done in %.1fms" op client kind latency_ms
+  | Op_served { op; client; kind; key; lc_count; lc_node; _ } ->
+    Format.fprintf ppf "op %d: client %d %s %s served lc=%d.%d" op client kind key lc_count
+      lc_node
   | Op_timeout { op; client; kind } ->
     Format.fprintf ppf "op %d: client %d %s timed out" op client kind
   | Op_give_up { op; client; kind } ->

@@ -21,6 +21,21 @@ type t =
       start_ms : float;
       latency_ms : float;
     }
+  | Op_served of {
+      op : int;
+      client : int;
+      kind : string;
+      key : string;
+      lc_count : int;
+      lc_node : int;
+      start_ms : float;
+    }
+      (** Completion of an operation with the {e version} it settled on:
+          the logical clock assigned (writes) or observed (reads), as
+          plain [(count, node)] scalars ordered lexicographically —
+          exactly [Dq_storage.Lc.compare] without the dependency. This
+          is what the {!Aoi} freshness sink consumes; [Op_complete]
+          stays the latency-only event. *)
   | Op_timeout of { op : int; client : int; kind : string }
   | Op_give_up of { op : int; client : int; kind : string }
   | Lease_granted of { node : int; peer : int; volume : int; lease_ms : float; epoch : int }

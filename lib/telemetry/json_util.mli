@@ -1,0 +1,19 @@
+(** Shared JSON-emission helpers for the telemetry sinks.
+
+    Hand-rolled (no external dependencies), with stable key order and
+    float formatting so emitted documents are golden-test and
+    diff-friendly. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val num : float -> string
+(** Compact float rendering; NaN/infinities render as [null]. *)
+
+val counts : Buffer.t -> string -> (string * int) list -> unit
+(** [counts buf name kvs] appends ["name": {"k": v, ...}]. *)
+
+val histogram : Buffer.t -> string -> Dq_util.Histogram.t -> unit
+(** Appends ["name": {"count": n, "p50": .., "p90": .., "p99": ..,
+    "buckets": {...}}] — quantiles via {!Dq_util.Histogram.quantile},
+    the single interpolation code path. *)

@@ -151,41 +151,15 @@ let pp ppf t =
 
 (* {2 JSON rendering (hand-rolled, no external dependencies)} *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let json_counts buf name counts =
-  Printf.ksprintf (Buffer.add_string buf) "  %S: {" name;
-  List.iteri
-    (fun i (label, n) ->
-      Printf.ksprintf (Buffer.add_string buf) "%s\"%s\": %d"
-        (if i = 0 then "" else ", ")
-        (escape label) n)
-    counts;
-  Buffer.add_string buf "}"
+  Buffer.add_string buf "  ";
+  Json_util.counts buf name counts
 
 let json_histogram buf name h =
-  Printf.ksprintf (Buffer.add_string buf) "  %S: {\"count\": %d, \"buckets\": {" name
-    (Histogram.count h);
-  List.iteri
-    (fun i (label, n) ->
-      Printf.ksprintf (Buffer.add_string buf) "%s\"%s\": %d"
-        (if i = 0 then "" else ", ")
-        (escape label) n)
-    (Histogram.bucket_counts h);
-  Buffer.add_string buf "}}"
+  Buffer.add_string buf "  ";
+  Json_util.histogram buf name h
 
-let to_json t =
+let to_json ?aoi t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Printf.ksprintf (Buffer.add_string buf)
@@ -202,5 +176,10 @@ let to_json t =
   json_histogram buf "read_latency_ms" t.read_latency;
   Buffer.add_string buf ",\n";
   json_histogram buf "write_latency_ms" t.write_latency;
+  (match aoi with
+  | None -> ()
+  | Some a ->
+    Buffer.add_string buf ",\n  \"aoi\": ";
+    Buffer.add_string buf (Aoi.to_json a));
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf

@@ -58,6 +58,8 @@ val sink : t -> Bus.sink
 
 val pp : Format.formatter -> t -> unit
 
-val to_json : t -> string
+val to_json : ?aoi:Aoi.t -> t -> string
 (** The full metrics snapshot as a JSON object (counters, per-label
-    tables, event counts, latency histogram buckets). *)
+    tables, event counts, latency histograms with quantiles via
+    {!Dq_util.Histogram.quantile}). [?aoi] folds an {!Aoi} sink's
+    freshness block in under an ["aoi"] key. *)

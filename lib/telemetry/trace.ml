@@ -62,6 +62,10 @@ let name_and_args (ev : Event.t) =
   | Op_complete { op; client; kind; latency_ms; _ } ->
     ( escape kind,
       sprintf {|{"op":%d,"client":%d,"latency_ms":%s}|} op client (num latency_ms) )
+  | Op_served { op; client; kind; key; lc_count; lc_node; _ } ->
+    ( sprintf "%s served" (escape kind),
+      sprintf {|{"op":%d,"client":%d,"key":"%s","lc":"%d.%d"}|} op client (escape key)
+        lc_count lc_node )
   | Op_timeout { op; client; kind } ->
     (sprintf "%s timeout" (escape kind), sprintf {|{"op":%d,"client":%d}|} op client)
   | Op_give_up { op; client; kind } ->

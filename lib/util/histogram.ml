@@ -30,6 +30,36 @@ let merge_into ~src ~dst =
 
 let count t = t.total
 
+(* The single quantile/interpolation code path: every bucket-histogram
+   quantile in the tree (merged latency histograms, the AoI sink's age
+   and staleness distributions) goes through here, so percentile
+   semantics can never drift between reporters. Linear interpolation
+   within the bucket holding the target rank; bucket 0 interpolates
+   from 0 (all tracked quantities are non-negative), and the open
+   overflow bucket reports its lower edge (the last finite bound). *)
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if t.total = 0 then nan
+  else begin
+    let n = Array.length t.bounds in
+    let target = q *. float_of_int t.total in
+    let rec go i seen =
+      if i > n then t.bounds.(n - 1)
+      else
+        let seen' = seen +. float_of_int t.counts.(i) in
+        if seen' >= target && t.counts.(i) > 0 then
+          if i = n then if n = 0 then 0. else t.bounds.(n - 1)
+          else begin
+            let lo = if i = 0 then 0. else t.bounds.(i - 1) in
+            let hi = t.bounds.(i) in
+            let frac = (target -. seen) /. float_of_int t.counts.(i) in
+            lo +. ((hi -. lo) *. Float.max 0. frac)
+          end
+        else go (i + 1) seen'
+    in
+    go 0 0.
+  end
+
 let label t i =
   let n = Array.length t.bounds in
   if n = 0 then "all"

@@ -19,6 +19,16 @@ val merge_into : src:t -> dst:t -> unit
 
 val count : t -> int
 
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0, 1\]]: the value at rank
+    [q * count t], linearly interpolated inside the bucket that holds
+    it (bucket 0 interpolates from 0; the open overflow bucket reports
+    the last finite bound). This is the {e only} quantile/interpolation
+    code path for bucket histograms — merged latency histograms and the
+    telemetry AoI sink's age distributions all report through it.
+    [nan] on an empty histogram; raises [Invalid_argument] on a [q]
+    outside [\[0, 1\]]. *)
+
 val bucket_counts : t -> (string * int) list
 (** Human-readable bucket labels ("< 20", "20 - 200", ">= 200") with
     their counts, in order. *)
