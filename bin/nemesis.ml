@@ -23,6 +23,12 @@ type cell = {
   mutable age_weight : float; (* sum of per-run mean_age_ms * reads, for the pooled mean *)
   mutable max_age_ms : float;
   mutable max_gap_ms : float;
+  mutable recoveries_started : int;
+  mutable recoveries_done : int;
+  mutable sync_bytes : int;
+  mutable sync_objects : int;
+  mutable recovery_weight : float; (* sum of per-run mean_recovery_ms * done, for the pooled mean *)
+  mutable max_recovery_ms : float;
   mutable violation_seeds : int64 list;
 }
 
@@ -89,6 +95,9 @@ let json_of_report ~base_seed ~runs_per_cell ~cells =
              \"failed\": %d, \"gave_up\": %d, \"availability\": %s, \"stale_reads\": %d, \
              \"reads_checked\": %d, \"stale_fraction\": %s, \"max_staleness_ms\": %s, \
              \"mean_age_ms\": %s, \"max_age_ms\": %s, \"max_unavailability_ms\": %s, \
+             \"recoveries_started\": %d, \"recoveries_done\": %d, \
+             \"mean_recovery_ms\": %s, \"max_recovery_ms\": %s, \"sync_bytes\": %d, \
+             \"sync_objects\": %d, \
              \"violations\": %d, \"violation_seeds\": [%s]}%s\n"
             (pi + 1) cell.protocol cell.runs cell.completed cell.failed cell.gave_up
             (json_float (availability cell))
@@ -101,6 +110,12 @@ let json_of_report ~base_seed ~runs_per_cell ~cells =
                 else cell.age_weight /. float_of_int cell.reads_checked))
             (json_float cell.max_age_ms)
             (json_float cell.max_gap_ms)
+            cell.recoveries_started cell.recoveries_done
+            (json_float
+               (if cell.recoveries_done = 0 then 0.
+                else cell.recovery_weight /. float_of_int cell.recoveries_done))
+            (json_float cell.max_recovery_ms)
+            cell.sync_bytes cell.sync_objects
             (List.length cell.violation_seeds)
             (String.concat ", "
                (List.rev_map (Printf.sprintf "%Ld") cell.violation_seeds))
@@ -204,6 +219,12 @@ let run_campaign runs base_seed out classes_spec verbose trace_file metrics_file
                 age_weight = 0.;
                 max_age_ms = 0.;
                 max_gap_ms = 0.;
+                recoveries_started = 0;
+                recoveries_done = 0;
+                sync_bytes = 0;
+                sync_objects = 0;
+                recovery_weight = 0.;
+                max_recovery_ms = 0.;
                 violation_seeds = [];
               }
             in
@@ -243,6 +264,17 @@ let run_campaign runs base_seed out classes_spec verbose trace_file metrics_file
                 +. (outcome.Fuzz.mean_age_ms *. float_of_int outcome.Fuzz.reads_checked);
               cell.max_age_ms <- Float.max cell.max_age_ms outcome.Fuzz.max_age_ms;
               cell.max_gap_ms <- Float.max cell.max_gap_ms outcome.Fuzz.max_gap_ms;
+              cell.recoveries_started <-
+                cell.recoveries_started + outcome.Fuzz.recoveries_started;
+              cell.recoveries_done <- cell.recoveries_done + outcome.Fuzz.recoveries_done;
+              cell.sync_bytes <- cell.sync_bytes + outcome.Fuzz.sync_bytes;
+              cell.sync_objects <- cell.sync_objects + outcome.Fuzz.sync_objects;
+              cell.recovery_weight <-
+                cell.recovery_weight
+                +. (outcome.Fuzz.mean_recovery_ms
+                   *. float_of_int outcome.Fuzz.recoveries_done);
+              cell.max_recovery_ms <-
+                Float.max cell.max_recovery_ms outcome.Fuzz.max_recovery_ms;
               if outcome.Fuzz.violations <> [] then begin
                 cell.violation_seeds <- seed :: cell.violation_seeds;
                 (* Everything needed to replay from the console alone:

@@ -72,9 +72,12 @@ let install_server t id =
       Option.iter (fun server -> Iqs_server.handle server ~src msg) roles.iqs;
       Option.iter (fun server -> Oqs_server.handle server ~src msg) roles.oqs;
       Frontend.handle roles.fe ~src msg);
-  Net.on_status_change t.net ~node:id (fun ~up ->
+  Net.on_status_change t.net ~node:id (fun ~up ~wiped ->
       if up then begin
-        Option.iter Iqs_server.on_recover roles.iqs;
+        (* The OQS cache and frontend state are volatile anyway: a wipe
+           changes nothing for them (the cache restarts cold, epochs
+           from 0). Only the IQS role has durable state to mourn. *)
+        Option.iter (fun server -> Iqs_server.on_recover server ~wiped) roles.iqs;
         Option.iter Oqs_server.on_recover roles.oqs;
         Frontend.on_recover roles.fe
       end)

@@ -187,7 +187,7 @@ let handle t ~src msg =
   | Message.Lc_read_req _ | Message.Iqs_write_req _ | Message.Obj_renew_req _
   | Message.Obj_renew_reply _ | Message.Vol_renew_req _ | Message.Vol_renew_reply _
   | Message.Vol_renew_ack _ | Message.Vols_renew_req _ | Message.Vols_renew_reply _
-  | Message.Inval _ | Message.Inval_ack _ ->
+  | Message.Inval _ | Message.Inval_ack _ | Message.Sync_req _ | Message.Sync_resp _ ->
     ()
 
 let on_recover t =

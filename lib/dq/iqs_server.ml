@@ -22,15 +22,36 @@ type obj_state = {
 type vol_peer = {
   mutable expires : float;
   mutable epoch : int;
+  mutable granted : bool; (* any lease granted since this record was created *)
   mutable barrier : Lc.t;
   delayed : (Key.t, Lc.t) Hashtbl.t;
+}
+
+(* State-transfer progress after an amnesia crash. Durable on purpose: a
+   fail-stop crash in the middle of a sync resumes at the same cursor
+   (the merged objects really are on disk), while a second amnesia crash
+   wipes this record along with everything else and starts over. *)
+type sync_progress = {
+  session : int;       (* distinguishes chunks of superseded syncs *)
+  started_ms : float;  (* engine time of the Recovery_start *)
+  mutable cursor : int;     (* next volume chunk to fetch *)
+  mutable max_volume : int; (* highest volume any responder has state for *)
+  mutable bytes : int;
+  mutable objects : int;
 }
 
 type durable = {
   mutable global_lc : Lc.t;
   objects : (Key.t, obj_state) Obj_map.t;
   vol_peers : (int * int, vol_peer) Obj_map.t; (* (volume, oqs node id) *)
+  mutable wiped : bool; (* this replica lost its durable state at least once *)
+  mutable sync : sync_progress option; (* Some = the node is in [Syncing] *)
 }
+
+(* The volatile side of a state transfer: the retransmission loop and
+   the peers that answered the current chunk. Rebuilt on every
+   recovery (the incarnation guard kills the previous loop's timers). *)
+type sync_run = { mutable loop : Dq_rpc.Retry.t option; mutable replied : int list }
 
 type t = {
   net : Message.t Net.t;
@@ -40,6 +61,8 @@ type t = {
   me : int;
   durable : durable;
   mutable loops : (Key.t, Dq_rpc.Retry.t list ref) Hashtbl.t;
+  mutable next_session : int;
+  mutable syncing : sync_run option;
 }
 
 let subscribed t = Dq_telemetry.Bus.subscribed t.bus
@@ -55,7 +78,13 @@ let fresh_obj _key =
   }
 
 let fresh_vol_peer _ =
-  { expires = neg_infinity; epoch = 0; barrier = Lc.zero; delayed = Hashtbl.create 8 }
+  {
+    expires = neg_infinity;
+    epoch = 0;
+    granted = false;
+    barrier = Lc.zero;
+    delayed = Hashtbl.create 8;
+  }
 
 let create ~net ~clock ~config ~me =
   {
@@ -73,8 +102,12 @@ let create ~net ~clock ~config ~me =
             ~hash:(fun (v, j) -> (v * 65599) + j)
             ~equal:(fun (a, b) (c, d) -> a = c && b = d)
             ~default:fresh_vol_peer;
+        wiped = false;
+        sync = None;
       };
     loops = Hashtbl.create 16;
+    next_session = 0;
+    syncing = None;
   }
 
 let obj t key = Obj_map.get t.durable.objects key
@@ -267,9 +300,30 @@ let handle_obj_renew t ~src ~key ~t0 =
   send t src (Message.Obj_renew_reply { grant })
 
 (* Grant one volume's lease and collect its delayed invalidations
-   (shared by the single and batched renewal paths). *)
-let grant_volume t ~src volume =
+   (shared by the single and batched renewal paths). [holder_epoch] is
+   the epoch the requester currently caches for the volume: a replica
+   that lost its durable state restarts epochs at 0, so its first grant
+   of each volume must jump strictly above whatever the holder reports —
+   the bump makes every pre-wipe object lease of the volume invalid at
+   the holder (its cached epoch no longer matches), closing the window
+   where wiped callback bookkeeping could let a stale version survive. *)
+let grant_volume t ~src ~holder_epoch volume =
   let vp = vol_peer t ~volume ~oqs:src in
+  if holder_epoch >= vp.epoch && t.durable.wiped && not vp.granted then begin
+    vp.epoch <- holder_epoch + 1;
+    if subscribed t then
+      emit t
+        (Dq_telemetry.Event.Epoch_advance { node = t.me; peer = src; volume; epoch = vp.epoch })
+  end
+  else if holder_epoch > vp.epoch then begin
+    (* A holder can only learn epochs from our own grants, so this means
+       state loss we were not told about; jump past it to stay safe. *)
+    vp.epoch <- holder_epoch + 1;
+    if subscribed t then
+      emit t
+        (Dq_telemetry.Event.Epoch_advance { node = t.me; peer = src; volume; epoch = vp.epoch })
+  end;
+  vp.granted <- true;
   vp.expires <- now t +. t.config.volume_lease_ms;
   let delayed = Hashtbl.fold (fun k lc acc -> (k, lc) :: acc) vp.delayed [] in
   if subscribed t then
@@ -287,16 +341,16 @@ let grant_volume t ~src volume =
 let handle_vols_renew t ~src ~volumes ~t0 =
   let grants =
     List.map
-      (fun volume ->
-        let epoch, delayed = grant_volume t ~src volume in
+      (fun (volume, holder_epoch) ->
+        let epoch, delayed = grant_volume t ~src ~holder_epoch volume in
         (volume, epoch, delayed))
       volumes
   in
   send t src
     (Message.Vols_renew_reply { t0; lease_ms = t.config.volume_lease_ms; grants })
 
-let handle_vol_renew t ~src ~volume ~t0 ~want =
-  let epoch, delayed = grant_volume t ~src volume in
+let handle_vol_renew t ~src ~volume ~t0 ~want ~holder_epoch =
+  let epoch, delayed = grant_volume t ~src ~holder_epoch volume in
   let grant = Option.map (fun key -> obj_grant t ~key ~requester:src ~t0) want in
   send t src
     (Message.Vol_renew_reply
@@ -322,24 +376,178 @@ let handle_inval_ack t ~src ~key ~lc =
   record_ack t key src lc;
   poke_loops t key
 
-let handle t ~src msg =
+(* --- amnesia recovery: state transfer ---------------------------------- *)
+
+let engine_now t = Dq_sim.Engine.now (Net.engine t.net)
+
+(* After a wipe, even a fully synced replica must not vote (or grant)
+   until every lease it might have granted before the wipe has expired
+   at its holder: the wiped grant table would otherwise let
+   [peer_settled] treat a still-valid pre-wipe lease as lapsed and ack
+   a write whose overwritten version that holder can still serve. The
+   bound is the longest lease duration stretched by drift on both
+   sides, plus slack for the holder's send-time base point. Pure
+   callback configurations (no leases) need no quarantine: empty ack
+   tables already make every peer look possibly-valid, which is the
+   conservative direction. *)
+let quarantine_ms t =
+  let vol = if t.config.use_volume_leases then t.config.volume_lease_ms else 0. in
+  let obj = match t.config.object_lease_ms with Some l -> l | None -> 0. in
+  let lease = Float.max vol obj in
+  if lease > 0. then (lease *. (1. +. (2. *. t.config.max_drift))) +. 250. else 0.
+
+let finish_sync t (s : sync_progress) =
+  t.durable.sync <- None;
+  t.syncing <- None;
+  if subscribed t then
+    emit t
+      (Dq_telemetry.Event.Recovery_done
+         {
+           node = t.me;
+           bytes = s.bytes;
+           objects = s.objects;
+           duration_ms = engine_now t -. s.started_ms;
+         })
+
+let start_sync t (s : sync_progress) =
+  let run = { loop = None; replied = [] } in
+  t.syncing <- Some run;
+  let peers = List.filter (fun i -> i <> t.me) (Qs.members t.config.iqs) in
+  let no_peers = match peers with [] -> true | _ :: _ -> false in
+  let active_at = s.started_ms +. quarantine_ms t in
+  let attempt ~round:_ =
+    if s.cursor <= s.max_volume then
+      List.iter
+        (fun i ->
+          if not (List.mem i run.replied) then
+            send t i (Message.Sync_req { session = s.session; volume = s.cursor }))
+        peers
+  in
+  let complete () =
+    (no_peers || s.cursor > s.max_volume) && engine_now t >= active_at
+  in
+  let loop =
+    Dq_rpc.Retry.start
+      ~timer:(fun ~delay_ms action -> Net.timer t.net ~node:t.me ~delay_ms action)
+      ~attempt ~complete
+      ~on_complete:(fun () -> finish_sync t s)
+      ~timeout_ms:t.config.retry_timeout_ms ~backoff:t.config.retry_backoff ~bus:t.bus
+      ~node:t.me ~tag:"iqs.sync" ()
+  in
+  if not (Dq_rpc.Retry.is_done loop) then begin
+    run.loop <- Some loop;
+    (* Re-test completion right after the lease quarantine elapses — the
+       transfer itself usually finishes well before it, and the retry
+       loop's backed-off timer may otherwise fire much later. *)
+    let wait = active_at -. engine_now t in
+    if wait > 0. then
+      ignore
+        (Net.timer t.net ~node:t.me ~delay_ms:(wait +. 1.) (fun () ->
+             Dq_rpc.Retry.poke loop))
+  end
+
+(* A read quorum of peers (not counting this node) answered the chunk:
+   max-LC merge is monotone, so any read quorum intersects every write
+   quorum that acknowledged a write and the merged state covers it. *)
+let sync_quorum_done t replied =
+  Qs.is_read_quorum t.config.iqs ~present:(fun i -> i <> t.me && List.mem i replied)
+
+let handle_sync_resp t ~src ~session ~volume ~max_volume ~global_lc ~objects ~bytes =
+  match (t.durable.sync, t.syncing) with
+  | Some s, Some run
+    when session = s.session && volume = s.cursor && not (List.mem src run.replied) ->
+    run.replied <- src :: run.replied;
+    s.bytes <- s.bytes + bytes;
+    s.max_volume <- Stdlib.max s.max_volume max_volume;
+    t.durable.global_lc <- Lc.max t.durable.global_lc global_lc;
+    List.iter
+      (fun (key, lc, value) ->
+        let o = obj t key in
+        if Lc.(lc > o.value.lc) then begin
+          o.value <- Versioned.make ~value ~lc;
+          s.objects <- s.objects + 1
+        end)
+      objects;
+    if sync_quorum_done t run.replied then begin
+      s.cursor <- s.cursor + 1;
+      run.replied <- [];
+      (* Request the next chunk immediately (or re-test completion). *)
+      match run.loop with Some loop -> Dq_rpc.Retry.rerun loop | None -> ()
+    end
+  | _, _ -> () (* stale session, wrong chunk, or duplicate reply *)
+
+let handle_sync_req t ~src ~session ~volume =
+  let max_volume, objects =
+    Obj_map.fold t.durable.objects ~init:(0, []) ~f:(fun key o (max_vol, acc) ->
+        let v = Key.volume key in
+        let max_vol = Stdlib.max max_vol v in
+        let acc =
+          if v = volume && Lc.(o.value.lc > zero) then
+            (key, o.value.lc, o.value.value) :: acc
+          else acc
+        in
+        (max_vol, acc))
+  in
+  send t src
+    (Message.Sync_resp
+       { session; volume; max_volume; global_lc = t.durable.global_lc; objects })
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let active_handle t ~src msg =
   match msg with
   | Message.Lc_read_req { op } ->
     send t src (Message.Lc_read_reply { op; lc = t.durable.global_lc })
   | Message.Iqs_write_req { op; key; value; lc } -> handle_write t ~src ~op ~key ~value ~lc
   | Message.Obj_renew_req { key; t0 } -> handle_obj_renew t ~src ~key ~t0
-  | Message.Vol_renew_req { volume; t0; want } -> handle_vol_renew t ~src ~volume ~t0 ~want
+  | Message.Vol_renew_req { volume; t0; want; epoch } ->
+    handle_vol_renew t ~src ~volume ~t0 ~want ~holder_epoch:epoch
   | Message.Vol_renew_ack { volume; upto } -> handle_vol_renew_ack t ~src ~volume ~upto
   | Message.Vols_renew_req { volumes; t0 } -> handle_vols_renew t ~src ~volumes ~t0
   | Message.Inval_ack { key; lc } -> handle_inval_ack t ~src ~key ~lc
+  | Message.Sync_req { session; volume } -> handle_sync_req t ~src ~session ~volume
   | Message.Client_read_req _ | Message.Client_read_reply _ | Message.Client_write_req _
   | Message.Client_write_reply _ | Message.Oqs_read_req _ | Message.Oqs_read_reply _
   | Message.Lc_read_reply _ | Message.Iqs_write_ack _ | Message.Obj_renew_reply _
-  | Message.Vol_renew_reply _ | Message.Vols_renew_reply _ | Message.Inval _ 
-  | Message.Client_read_fail _ | Message.Client_write_fail _ ->
+  | Message.Vol_renew_reply _ | Message.Vols_renew_reply _ | Message.Inval _
+  | Message.Client_read_fail _ | Message.Client_write_fail _ | Message.Sync_resp _ ->
     ()
 
-let on_recover t = t.loops <- Hashtbl.create 16
+let handle t ~src msg =
+  match t.durable.sync with
+  | None -> active_handle t ~src msg
+  | Some _ -> (
+    (* Syncing: the replica neither votes in read or write quorums nor
+       grants leases — it answers nothing but its own state transfer. *)
+    match msg with
+    | Message.Sync_resp { session; volume; max_volume; global_lc; objects } ->
+      handle_sync_resp t ~src ~session ~volume ~max_volume ~global_lc ~objects
+        ~bytes:(Message.size_of msg)
+    | _ -> ())
+
+let on_recover t ~wiped =
+  t.loops <- Hashtbl.create 16;
+  t.syncing <- None;
+  if wiped then begin
+    (* Amnesia: everything this node called durable is gone. *)
+    t.durable.global_lc <- Lc.zero;
+    Obj_map.clear t.durable.objects;
+    Obj_map.clear t.durable.vol_peers;
+    t.durable.wiped <- true;
+    t.next_session <- t.next_session + 1;
+    t.durable.sync <-
+      Some
+        {
+          session = t.next_session;
+          started_ms = engine_now t;
+          cursor = 0;
+          max_volume = 0;
+          bytes = 0;
+          objects = 0;
+        };
+    if subscribed t then emit t (Dq_telemetry.Event.Recovery_start { node = t.me })
+  end;
+  match t.durable.sync with Some s -> start_sync t s | None -> ()
 
 (* --- introspection ---------------------------------------------------- *)
 
@@ -385,3 +593,12 @@ let callback_possible t key ~oqs =
 
 let active_write_loops t =
   Hashtbl.fold (fun _ loops acc -> acc + List.length !loops) t.loops 0
+
+let is_syncing t = Option.is_some t.durable.sync
+
+let was_wiped t = t.durable.wiped
+
+let sync_progress t =
+  match t.durable.sync with
+  | Some s -> Some (s.cursor, s.bytes, s.objects)
+  | None -> None

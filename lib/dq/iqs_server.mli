@@ -14,8 +14,19 @@
       queued in [delayed] for delivery with [j]'s next lease renewal.
 
     Object state ([lastWriteLC], values, callback bookkeeping) is
-    durable: it survives a crash. Retransmission loops are volatile and
-    are rebuilt by client retransmissions after recovery. *)
+    durable: it survives a {e fail-stop} crash. Retransmission loops are
+    volatile and are rebuilt by client retransmissions after recovery.
+
+    An {e amnesia} crash wipes the durable state too. On recovery the
+    node enters [Syncing]: it refuses to vote in any quorum (all
+    messages but its own state transfer are dropped) while it rebuilds
+    its objects from a read quorum of IQS peers, one volume chunk at a
+    time ([Sync_req]/[Sync_resp]), resumably — a fail-stop crash
+    mid-sync continues at the saved cursor. Even once the transfer
+    completes it stays quarantined until every lease it could have
+    granted before the wipe has expired at its holder, and the first
+    post-wipe volume grant to each holder bumps the epoch strictly above
+    the holder's cached one, invalidating all pre-wipe object leases. *)
 
 open Dq_storage
 
@@ -28,9 +39,11 @@ val handle : t -> src:int -> Message.t -> unit
 (** Process one protocol message. Messages that are not addressed to an
     IQS role are ignored (the node dispatcher may host several roles). *)
 
-val on_recover : t -> unit
+val on_recover : t -> wiped:bool -> unit
 (** Discard volatile runtime state (in-flight write loops) after a
-    crash; durable object state is retained. *)
+    crash. With [wiped:false] durable object state is retained (and an
+    interrupted state transfer resumes); with [wiped:true] the durable
+    state is discarded too and the node enters [Syncing]. *)
 
 (** {2 Introspection (tests, examples, experiment assertions)} *)
 
@@ -60,3 +73,13 @@ val callback_possible : t -> Dq_storage.Key.t -> oqs:int -> bool
     safety invariant requires this whenever [oqs] actually holds one. *)
 
 val active_write_loops : t -> int
+
+val is_syncing : t -> bool
+(** The node is catching up after an amnesia crash (or still inside the
+    post-sync lease quarantine) and refuses to vote in any quorum. *)
+
+val was_wiped : t -> bool
+(** The node has lost its durable state at least once in its history. *)
+
+val sync_progress : t -> (int * int * int) option
+(** [(cursor, bytes, objects)] of the in-progress state transfer. *)

@@ -24,7 +24,11 @@ type t =
   | Iqs_write_ack of { op : int; key : Key.t; lc : Lc.t }
   | Obj_renew_req of { key : Key.t; t0 : float }
   | Obj_renew_reply of { grant : obj_grant }
-  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option }
+  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option; epoch : int }
+      (** [epoch] is the requester's cached epoch for the volume: a
+          grantor that lost its durable state (amnesia) must issue a
+          strictly higher epoch so every pre-wipe object lease of the
+          volume is invalidated at once. *)
   | Vol_renew_reply of {
       volume : int;
       lease_ms : float;
@@ -34,7 +38,8 @@ type t =
       grant : obj_grant option;
     }
   | Vol_renew_ack of { volume : int; upto : Lc.t }
-  | Vols_renew_req of { volumes : int list; t0 : float }
+  | Vols_renew_req of { volumes : (int * int) list; t0 : float }
+      (** Batched renewal: [(volume, cached epoch)] pairs. *)
   | Vols_renew_reply of {
       t0 : float;
       lease_ms : float;
@@ -42,6 +47,20 @@ type t =
     }
   | Inval of { key : Key.t; lc : Lc.t }
   | Inval_ack of { key : Key.t; lc : Lc.t }
+  | Sync_req of { session : int; volume : int }
+      (** State transfer after amnesia: ask a peer IQS node for every
+          object it stores in [volume] (one volume per chunk, so the
+          transfer is resumable at volume granularity). *)
+  | Sync_resp of {
+      session : int;
+      volume : int;
+      max_volume : int;
+      global_lc : Lc.t;
+      objects : (Key.t * Lc.t * string) list;
+    }
+      (** One chunk of state transfer. [max_volume] bounds the
+          requester's cursor (the highest volume the responder has any
+          state for), so the transfer terminates. *)
 
 let classify = function
   | Client_read_req _ -> "client_read_req"
@@ -65,6 +84,8 @@ let classify = function
   | Vols_renew_reply _ -> "vols_renew_reply"
   | Inval _ -> "inval"
   | Inval_ack _ -> "inval_ack"
+  | Sync_req _ -> "sync_req"
+  | Sync_resp _ -> "sync_resp"
 
 (* Wire-size model: 48-byte header (addressing, type, checksums), 8 B
    per identifier/clock/number field, payloads at their length. *)
@@ -90,13 +111,13 @@ let size_of = function
   | Iqs_write_ack _ -> header + 8 + key_sz + lc_sz
   | Obj_renew_req _ -> header + key_sz + 8
   | Obj_renew_reply { grant } -> header + grant_size grant
-  | Vol_renew_req _ -> header + 8 + 8 + key_sz
+  | Vol_renew_req _ -> header + 8 + 8 + 8 + key_sz
   | Vol_renew_reply { delayed; grant; _ } ->
     header + 8 + 8 + 8 + 8
     + (List.length delayed * (key_sz + lc_sz))
     + (match grant with Some g -> grant_size g | None -> 0)
   | Vol_renew_ack _ -> header + 8 + lc_sz
-  | Vols_renew_req { volumes; _ } -> header + 8 + (8 * List.length volumes)
+  | Vols_renew_req { volumes; _ } -> header + 8 + (16 * List.length volumes)
   | Vols_renew_reply { grants; _ } ->
     header + 8 + 8
     + List.fold_left
@@ -104,6 +125,12 @@ let size_of = function
         0 grants
   | Inval _ -> header + key_sz + lc_sz
   | Inval_ack _ -> header + key_sz + lc_sz
+  | Sync_req _ -> header + 8 + 8
+  | Sync_resp { objects; _ } ->
+    header + 8 + 8 + 8 + lc_sz
+    + List.fold_left
+        (fun acc (_, _, value) -> acc + key_sz + lc_sz + String.length value)
+        0 objects
 
 let pp ppf t =
   match t with
@@ -143,3 +170,7 @@ let pp ppf t =
     Format.fprintf ppf "Vols_renew_reply(%d volumes)" (List.length grants)
   | Inval { key; lc } -> Format.fprintf ppf "Inval(%a,lc=%a)" Key.pp key Lc.pp lc
   | Inval_ack { key; lc } -> Format.fprintf ppf "Inval_ack(%a,lc=%a)" Key.pp key Lc.pp lc
+  | Sync_req { session; volume } -> Format.fprintf ppf "Sync_req(s%d,v%d)" session volume
+  | Sync_resp { session; volume; max_volume; objects; _ } ->
+    Format.fprintf ppf "Sync_resp(s%d,v%d/%d,|objs|=%d)" session volume max_volume
+      (List.length objects)

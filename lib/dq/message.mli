@@ -42,11 +42,14 @@ type t =
   | Iqs_write_ack of { op : int; key : Key.t; lc : Lc.t }
   | Obj_renew_req of { key : Key.t; t0 : float }
   | Obj_renew_reply of { grant : obj_grant }
-  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option }
+  | Vol_renew_req of { volume : int; t0 : float; want : Key.t option; epoch : int }
       (** [t0] is the requestor's local send time, echoed in the reply
           for drift-compensated expiry. [want] piggybacks an object
           renewal (the paper's "combined volume renewal and object
-          read"). *)
+          read"). [epoch] is the requester's cached epoch for the
+          volume: a grantor that lost its durable state (amnesia) must
+          grant a strictly higher epoch so every pre-wipe object lease
+          of the volume is invalidated at once. *)
   | Vol_renew_reply of {
       volume : int;
       lease_ms : float;
@@ -58,9 +61,10 @@ type t =
   | Vol_renew_ack of { volume : int; upto : Lc.t }
       (** Acknowledges application of the delayed invalidations up to
           logical clock [upto]. *)
-  | Vols_renew_req of { volumes : int list; t0 : float }
+  | Vols_renew_req of { volumes : (int * int) list; t0 : float }
       (** Batched renewal (see {!Config.batch_renewals}): one message
-          renews every listed volume's lease. *)
+          renews every listed volume's lease, as [(volume, cached
+          epoch)] pairs. *)
   | Vols_renew_reply of {
       t0 : float;
       lease_ms : float;
@@ -69,6 +73,23 @@ type t =
     }
   | Inval of { key : Key.t; lc : Lc.t }
   | Inval_ack of { key : Key.t; lc : Lc.t }
+  | Sync_req of { session : int; volume : int }
+      (** State transfer after an amnesia crash: a [Syncing] IQS
+          replica asks a peer for every object it stores in [volume]
+          (one volume per chunk, so the transfer is resumable at volume
+          granularity; [session] discards replies of superseded
+          syncs). *)
+  | Sync_resp of {
+      session : int;
+      volume : int;
+      max_volume : int;
+      global_lc : Lc.t;
+      objects : (Key.t * Lc.t * string) list;
+    }
+      (** One state-transfer chunk. [max_volume] bounds the requester's
+          chunk cursor — the highest volume the responder has any state
+          for — so the transfer terminates; versions merge by
+          highest-LC-wins, so chunks are idempotent. *)
 
 val classify : t -> string
 (** Short label for message accounting (Figure 9). *)

@@ -179,7 +179,10 @@ and proactive_fire t ~volume ~iqs =
           t.cache.touched_volumes []
       in
       let volumes = if List.mem volume stale then stale else volume :: stale in
-      send t iqs (Message.Vols_renew_req { volumes; t0 = now t });
+      (* Report the cached epoch per volume so a grantor that lost its
+         durable state can issue strictly-higher epochs. *)
+      let pairs = List.map (fun v -> (v, (vol_from t ~volume:v ~iqs).epoch)) volumes in
+      send t iqs (Message.Vols_renew_req { volumes = pairs; t0 = now t });
       (* One batch in flight covers every listed volume; their timers
          become retransmission fallbacks (the grant re-arms properly). *)
       List.iter
@@ -191,7 +194,10 @@ and proactive_fire t ~volume ~iqs =
          re-arm for the actual expiry. *)
       schedule_proactive_renew t ~volume ~iqs
   end
-  else send t iqs (Message.Vol_renew_req { volume; t0 = now t; want = None })
+  else
+    send t iqs
+      (Message.Vol_renew_req
+         { volume; t0 = now t; want = None; epoch = (vol_from t ~volume ~iqs).epoch })
 
 and schedule_proactive_renew t ~volume ~iqs =
   if t.config.proactive_renew && not t.quiesced then begin
@@ -257,7 +263,12 @@ let start_ensure t key =
       if not vol_fresh then
         send t i
           (Message.Vol_renew_req
-             { volume; t0 = now t; want = (if in_quorum && not obj_ok then Some key else None) })
+             {
+               volume;
+               t0 = now t;
+               want = (if in_quorum && not obj_ok then Some key else None);
+               epoch = (vol_from t ~volume ~iqs:i).epoch;
+             })
       else if in_quorum && not obj_ok then
         send t i (Message.Obj_renew_req { key; t0 = now t })
     in
@@ -355,8 +366,9 @@ let handle t ~src msg =
   | Message.Client_write_reply _ | Message.Oqs_read_reply _ | Message.Lc_read_req _
   | Message.Lc_read_reply _ | Message.Iqs_write_req _ | Message.Iqs_write_ack _
   | Message.Obj_renew_req _ | Message.Vol_renew_req _ | Message.Vol_renew_ack _
-  | Message.Vols_renew_req _ | Message.Inval_ack _ 
-  | Message.Client_read_fail _ | Message.Client_write_fail _ ->
+  | Message.Vols_renew_req _ | Message.Inval_ack _
+  | Message.Client_read_fail _ | Message.Client_write_fail _
+  | Message.Sync_req _ | Message.Sync_resp _ ->
     ()
 
 let on_recover t =

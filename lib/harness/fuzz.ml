@@ -69,6 +69,12 @@ type outcome = {
   mean_age_ms : float;
   max_age_ms : float;
   max_gap_ms : float;
+  recoveries_started : int;
+  recoveries_done : int;
+  sync_bytes : int;
+  sync_objects : int;
+  max_recovery_ms : float;
+  mean_recovery_ms : float;
   phases : Nemesis.phase list;
   violations : string list;
 }
@@ -118,6 +124,27 @@ let run ?(check_invariant = true) ?(check_regular = true) ?(instrument = fun _ -
   (* Telemetry hook: the CLI attaches trace/metrics sinks to the
      engine's bus here, before any component is built. *)
   instrument engine;
+  (* Recovery accounting: amnesia recoveries announce themselves on the
+     bus (Recovery_start when a wiped node rejoins, Recovery_done when
+     its state transfer completes), so a plain sink suffices — no
+     per-protocol introspection. Virtual time makes the tallies
+     deterministic. *)
+  let recoveries_started = ref 0 in
+  let recoveries_done = ref 0 in
+  let sync_bytes = ref 0 in
+  let sync_objects = ref 0 in
+  let max_recovery_ms = ref 0. in
+  let total_recovery_ms = ref 0. in
+  Dq_telemetry.Bus.subscribe (Engine.telemetry engine) (fun ~time_ms:_ event ->
+      match event with
+      | Dq_telemetry.Event.Recovery_start _ -> incr recoveries_started
+      | Dq_telemetry.Event.Recovery_done { bytes; objects; duration_ms; _ } ->
+        incr recoveries_done;
+        sync_bytes := !sync_bytes + bytes;
+        sync_objects := !sync_objects + objects;
+        max_recovery_ms := Float.max !max_recovery_ms duration_ms;
+        total_recovery_ms := !total_recovery_ms +. duration_ms
+      | _ -> ());
   let topology = Topology.make ~n_servers:s.n_servers ~n_clients:3 () in
   let faults = { Net.loss = s.loss; duplicate = s.duplicate; jitter_ms = s.jitter_ms } in
   let instance =
@@ -193,6 +220,14 @@ let run ?(check_invariant = true) ?(check_regular = true) ?(instrument = fun _ -
     mean_age_ms = age.Staleness.mean_age_ms;
     max_age_ms = age.Staleness.max_age_ms;
     max_gap_ms = max_completion_gap result.Driver.history;
+    recoveries_started = !recoveries_started;
+    recoveries_done = !recoveries_done;
+    sync_bytes = !sync_bytes;
+    sync_objects = !sync_objects;
+    max_recovery_ms = !max_recovery_ms;
+    mean_recovery_ms =
+      (if !recoveries_done = 0 then 0.
+       else !total_recovery_ms /. float_of_int !recoveries_done);
     phases;
     violations = List.rev !violations;
   }

@@ -66,6 +66,16 @@ type outcome = {
   max_gap_ms : float;
       (** longest interval between consecutive operation completions:
           the observed unavailability window *)
+  recoveries_started : int;
+      (** wiped nodes that rejoined and began state transfer
+          ([Recovery_start] events) *)
+  recoveries_done : int;  (** state transfers that completed *)
+  sync_bytes : int;
+      (** total object-value bytes moved by completed state transfers *)
+  sync_objects : int;  (** total objects merged by completed transfers *)
+  max_recovery_ms : float;
+      (** worst observed wipe-to-caught-up time (0 when none) *)
+  mean_recovery_ms : float;  (** mean over completed recoveries *)
   phases : Nemesis.phase list;
       (** per-phase metrics, sliced at every nemesis event; empty when
           the scenario carried no program *)

@@ -21,6 +21,12 @@ let check cluster ~keys =
           (fun i ->
             match Cluster.iqs_server cluster i with
             | None -> ()
+            (* A syncing replica (post-amnesia catch-up) does not vote
+               in any quorum, so its wiped lease bookkeeping carries no
+               safety obligation until it re-enters Active — at which
+               point the lease quarantine guarantees every pre-wipe
+               grant has expired at its holder. *)
+            | Some iqs_node when Iqs.is_syncing iqs_node -> ()
             | Some iqs_node ->
               List.iter
                 (fun key ->

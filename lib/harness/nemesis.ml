@@ -13,6 +13,12 @@ type action =
   | Partition of pattern
   | Heal
   | Crash_storm of { victims : int list; stagger_ms : float; down_ms : float }
+  | Amnesia_storm of { victims : int list; stagger_ms : float; down_ms : float }
+      (* like Crash_storm, but recovery wipes durable state: the node
+         comes back empty and must state-transfer from its peers *)
+  | Gray_degrade of { victims : int list; delay_ms : float; loss : float; duration_ms : float }
+      (* gray failure: the victims stay up and keep answering, but all
+         their traffic suffers extra delay and loss in both directions *)
   | Skew_bump of { node : int; skew : float }
   | Degrade_link of { src : int; dst : int; faults : Net.fault_model }
   | Clear_link of { src : int; dst : int }
@@ -39,6 +45,14 @@ let pp_action ppf = function
     Format.fprintf ppf "crash-storm [%s] stagger=%.0fms down=%.0fms"
       (String.concat ";" (List.map string_of_int victims))
       stagger_ms down_ms
+  | Amnesia_storm { victims; stagger_ms; down_ms } ->
+    Format.fprintf ppf "amnesia-storm [%s] stagger=%.0fms down=%.0fms"
+      (String.concat ";" (List.map string_of_int victims))
+      stagger_ms down_ms
+  | Gray_degrade { victims; delay_ms; loss; duration_ms } ->
+    Format.fprintf ppf "gray-degrade [%s] delay=%.0fms loss=%.2f for=%.0fms"
+      (String.concat ";" (List.map string_of_int victims))
+      delay_ms loss duration_ms
   | Skew_bump { node; skew } -> Format.fprintf ppf "skew-bump node=%d skew=%.2e" node skew
   | Degrade_link { src; dst; faults } ->
     Format.fprintf ppf "degrade %d->%d loss=%.2f dup=%.2f jitter=%.0fms" src dst
@@ -58,9 +72,11 @@ let pp_program ppf program =
 
 let action_end_ms at_ms = function
   | Partition _ | Heal | Skew_bump _ | Degrade_link _ | Clear_link _ -> at_ms
-  | Crash_storm { victims; stagger_ms; down_ms } ->
+  | Crash_storm { victims; stagger_ms; down_ms } | Amnesia_storm { victims; stagger_ms; down_ms }
+    ->
     at_ms +. (stagger_ms *. float_of_int (List.length victims)) +. down_ms
   | Flap { duration_ms; _ } -> at_ms +. duration_ms
+  | Gray_degrade { duration_ms; _ } -> at_ms +. duration_ms
   | Lease_window { hold_ms; max_wait_ms; _ } -> at_ms +. max_wait_ms +. hold_ms
 
 let end_ms program =
@@ -73,6 +89,8 @@ let end_ms program =
 type fault_class =
   | Partitions
   | Crashes
+  | Amnesia
+  | Gray_failure
   | Degraded_links
   | Flapping
   | Clock_skew
@@ -80,11 +98,23 @@ type fault_class =
   | Mixed
 
 let all_classes =
-  [ Partitions; Crashes; Degraded_links; Flapping; Clock_skew; Lease_expiry; Mixed ]
+  [
+    Partitions;
+    Crashes;
+    Amnesia;
+    Gray_failure;
+    Degraded_links;
+    Flapping;
+    Clock_skew;
+    Lease_expiry;
+    Mixed;
+  ]
 
 let class_name = function
   | Partitions -> "partitions"
   | Crashes -> "crashes"
+  | Amnesia -> "amnesia"
+  | Gray_failure -> "gray-degrade"
   | Degraded_links -> "degraded-links"
   | Flapping -> "flapping"
   | Clock_skew -> "clock-skew"
@@ -145,6 +175,48 @@ let rec generate rng cls ~n_servers =
                     victims;
                     stagger_ms = 200. +. Rng.float rng 800.;
                     down_ms = 2_000. +. Rng.float rng 6_000.;
+                  };
+            };
+          ])
+    | Amnesia ->
+      (* Wiped nodes rejoin empty and state-transfer from peers, so the
+         storm is kept to a minority and never includes node 0: under
+         primary-backup the primary may hold acknowledged writes its
+         backups have not yet seen, and wiping it would (correctly, but
+         uninterestingly) lose them. *)
+      episodes 2_000. 14_000. (fun t ->
+          let pool = Stdlib.max 1 (n_servers - 1) in
+          let max_victims = Stdlib.max 1 ((n_servers - 1) / 2) in
+          let count = 1 + Rng.int rng max_victims in
+          let first = Rng.int rng pool in
+          let victims = List.init count (fun i -> 1 + ((first + i) mod pool)) in
+          [
+            {
+              at_ms = t;
+              action =
+                Amnesia_storm
+                  {
+                    victims;
+                    stagger_ms = 200. +. Rng.float rng 800.;
+                    down_ms = 2_000. +. Rng.float rng 4_000.;
+                  };
+            };
+          ])
+    | Gray_failure ->
+      episodes 2_000. 10_000. (fun t ->
+          let count = 1 + Rng.int rng (Stdlib.max 1 (n_servers / 3)) in
+          let first = Rng.int rng n_servers in
+          let victims = List.init count (fun i -> (first + i) mod n_servers) in
+          [
+            {
+              at_ms = t;
+              action =
+                Gray_degrade
+                  {
+                    victims;
+                    delay_ms = 5. +. Rng.float rng 25.;
+                    loss = Rng.float rng 0.3;
+                    duration_ms = 4_000. +. Rng.float rng 4_000.;
                   };
             };
           ])
@@ -211,7 +283,9 @@ let rec generate rng cls ~n_servers =
             };
           ])
     | Mixed ->
-      let sub_classes = [ Partitions; Crashes; Degraded_links; Flapping; Clock_skew ] in
+      let sub_classes =
+        [ Partitions; Crashes; Amnesia; Gray_failure; Degraded_links; Flapping; Clock_skew ]
+      in
       let pick () = List.nth sub_classes (Rng.int rng (List.length sub_classes)) in
       (* two independent single-episode programs of random classes,
          offset so their fault windows overlap *)
@@ -342,6 +416,25 @@ let install engine (instance : Registry.instance) ~servers program =
             (Engine.schedule engine ~delay:(offset +. down_ms) (fun () ->
                  c.Net.c_recover id)))
         victims
+    | Amnesia_storm { victims; stagger_ms; down_ms } ->
+      record (Format.asprintf "%a" pp_action action);
+      List.iteri
+        (fun i id ->
+          let offset = stagger_ms *. float_of_int i in
+          ignore (Engine.schedule engine ~delay:offset (fun () -> c.Net.c_crash_amnesia id));
+          ignore
+            (Engine.schedule engine ~delay:(offset +. down_ms) (fun () ->
+                 c.Net.c_recover id)))
+        victims
+    | Gray_degrade { victims; delay_ms; loss; duration_ms } ->
+      record (Format.asprintf "%a" pp_action action);
+      List.iter (fun id -> c.Net.c_degrade_node id ~delay_ms ~loss) victims;
+      ignore
+        (Engine.schedule engine ~delay:duration_ms (fun () ->
+             record
+               (Printf.sprintf "clear-degrade [%s]"
+                  (String.concat ";" (List.map string_of_int victims)));
+             List.iter c.Net.c_clear_degrade victims))
     | Skew_bump { node; skew } -> (
       match instance.Registry.server_clock node with
       | None -> record (Printf.sprintf "skew-bump node=%d (no clock, ignored)" node)

@@ -40,6 +40,15 @@ type action =
   | Crash_storm of { victims : int list; stagger_ms : float; down_ms : float }
       (** crash [victims] one after another, [stagger_ms] apart; each
           recovers [down_ms] after its crash — the storm is bounded *)
+  | Amnesia_storm of { victims : int list; stagger_ms : float; down_ms : float }
+      (** like [Crash_storm], but the crash wipes durable state: each
+          victim recovers empty and must state-transfer from its peers
+          before serving again *)
+  | Gray_degrade of { victims : int list; delay_ms : float; loss : float; duration_ms : float }
+      (** gray failure: the victims stay up and keep answering, but
+          every message they send or receive suffers [delay_ms] extra
+          latency and [loss] extra drop probability for
+          [duration_ms] *)
   | Skew_bump of { node : int; skew : float }
       (** re-rate the node's clock (continuously — no reading jump);
           the interpreter clamps [skew] inside the protocol's drift
@@ -73,6 +82,8 @@ val end_ms : program -> float
 type fault_class =
   | Partitions
   | Crashes
+  | Amnesia  (** bounded storms of state-wiping crashes (never node 0) *)
+  | Gray_failure  (** per-node gray degradation: slow and lossy, not down *)
   | Degraded_links
   | Flapping
   | Clock_skew

@@ -2,11 +2,15 @@ type fault_model = { loss : float; duplicate : float; jitter_ms : float }
 
 let no_faults = { loss = 0.; duplicate = 0.; jitter_ms = 0. }
 
+type degrade = { extra_delay_ms : float; extra_loss : float }
+
 type 'msg node_state = {
   mutable handler : (src:int -> 'msg -> unit) option;
   mutable up : bool;
   mutable incarnation : int;
-  mutable watchers : (up:bool -> unit) list;
+  mutable wiped : bool; (* pending recovery is from an amnesia crash *)
+  mutable degrade : degrade option; (* gray failure on all of this node's links *)
+  mutable watchers : (up:bool -> wiped:bool -> unit) list;
   mutable busy_until : float; (* FIFO service queue tail *)
 }
 
@@ -33,7 +37,15 @@ type 'msg t = {
 let create engine topology ?(faults = no_faults) ~classify ?(size_of = fun _ -> 0) () =
   let n = Topology.n_nodes topology in
   let fresh_node _ =
-    { handler = None; up = true; incarnation = 0; watchers = []; busy_until = 0. }
+    {
+      handler = None;
+      up = true;
+      incarnation = 0;
+      wiped = false;
+      degrade = None;
+      watchers = [];
+      busy_until = 0.;
+    }
   in
   {
     engine;
@@ -91,6 +103,49 @@ let effective_faults t ~src ~dst =
   match Hashtbl.find_opt t.link_faults (src, dst) with
   | Some f -> f
   | None -> t.faults
+
+(* {2 Gray failure: per-node degradation}
+
+   A degraded node is slow and lossy on every link it touches, in both
+   directions, without being partitioned away: [reachable] is
+   unaffected. The extra loss folds into the single per-send loss draw
+   (independent-failure composition), so the RNG draw sequence is
+   byte-identical whenever no node is degraded. *)
+
+let degrade_node t id ~delay_ms ~loss =
+  check_id t id;
+  if delay_ms < 0. then invalid_arg "Net.degrade_node: negative delay";
+  if loss < 0. || loss > 1. then invalid_arg "Net.degrade_node: loss outside [0, 1]";
+  t.nodes.(id).degrade <- Some { extra_delay_ms = delay_ms; extra_loss = loss };
+  if Dq_telemetry.Bus.subscribed t.bus then
+    Dq_telemetry.Bus.emit t.bus
+      (Dq_telemetry.Event.Fault_injected
+         { label = Printf.sprintf "net.degrade/%d" id })
+
+let clear_degrade t id =
+  check_id t id;
+  match t.nodes.(id).degrade with
+  | None -> ()
+  | Some _ ->
+    begin
+    t.nodes.(id).degrade <- None;
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus
+        (Dq_telemetry.Event.Fault_injected
+           { label = Printf.sprintf "net.undegrade/%d" id })
+  end
+
+let degraded t id =
+  check_id t id;
+  match t.nodes.(id).degrade with
+  | None -> None
+  | Some d -> Some (d.extra_delay_ms, d.extra_loss)
+
+let fold_degrade_loss acc = function
+  | None -> acc
+  | Some d -> 1. -. ((1. -. acc) *. (1. -. d.extra_loss))
+
+let degrade_delay = function None -> 0. | Some d -> d.extra_delay_ms
 
 let cut t ~src ~dst =
   check_id t src;
@@ -201,13 +256,20 @@ let send t ~src ~dst msg =
     else begin
       let faults = effective_faults t ~src ~dst in
       if reachable t ~src ~dst then begin
-        if not (Dq_util.Rng.bernoulli t.rng faults.loss) then begin
+        (* Gray degradation folds into the one loss draw and adds a
+           deterministic delay, so undegraded runs draw identically. *)
+        let deg_src = t.nodes.(src).degrade and deg_dst = t.nodes.(dst).degrade in
+        let loss = fold_degrade_loss (fold_degrade_loss faults.loss deg_src) deg_dst in
+        if not (Dq_util.Rng.bernoulli t.rng loss) then begin
           let schedule_delivery () =
             let jitter =
               if faults.jitter_ms > 0. then Dq_util.Rng.float t.rng faults.jitter_ms
               else 0.
             in
-            let delay = Topology.delay t.topology ~src ~dst +. jitter in
+            let delay =
+              Topology.delay t.topology ~src ~dst +. jitter
+              +. degrade_delay deg_src +. degrade_delay deg_dst
+            in
             ignore
               (Dq_sim.Engine.schedule t.engine ~delay (fun () -> arrive t ~src ~dst msg))
           in
@@ -224,28 +286,48 @@ let send t ~src ~dst msg =
     end
   end
 
-let notify_watchers node ~up =
-  List.iter (fun watch -> watch ~up) (List.rev node.watchers)
+let notify_watchers node ~up ~wiped =
+  List.iter (fun watch -> watch ~up ~wiped) (List.rev node.watchers)
 
-let crash t id =
+(* Fail-stop and amnesia crashes share the take-down path; amnesia
+   additionally marks the node wiped so the eventual recovery
+   notification tells protocol layers their "durable" state is gone.
+   A fail-stop crash after an unrecovered amnesia crash keeps the wipe
+   pending: the disk did not come back in between. *)
+let crash_kind t id ~wiped =
   check_id t id;
   let node = t.nodes.(id) in
   if node.up then begin
     node.up <- false;
     node.incarnation <- node.incarnation + 1;
-    if Dq_telemetry.Bus.subscribed t.bus then
+    node.wiped <- node.wiped || wiped;
+    if Dq_telemetry.Bus.subscribed t.bus then begin
       Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_crash { node = id });
-    notify_watchers node ~up:false
+      if wiped then
+        Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_wipe { node = id })
+    end;
+    notify_watchers node ~up:false ~wiped
   end
+  else if wiped && not node.wiped then begin
+    (* Already down from a fail-stop crash: the wipe still happens. *)
+    node.wiped <- true;
+    if Dq_telemetry.Bus.subscribed t.bus then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_wipe { node = id })
+  end
+
+let crash t id = crash_kind t id ~wiped:false
+let crash_amnesia t id = crash_kind t id ~wiped:true
 
 let recover t id =
   check_id t id;
   let node = t.nodes.(id) in
   if not node.up then begin
     node.up <- true;
+    let wiped = node.wiped in
+    node.wiped <- false;
     if Dq_telemetry.Bus.subscribed t.bus then
       Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Node_recover { node = id });
-    notify_watchers node ~up:true
+    notify_watchers node ~up:true ~wiped
   end
 
 let on_status_change t ~node watch =
@@ -316,7 +398,10 @@ type control = {
   c_set_faults : fault_model -> unit;
   c_flap_link : src:int -> dst:int -> up_ms:float -> down_ms:float -> until_ms:float -> unit;
   c_crash : int -> unit;
+  c_crash_amnesia : int -> unit;
   c_recover : int -> unit;
+  c_degrade_node : int -> delay_ms:float -> loss:float -> unit;
+  c_clear_degrade : int -> unit;
   c_is_up : int -> bool;
   c_reachable : src:int -> dst:int -> bool;
 }
@@ -334,7 +419,10 @@ let control t =
       (fun ~src ~dst ~up_ms ~down_ms ~until_ms ->
         flap_link t ~src ~dst ~up_ms ~down_ms ~until_ms);
     c_crash = (fun id -> crash t id);
+    c_crash_amnesia = (fun id -> crash_amnesia t id);
     c_recover = (fun id -> recover t id);
+    c_degrade_node = (fun id ~delay_ms ~loss -> degrade_node t id ~delay_ms ~loss);
+    c_clear_degrade = (fun id -> clear_degrade t id);
     c_is_up = (fun id -> is_up t id);
     c_reachable = (fun ~src ~dst -> reachable t ~src ~dst);
   }

@@ -14,7 +14,13 @@
     - {b link flapping} (a link alternates between available and
       severed on a fixed duty cycle),
     - fail-stop {b crashes} (a crashed node neither sends nor receives,
-      and its pending timers are invalidated).
+      and its pending timers are invalidated),
+    - {b amnesia crashes} (as above, but the recovery notification says
+      the node's durable state was wiped, so protocols must rebuild it
+      by state transfer),
+    - per-node {b gray failure} ({!degrade_node}: extra processing
+      delay and loss on all of a node's links at once, while the node
+      stays nominally up and reachable).
 
     The paper assumes corrupted messages are discarded by checksums, so
     corruption is modelled as loss. All protocol messages must carry any
@@ -69,20 +75,53 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     partitioned or cut in the [src -> dst] direction, or the (global or
     per-link) fault model loses it. *)
 
-(** {2 Fail-stop crashes} *)
+(** {2 Crashes: fail-stop and amnesia} *)
 
 val crash : 'msg t -> int -> unit
-(** Take a node down. Idempotent. Pending timers created with
-    {!timer} are invalidated. *)
+(** Take a node down, fail-stop: on recovery its durable state is
+    intact. Idempotent. Pending timers created with {!timer} are
+    invalidated. *)
+
+val crash_amnesia : 'msg t -> int -> unit
+(** Take a node down {e and wipe its disk}: the recovery notification
+    carries [wiped:true], telling protocol layers that state they
+    treated as durable is gone and must be rebuilt (by state transfer
+    from peers). Calling it on an already-down node still wipes; a
+    fail-stop crash after an unrecovered amnesia crash keeps the wipe
+    pending. *)
 
 val recover : 'msg t -> int -> unit
 (** Bring a node back up (a fresh incarnation). Idempotent. *)
 
 val is_up : 'msg t -> int -> bool
 
-val on_status_change : 'msg t -> node:int -> (up:bool -> unit) -> unit
+val on_status_change : 'msg t -> node:int -> (up:bool -> wiped:bool -> unit) -> unit
 (** Register a callback invoked after each crash/recovery of [node]
-    (protocols use it to reset volatile state on recovery). *)
+    (protocols use it to reset volatile state on recovery). On a
+    down-notification [wiped] says the crash was an amnesia crash; on
+    an up-notification it says the outage the node is returning from
+    included a wipe, so recovery must not trust pre-crash durable
+    state. *)
+
+(** {2 Gray failure: per-node degradation} *)
+
+val degrade_node : 'msg t -> int -> delay_ms:float -> loss:float -> unit
+(** Mark a node gray-failed: every message to {e or} from it suffers
+    [delay_ms] extra delivery delay and is lost with (independently
+    composed) probability [loss], on top of the link's fault model.
+    The node stays up and {!reachable} is unaffected — it is slow and
+    lossy, not partitioned. Replaces any previous degradation of the
+    node. In manual-delivery mode the extra loss does not apply (the
+    controller owns nondeterminism), matching probabilistic link
+    faults. *)
+
+val clear_degrade : 'msg t -> int -> unit
+(** Restore a degraded node to healthy. Idempotent. Not cleared by
+    {!heal} (like per-link fault overrides, degradation models node
+    quality rather than a connectivity outage). *)
+
+val degraded : 'msg t -> int -> (float * float) option
+(** [(delay_ms, loss)] if the node is currently degraded. *)
 
 (** {2 Node-scoped timers} *)
 
@@ -176,7 +215,10 @@ type control = {
   c_set_faults : fault_model -> unit;
   c_flap_link : src:int -> dst:int -> up_ms:float -> down_ms:float -> until_ms:float -> unit;
   c_crash : int -> unit;
+  c_crash_amnesia : int -> unit;
   c_recover : int -> unit;
+  c_degrade_node : int -> delay_ms:float -> loss:float -> unit;
+  c_clear_degrade : int -> unit;
   c_is_up : int -> bool;
   c_reachable : src:int -> dst:int -> bool;
 }

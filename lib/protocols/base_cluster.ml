@@ -66,10 +66,37 @@ let frontend_style protocol ~servers ~me =
   | Rowa_async_session _ -> Base_frontend.Local_session { replica = me }
   | Custom_quorum system -> Base_frontend.Two_phase { system; atomic_reads = false }
 
+(* When has a wiped replica heard from enough peers to serve again?
+   For quorum protocols, a read quorum of the protocol's own system:
+   any write acknowledged before the wipe lives on some write quorum,
+   which every read quorum intersects, so the merged store covers it.
+   Forward-based and asynchronous protocols have no such system and
+   fall back to their trust anchors: a backup pulls from the primary
+   (the one write path); a wiped primary waits for every backup (it
+   alone orders writes, so it must see everything it ever pushed);
+   ROWA-Async pulls from any peer and lets anti-entropy finish the
+   job, matching its eventual-consistency contract. *)
+let sync_ok protocol ~servers ~me =
+  match protocol with
+  | Primary_backup { primary } ->
+    if me = primary then fun present -> List.for_all (fun p -> p = me || present p) servers
+    else fun present -> present primary
+  | Rowa_async _ | Rowa_async_session _ ->
+    fun present -> List.exists (fun p -> p <> me && present p) servers
+  | Majority_quorum | Atomic_majority | Rowa | Custom_quorum _ -> (
+    match frontend_style protocol ~servers ~me with
+    | Base_frontend.Two_phase { system; _ } ->
+      fun present -> Qs.is_read_quorum system ~present
+    | Base_frontend.Forward _ | Base_frontend.Local_session _ ->
+      fun present -> Qs.is_read_quorum (Qs.majority servers) ~present)
+
 let install_server t ~servers ~retry_timeout_ms id =
   let replica =
     Replica.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
       ~mode:(replica_mode t.protocol ~servers ~me:id)
+      ~peers:servers
+      ~sync_ok:(sync_ok t.protocol ~servers ~me:id)
+      ~retry_timeout_ms ()
   in
   let frontend =
     Base_frontend.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
@@ -81,9 +108,9 @@ let install_server t ~servers ~retry_timeout_ms id =
   Net.register t.net ~node:id (fun ~src msg ->
       Replica.handle replica ~src msg;
       Base_frontend.handle frontend ~src msg);
-  Net.on_status_change t.net ~node:id (fun ~up ->
+  Net.on_status_change t.net ~node:id (fun ~up ~wiped ->
       if up then begin
-        Replica.on_recover replica;
+        Replica.on_recover replica ~wiped;
         Base_frontend.on_recover frontend
       end);
   Replica.start replica

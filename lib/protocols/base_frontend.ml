@@ -228,7 +228,8 @@ let handle t ~src msg =
           send t src (Base_msg.Client_write_reply { op; key; lc }))
   | Base_msg.Client_read_reply _ | Base_msg.Client_write_reply _ | Base_msg.Read_req _
   | Base_msg.Lc_req _ | Base_msg.Write_req _ | Base_msg.Fwd_write_req _
-  | Base_msg.Propagate _ | Base_msg.Gossip _ ->
+  | Base_msg.Propagate _ | Base_msg.Gossip _ | Base_msg.Pull_req _
+  | Base_msg.Pull_resp _ ->
     ()
 
 let on_recover t =

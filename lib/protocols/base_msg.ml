@@ -15,6 +15,8 @@ type t =
   | Fwd_write_ack of { op : int; key : Key.t; lc : Lc.t }
   | Propagate of { key : Key.t; value : string; lc : Lc.t }
   | Gossip of { entries : (Key.t * string * Lc.t) list }
+  | Pull_req of { session : int }
+  | Pull_resp of { session : int; entries : (Key.t * string * Lc.t) list }
 
 let classify = function
   | Client_read_req _ -> "client_read_req"
@@ -31,6 +33,8 @@ let classify = function
   | Fwd_write_ack _ -> "fwd_write_ack"
   | Propagate _ -> "propagate"
   | Gossip _ -> "gossip"
+  | Pull_req _ -> "pull_req"
+  | Pull_resp _ -> "pull_resp"
 
 (* Wire-size model matching Dq_core.Message.size_of. *)
 let header = 48
@@ -55,6 +59,12 @@ let size_of = function
   | Propagate { value; _ } -> header + key_sz + String.length value + lc_sz
   | Gossip { entries } ->
     header
+    + List.fold_left
+        (fun acc (_, value, _) -> acc + key_sz + lc_sz + String.length value)
+        0 entries
+  | Pull_req _ -> header + 8
+  | Pull_resp { entries; _ } ->
+    header + 8
     + List.fold_left
         (fun acc (_, value, _) -> acc + key_sz + lc_sz + String.length value)
         0 entries

@@ -29,6 +29,11 @@ type t =
       (** asynchronous push (primary -> backups, ROWA-Async epidemics) *)
   | Gossip of { entries : (Key.t * string * Lc.t) list }
       (** anti-entropy exchange (ROWA-Async) *)
+  | Pull_req of { session : int }
+      (** state transfer after an amnesia crash: the wiped replica asks
+          a peer for its full store ([session] discards replies of
+          superseded syncs) *)
+  | Pull_resp of { session : int; entries : (Key.t * string * Lc.t) list }
 
 val classify : t -> string
 

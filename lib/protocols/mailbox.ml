@@ -99,7 +99,7 @@ let create engine topology ~home ?(retransmit_ms = 500.) () =
         Hashtbl.replace t.edges server edge;
         Net.register net ~node:server (fun ~src msg -> handle_edge t edge ~src msg);
         (* After a recovery the durable outbox must drain again. *)
-        Net.on_status_change net ~node:server (fun ~up -> if up then pump t edge)
+        Net.on_status_change net ~node:server (fun ~up ~wiped:_ -> if up then pump t edge)
       end)
     (Topology.servers topology);
   List.iter

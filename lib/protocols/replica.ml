@@ -6,28 +6,55 @@ type mode =
   | Primary of { backups : int list }
   | Async_member of { peers : int list; anti_entropy_ms : float }
 
+(* State-transfer progress after an amnesia crash: the wiped replica
+   pulls peers' stores until [sync_ok] is satisfied (which subset of
+   peers suffices is the protocol's call — see {!Base_cluster.sync_ok}).
+   Merged entries are durable, so a fail-stop crash mid-sync keeps the
+   replied set and resumes; a second amnesia crash starts over. *)
+type sync_state = {
+  session : int;
+  started_ms : float;
+  mutable replied : int list;
+  mutable loop : Dq_rpc.Retry.t option;
+  mutable bytes : int;
+  mutable objects : int;
+}
+
 type t = {
   net : Base_msg.t Net.t;
+  bus : Dq_telemetry.Bus.t;
   rng : Dq_util.Rng.t;
   me : int;
   mode : mode;
+  peers : int list;
+  sync_ok : (int -> bool) -> bool;
+  retry_timeout_ms : float;
   store : (Key.t, Versioned.t) Obj_map.t;
   mutable global_lc : Lc.t;
   fwd_assigned : (int * int, Lc.t) Hashtbl.t;
       (* (front end, op) -> timestamp already assigned by this primary;
          retransmitted forwards must not be executed twice *)
+  mutable next_session : int;
+  mutable sync : sync_state option;
   mutable quiesced : bool;
 }
 
-let create ~net ~rng ~me ~mode =
+let create ~net ~rng ~me ~mode ?(peers = []) ?(sync_ok = fun _present -> true)
+    ?(retry_timeout_ms = 400.) () =
   {
     net;
+    bus = Dq_sim.Engine.telemetry (Net.engine net);
     rng;
     me;
     mode;
+    peers;
+    sync_ok;
+    retry_timeout_ms;
     store = Obj_map.of_key_default ~default:(fun _ -> Versioned.initial);
     global_lc = Lc.zero;
     fwd_assigned = Hashtbl.create 16;
+    next_session = 0;
+    sync = None;
     quiesced = false;
   }
 
@@ -63,9 +90,108 @@ let start t =
 
 let quiesce t = t.quiesced <- true
 
-let on_recover t = start t
+(* --- amnesia recovery: store pull -------------------------------------- *)
 
-let handle t ~src msg =
+let engine_now t = Dq_sim.Engine.now (Net.engine t.net)
+
+let subscribed t = Dq_telemetry.Bus.subscribed t.bus
+
+let finish_sync t (s : sync_state) =
+  t.sync <- None;
+  if subscribed t then
+    Dq_telemetry.Bus.emit t.bus
+      (Dq_telemetry.Event.Recovery_done
+         {
+           node = t.me;
+           bytes = s.bytes;
+           objects = s.objects;
+           duration_ms = engine_now t -. s.started_ms;
+         })
+
+let start_sync t (s : sync_state) =
+  let others = List.filter (fun p -> p <> t.me) t.peers in
+  let no_peers = match others with [] -> true | _ :: _ -> false in
+  let attempt ~round:_ =
+    List.iter
+      (fun p ->
+        if not (List.mem p s.replied) then
+          send t p (Base_msg.Pull_req { session = s.session }))
+      others
+  in
+  let complete () =
+    no_peers || t.sync_ok (fun p -> p <> t.me && List.mem p s.replied)
+  in
+  let loop =
+    Dq_rpc.Retry.start
+      ~timer:(fun ~delay_ms action -> Net.timer t.net ~node:t.me ~delay_ms action)
+      ~attempt ~complete
+      ~on_complete:(fun () -> finish_sync t s)
+      ~timeout_ms:t.retry_timeout_ms ~backoff:2. ~bus:t.bus ~node:t.me
+      ~tag:"replica.sync" ()
+  in
+  if not (Dq_rpc.Retry.is_done loop) then s.loop <- Some loop
+
+let on_recover t ~wiped =
+  if wiped then begin
+    (* Amnesia: the store this replica called durable is gone. *)
+    Obj_map.clear t.store;
+    t.global_lc <- Lc.zero;
+    Hashtbl.reset t.fwd_assigned;
+    t.next_session <- t.next_session + 1;
+    t.sync <-
+      Some
+        {
+          session = t.next_session;
+          started_ms = engine_now t;
+          replied = [];
+          loop = None;
+          bytes = 0;
+          objects = 0;
+        };
+    if subscribed t then
+      Dq_telemetry.Bus.emit t.bus (Dq_telemetry.Event.Recovery_start { node = t.me })
+  end;
+  (match t.sync with
+  | Some s ->
+    (* Fresh sync, or one interrupted by a fail-stop crash: the merged
+       entries are durable, so keep [replied] and restart the loop (the
+       old one's timers died with the previous incarnation). *)
+    s.loop <- None;
+    start_sync t s
+  | None -> ());
+  start t
+
+let handle_pull_resp t ~src ~session ~entries ~bytes =
+  match t.sync with
+  | Some s when session = s.session && not (List.mem src s.replied) ->
+    s.replied <- src :: s.replied;
+    s.bytes <- s.bytes + bytes;
+    List.iter
+      (fun (key, value, lc) ->
+        let current = Obj_map.get t.store key in
+        if Lc.(lc > current.lc) then begin
+          Obj_map.set t.store key (Versioned.make ~value ~lc);
+          t.global_lc <- Lc.max t.global_lc lc;
+          s.objects <- s.objects + 1
+        end)
+      entries;
+    (match s.loop with Some loop -> Dq_rpc.Retry.poke loop | None -> ())
+  | Some _ | None -> () (* stale session or duplicate reply *)
+
+let syncing_handle t ~src msg =
+  match msg with
+  | Base_msg.Pull_resp { session; entries } ->
+    handle_pull_resp t ~src ~session ~entries ~bytes:(Base_msg.size_of msg)
+  (* Pure information still merges (monotone last-writer-wins)... *)
+  | Base_msg.Propagate { key; value; lc } -> apply t ~key ~value ~lc
+  | Base_msg.Gossip { entries } ->
+    List.iter (fun (key, value, lc) -> apply t ~key ~value ~lc) entries
+  (* ...but a wiped replica neither serves nor acknowledges anything —
+     answering a read, a timestamp query, a write, or a peer's pull
+     from an empty store could surface state loss as a quorum vote. *)
+  | _ -> ()
+
+let active_handle t ~src msg =
   match msg with
   | Base_msg.Read_req { op; key } ->
     let v = Obj_map.get t.store key in
@@ -106,11 +232,20 @@ let handle t ~src msg =
   | Base_msg.Propagate { key; value; lc } -> apply t ~key ~value ~lc
   | Base_msg.Gossip { entries } ->
     List.iter (fun (key, value, lc) -> apply t ~key ~value ~lc) entries
+  | Base_msg.Pull_req { session } ->
+    send t src (Base_msg.Pull_resp { session; entries = entries t })
   | Base_msg.Client_read_req _ | Base_msg.Client_read_reply _ | Base_msg.Client_write_req _
   | Base_msg.Client_write_reply _ | Base_msg.Read_reply _ | Base_msg.Lc_reply _
-  | Base_msg.Write_ack _ | Base_msg.Fwd_write_ack _ ->
+  | Base_msg.Write_ack _ | Base_msg.Fwd_write_ack _ | Base_msg.Pull_resp _ ->
     ()
+
+let handle t ~src msg =
+  match t.sync with
+  | None -> active_handle t ~src msg
+  | Some _ -> syncing_handle t ~src msg
 
 let stored t key = Obj_map.get t.store key
 
 let logical_clock t = t.global_lc
+
+let is_syncing t = Option.is_some t.sync

@@ -6,7 +6,17 @@
     pushes updates to its backups. With [anti_entropy_ms] set, the
     replica periodically gossips its whole store to a random peer
     (ROWA-Async epidemic propagation), which converges even under
-    message loss. Store contents are durable across crashes. *)
+    message loss. Store contents are durable across {e fail-stop}
+    crashes.
+
+    An {e amnesia} crash wipes the store. On recovery the replica goes
+    silent — it serves no read, acknowledges no write, and answers no
+    peer's pull — while it rebuilds the store from its peers
+    ([Pull_req]/[Pull_resp], highest-LC-wins merge) until the
+    protocol's [sync_ok] predicate is satisfied (e.g. a majority of
+    peers for quorum protocols, the primary for a backup). Asynchronous
+    propagation and gossip still merge during the sync: they only add
+    information. *)
 
 open Dq_storage
 
@@ -18,7 +28,21 @@ type mode =
 type t
 
 val create :
-  net:Base_msg.t Dq_net.Net.t -> rng:Dq_util.Rng.t -> me:int -> mode:mode -> t
+  net:Base_msg.t Dq_net.Net.t ->
+  rng:Dq_util.Rng.t ->
+  me:int ->
+  mode:mode ->
+  ?peers:int list ->
+  ?sync_ok:((int -> bool) -> bool) ->
+  ?retry_timeout_ms:float ->
+  unit ->
+  t
+(** [peers] is the full server group state transfer can pull from;
+    [sync_ok present] decides when a wiped replica has heard from
+    enough peers to serve again ([present] is true for peers whose
+    store was merged; the replica itself is never present). The
+    defaults — no peers, trivially satisfied — make amnesia behave
+    like data loss with immediate rejoin, for standalone tests. *)
 
 val handle : t -> src:int -> Base_msg.t -> unit
 
@@ -29,11 +53,18 @@ val start : t -> unit
 val quiesce : t -> unit
 (** Stop anti-entropy. *)
 
-val on_recover : t -> unit
-(** Re-arm periodic work after a crash; the store itself is durable. *)
+val on_recover : t -> wiped:bool -> unit
+(** Re-arm periodic work after a crash. With [wiped:false] the store is
+    retained (and an interrupted state transfer resumes); with
+    [wiped:true] the store is discarded and the replica goes silent
+    until state transfer satisfies [sync_ok]. *)
 
 (** {2 Introspection} *)
 
 val stored : t -> Key.t -> Versioned.t
 
 val logical_clock : t -> Lc.t
+
+val is_syncing : t -> bool
+(** The replica is rebuilding its store after an amnesia crash and
+    refuses to serve. *)

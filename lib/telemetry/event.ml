@@ -33,7 +33,10 @@ type t =
   | Link_cut of { src : int; dst : int }
   | Link_uncut of { src : int; dst : int }
   | Node_crash of { node : int }
+  | Node_wipe of { node : int }
   | Node_recover of { node : int }
+  | Recovery_start of { node : int }
+  | Recovery_done of { node : int; bytes : int; objects : int; duration_ms : float }
   | Fault_injected of { label : string }
   | Clock_skew of { node : int; skew : float }
   | Span_begin of { name : string; node : int }
@@ -61,7 +64,10 @@ let name = function
   | Link_cut _ -> "link_cut"
   | Link_uncut _ -> "link_uncut"
   | Node_crash _ -> "node_crash"
+  | Node_wipe _ -> "node_wipe"
   | Node_recover _ -> "node_recover"
+  | Recovery_start _ -> "recovery_start"
+  | Recovery_done _ -> "recovery_done"
   | Fault_injected _ -> "fault_injected"
   | Clock_skew _ -> "clock_skew"
   | Span_begin _ -> "span_begin"
@@ -75,7 +81,9 @@ let cat = function
   | Inval_through _ | Inval_suppressed _ | Inval_delayed _ | Epoch_advance _ -> "inval"
   | Cache_read _ -> "cache"
   | Rpc_round _ | Rpc_give_up _ -> "rpc"
-  | Link_cut _ | Link_uncut _ | Node_crash _ | Node_recover _ | Fault_injected _ -> "fault"
+  | Link_cut _ | Link_uncut _ | Node_crash _ | Node_wipe _ | Node_recover _
+  | Recovery_start _ | Recovery_done _ | Fault_injected _ ->
+    "fault"
   | Clock_skew _ -> "sim"
   | Span_begin _ | Span_end _ -> "span"
   | Note _ -> "note"
@@ -101,7 +109,10 @@ let track = function
   | Rpc_round { node; _ }
   | Rpc_give_up { node; _ }
   | Node_crash { node }
+  | Node_wipe { node }
   | Node_recover { node }
+  | Recovery_start { node }
+  | Recovery_done { node; _ }
   | Clock_skew { node; _ }
   | Span_begin { node; _ }
   | Span_end { node; _ } ->
@@ -149,7 +160,12 @@ let pp ppf = function
   | Link_cut { src; dst } -> Format.fprintf ppf "link %d -> %d cut" src dst
   | Link_uncut { src; dst } -> Format.fprintf ppf "link %d -> %d restored" src dst
   | Node_crash { node } -> Format.fprintf ppf "node %d crashed" node
+  | Node_wipe { node } -> Format.fprintf ppf "node %d wiped (amnesia)" node
   | Node_recover { node } -> Format.fprintf ppf "node %d recovered" node
+  | Recovery_start { node } -> Format.fprintf ppf "node %d: state-transfer sync started" node
+  | Recovery_done { node; bytes; objects; duration_ms } ->
+    Format.fprintf ppf "node %d: sync done (%d objects, %d bytes, %.1fms)" node objects
+      bytes duration_ms
   | Fault_injected { label } -> Format.fprintf ppf "fault: %s" label
   | Clock_skew { node; skew } -> Format.fprintf ppf "node %d: clock skew -> %.2e" node skew
   | Span_begin { name; node } -> Format.fprintf ppf "node %d: %s begin" node name

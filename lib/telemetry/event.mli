@@ -50,7 +50,15 @@ type t =
   | Link_cut of { src : int; dst : int }
   | Link_uncut of { src : int; dst : int }
   | Node_crash of { node : int }
+  | Node_wipe of { node : int }
+      (** The crash was an amnesia crash: the node's durable state is
+          gone and recovery will need state transfer. *)
   | Node_recover of { node : int }
+  | Recovery_start of { node : int }
+      (** A wiped replica began catch-up (entered [Syncing]). *)
+  | Recovery_done of { node : int; bytes : int; objects : int; duration_ms : float }
+      (** Catch-up finished: [bytes]/[objects] transferred from peers,
+          [duration_ms] of virtual time between start and done. *)
   | Fault_injected of { label : string }
   | Clock_skew of { node : int; skew : float }
   | Span_begin of { name : string; node : int }

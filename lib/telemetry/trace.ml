@@ -95,7 +95,13 @@ let name_and_args (ev : Event.t) =
   | Link_cut { src; dst } -> ("link_cut", sprintf {|{"src":%d,"dst":%d}|} src dst)
   | Link_uncut { src; dst } -> ("link_uncut", sprintf {|{"src":%d,"dst":%d}|} src dst)
   | Node_crash { node } -> ("node_crash", sprintf {|{"node":%d}|} node)
+  | Node_wipe { node } -> ("node_wipe", sprintf {|{"node":%d}|} node)
   | Node_recover { node } -> ("node_recover", sprintf {|{"node":%d}|} node)
+  | Recovery_start { node } -> ("recovery_start", sprintf {|{"node":%d}|} node)
+  | Recovery_done { node; bytes; objects; duration_ms } ->
+    ( "recovery_done",
+      sprintf {|{"node":%d,"bytes":%d,"objects":%d,"duration_ms":%s}|} node bytes objects
+        (num duration_ms) )
   | Fault_injected { label } -> (escape label, {|{}|})
   | Clock_skew { node; skew } ->
     ("clock_skew", sprintf {|{"node":%d,"skew":%s}|} node (num skew))

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate dqr-nemesis campaign report JSONs.
+
+Sibling of validate_bench.py for the robustness campaign. Checks the
+report's structure — per-class protocol rankings with contiguous ranks,
+the overall cross-class ranking — and the recovery block added by the
+amnesia/gray-failure fault classes:
+
+  - recoveries_started / recoveries_done counters (done <= started),
+  - pooled mean / max time-to-recover (mean <= max; both zero exactly
+    when no recovery completed),
+  - state-transfer volume (sync_bytes / sync_objects; zero when no
+    recovery completed).
+
+Also checks the bookkeeping invariants the campaign runner promises:
+violations == len(violation_seeds), availability in [0, 1], stale
+accounting consistent with reads_checked, and that every class name is
+one the nemesis generator actually knows.
+
+Usage: validate_nemesis.py REPORT.json [...]
+Exits non-zero with one message per problem.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def require(doc, path, key, types):
+    if key not in doc:
+        err(path, f"missing key '{key}'")
+        return None
+    v = doc[key]
+    if not isinstance(v, types):
+        names = "/".join(t.__name__ for t in types) if isinstance(types, tuple) else types.__name__
+        err(path, f"'{key}' should be {names}, got {type(v).__name__}")
+        return None
+    return v
+
+
+NUM = (int, float)
+
+# Must match Nemesis.all_classes / class_name in lib/harness/nemesis.ml.
+KNOWN_CLASSES = (
+    "partitions", "crashes", "amnesia", "gray-degrade", "degraded-links",
+    "flapping", "clock-skew", "lease-expiry", "mixed",
+)
+
+# The classes whose scenarios may wipe nodes. Only "amnesia" wipes on
+# every scenario ("mixed" draws its sub-classes randomly), so the hard
+# completed-a-non-empty-state-transfer requirement keys off "amnesia";
+# "mixed" rows merely contribute to the aggregate.
+RECOVERY_CLASSES = ("amnesia", "mixed")
+
+ROW_INTS = (
+    "runs", "completed", "failed", "gave_up", "stale_reads", "reads_checked",
+    "recoveries_started", "recoveries_done", "sync_bytes", "sync_objects",
+    "violations",
+)
+ROW_NUMS = (
+    "availability", "stale_fraction", "max_staleness_ms", "mean_age_ms",
+    "max_age_ms", "max_unavailability_ms", "mean_recovery_ms",
+    "max_recovery_ms",
+)
+
+
+def validate_row(path, row):
+    require(row, path, "protocol", str)
+    for key in ROW_INTS:
+        v = require(row, path, key, int)
+        if isinstance(v, int) and v < 0:
+            err(path, f"'{key}' is negative ({v})")
+    for key in ROW_NUMS:
+        v = require(row, path, key, NUM)
+        if isinstance(v, NUM) and v < 0:
+            err(path, f"'{key}' is negative ({v})")
+
+    avail = row.get("availability")
+    if isinstance(avail, NUM) and not 0 <= avail <= 1:
+        err(path, f"availability {avail} outside [0, 1]")
+    stale, checked = row.get("stale_reads"), row.get("reads_checked")
+    if isinstance(stale, int) and isinstance(checked, int) and stale > checked:
+        err(path, f"stale_reads ({stale}) exceeds reads_checked ({checked})")
+
+    started, done = row.get("recoveries_started"), row.get("recoveries_done")
+    if isinstance(started, int) and isinstance(done, int) and done > started:
+        err(path, f"recoveries_done ({done}) exceeds recoveries_started ({started})")
+    mean_r, max_r = row.get("mean_recovery_ms"), row.get("max_recovery_ms")
+    if isinstance(mean_r, NUM) and isinstance(max_r, NUM) and mean_r > max_r:
+        err(path, f"mean_recovery_ms ({mean_r}) exceeds max_recovery_ms ({max_r})")
+    if isinstance(done, int) and done == 0:
+        # With no completed recovery there is nothing to have measured.
+        for key in ("mean_recovery_ms", "max_recovery_ms"):
+            v = row.get(key)
+            if isinstance(v, NUM) and v != 0:
+                err(path, f"'{key}' is {v} with recoveries_done = 0")
+        for key in ("sync_bytes", "sync_objects"):
+            v = row.get(key)
+            if isinstance(v, int) and v != 0:
+                err(path, f"'{key}' is {v} with recoveries_done = 0")
+
+    seeds = require(row, path, "violation_seeds", list)
+    violations = row.get("violations")
+    if seeds is not None:
+        if not all(isinstance(s, int) for s in seeds):
+            err(path, "violation_seeds entries must be integers")
+        if isinstance(violations, int) and violations != len(seeds):
+            err(path, f"violations ({violations}) != len(violation_seeds) ({len(seeds)})")
+
+
+def validate_ranking(path, rows):
+    ranks = [r.get("rank") for r in rows if isinstance(r, dict)]
+    if ranks != list(range(1, len(ranks) + 1)):
+        err(path, f"ranks {ranks} are not contiguous from 1")
+    names = [r.get("protocol") for r in rows if isinstance(r, dict)]
+    if len(set(names)) != len(names):
+        err(path, "duplicate protocol in one ranking")
+
+
+def validate(fname):
+    path = fname
+    try:
+        with open(fname) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, str(e))
+        return
+
+    tool = require(doc, path, "tool", str)
+    if tool is not None and tool != "dqr-nemesis":
+        err(path, f"tool '{tool}', expected 'dqr-nemesis'")
+    require(doc, path, "base_seed", int)
+    runs = require(doc, path, "runs_per_cell", int)
+
+    classes = require(doc, path, "classes", list)
+    seen = []
+    recovery_done_total = 0
+    sync_bytes_total = 0
+    if classes is not None:
+        if not classes:
+            err(path, "'classes' is empty")
+        for ci, cls in enumerate(classes):
+            p = f"{path}/classes[{ci}]"
+            if not isinstance(cls, dict):
+                err(p, "not an object")
+                continue
+            name = require(cls, p, "class", str)
+            if name is not None:
+                if name not in KNOWN_CLASSES:
+                    err(p, f"unknown fault class '{name}'")
+                if name in seen:
+                    err(p, f"fault class '{name}' listed twice")
+                seen.append(name)
+            rows = require(cls, p, "protocols", list)
+            if rows is None:
+                continue
+            if not rows:
+                err(p, "'protocols' is empty")
+            validate_ranking(p, rows)
+            for pi, row in enumerate(rows):
+                rp = f"{p}/protocols[{pi}]"
+                if not isinstance(row, dict):
+                    err(rp, "not an object")
+                    continue
+                validate_row(rp, row)
+                if isinstance(row.get("runs"), int) and isinstance(runs, int) \
+                        and row["runs"] != runs:
+                    err(rp, f"runs ({row['runs']}) != runs_per_cell ({runs})")
+                if name in RECOVERY_CLASSES:
+                    if isinstance(row.get("recoveries_done"), int):
+                        recovery_done_total += row["recoveries_done"]
+                    if isinstance(row.get("sync_bytes"), int):
+                        sync_bytes_total += row["sync_bytes"]
+
+        # When the always-wiping class was part of the campaign, at
+        # least one protocol must have completed a non-empty state
+        # transfer — the acceptance bar for the recovery machinery
+        # being alive.
+        if "amnesia" in seen:
+            if recovery_done_total == 0:
+                err(path, "no completed recovery in any state-wiping fault class")
+            elif sync_bytes_total == 0:
+                err(path, "recoveries completed but transferred zero bytes in total")
+
+    overall = require(doc, path, "overall", list)
+    if overall is not None:
+        if not overall:
+            err(path, "'overall' is empty")
+        validate_ranking(f"{path}/overall", overall)
+        for pi, row in enumerate(overall):
+            p = f"{path}/overall[{pi}]"
+            if not isinstance(row, dict):
+                err(p, "not an object")
+                continue
+            require(row, p, "protocol", str)
+            for key in ("availability", "stale_fraction", "max_staleness_ms",
+                        "mean_age_ms", "max_age_ms"):
+                require(row, p, key, NUM)
+            require(row, p, "violations", int)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for fname in argv[1:]:
+        validate(fname)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"validate_nemesis: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

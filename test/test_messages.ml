@@ -28,7 +28,7 @@ let dq_messages value =
     M.Iqs_write_ack { op = 5; key; lc };
     M.Obj_renew_req { key; t0 = 0. };
     M.Obj_renew_reply { grant = grant value };
-    M.Vol_renew_req { volume = 1; t0 = 0.; want = Some key };
+    M.Vol_renew_req { volume = 1; t0 = 0.; want = Some key; epoch = 0 };
     M.Vol_renew_reply
       { volume = 1; lease_ms = 1000.; epoch = 0; t0 = 0.; delayed = [ (key, lc) ];
         grant = Some (grant value) };

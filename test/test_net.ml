@@ -116,11 +116,106 @@ let test_recovery_restores_delivery () =
 let test_status_watchers () =
   let _engine, net = make () in
   let log = ref [] in
-  Net.on_status_change net ~node:2 (fun ~up -> log := up :: !log);
+  Net.on_status_change net ~node:2 (fun ~up ~wiped:_ -> log := up :: !log);
   Net.crash net 2;
   Net.crash net 2 (* idempotent: no second notification *);
   Net.recover net 2;
   Alcotest.(check (list bool)) "down then up" [ false; true ] (List.rev !log)
+
+(* {2 Amnesia: wipe notification semantics} *)
+
+let watch_wipes net node =
+  let log = ref [] in
+  Net.on_status_change net ~node (fun ~up ~wiped -> log := (up, wiped) :: !log);
+  log
+
+let test_failstop_recovery_not_wiped () =
+  let _engine, net = make () in
+  let log = watch_wipes net 1 in
+  Net.crash net 1;
+  Net.recover net 1;
+  Alcotest.(check (list (pair bool bool)))
+    "fail-stop keeps durable state" [ (false, false); (true, false) ] (List.rev !log)
+
+let test_amnesia_recovery_wiped () =
+  let _engine, net = make () in
+  let log = watch_wipes net 1 in
+  Net.crash_amnesia net 1;
+  Net.recover net 1;
+  Alcotest.(check (list (pair bool bool)))
+    "wipe reported at crash and at recovery" [ (false, true); (true, true) ]
+    (List.rev !log)
+
+let test_wipe_pending_across_failstop () =
+  (* An amnesia crash on an already-down node still wipes the disk; the
+     eventual recovery must report it. *)
+  let _engine, net = make () in
+  let log = watch_wipes net 1 in
+  Net.crash net 1;
+  Net.crash_amnesia net 1;
+  Net.recover net 1;
+  Alcotest.(check (list (pair bool bool)))
+    "wipe recorded while down" [ (false, false); (true, true) ] (List.rev !log)
+
+let test_wipe_consumed_by_recovery () =
+  (* The wipe flag is consumed: a later fail-stop cycle is clean. *)
+  let _engine, net = make () in
+  let log = watch_wipes net 1 in
+  Net.crash_amnesia net 1;
+  Net.recover net 1;
+  Net.crash net 1;
+  Net.recover net 1;
+  Alcotest.(check (list (pair bool bool)))
+    "second recovery is not wiped"
+    [ (false, true); (true, true); (false, false); (true, false) ]
+    (List.rev !log)
+
+(* {2 Gray failure: per-node degradation} *)
+
+let test_degrade_introspection () =
+  let _engine, net = make () in
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "initially clear" None
+    (Net.degraded net 1);
+  Net.degrade_node net 1 ~delay_ms:25. ~loss:0.4;
+  Alcotest.(check (option (pair (float 0.) (float 0.))))
+    "set" (Some (25., 0.4)) (Net.degraded net 1);
+  Net.clear_degrade net 1;
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "cleared" None (Net.degraded net 1);
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Net.degrade_node: negative delay") (fun () ->
+      Net.degrade_node net 1 ~delay_ms:(-1.) ~loss:0.);
+  Alcotest.check_raises "loss outside [0,1] rejected"
+    (Invalid_argument "Net.degrade_node: loss outside [0, 1]") (fun () ->
+      Net.degrade_node net 1 ~delay_ms:0. ~loss:1.5)
+
+let test_degrade_adds_delay_both_directions () =
+  let engine, net = make () in
+  Net.degrade_node net 1 ~delay_ms:100. ~loss:0.;
+  let arrivals = ref [] in
+  Net.register net ~node:1 (fun ~src:_ _ -> arrivals := ("in", Engine.now engine) :: !arrivals);
+  Net.register net ~node:0 (fun ~src:_ _ -> arrivals := ("out", Engine.now engine) :: !arrivals);
+  Net.send net ~src:0 ~dst:1 (Ping 0);
+  Net.send net ~src:1 ~dst:0 (Ping 1);
+  Engine.run engine;
+  (* Base server-server delay is 80 ms; the degraded endpoint adds its
+     extra latency on every message it sends or receives. *)
+  Alcotest.(check (float 1e-9)) "inbound delayed" 180. (List.assoc "in" !arrivals);
+  Alcotest.(check (float 1e-9)) "outbound delayed" 180. (List.assoc "out" !arrivals)
+
+let test_degrade_loss_without_unreachability () =
+  let engine, net = make () in
+  Net.degrade_node net 1 ~delay_ms:0. ~loss:1.0;
+  let received = collect net 1 in
+  Alcotest.(check bool) "still reachable" true (Net.reachable net ~src:0 ~dst:1);
+  for _ = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 (Ping 0)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all dropped by gray loss" 0 (List.length !received);
+  Net.clear_degrade net 1;
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "delivered once cleared" 1 (List.length !received)
 
 let test_timer_skipped_when_down () =
   let engine, net = make () in
@@ -286,7 +381,9 @@ let test_heal_clears_cuts_and_flaps () =
 
 (* Property: [reachable] must agree with what [deliver_pending]
    actually does, across any interleaving of partitions, heals,
-   one-way cuts and crash/recover. *)
+   one-way cuts, fail-stop and amnesia crash/recover, link flapping,
+   and gray degradation (which slows and drops but must never sever:
+   a degraded node stays reachable). *)
 let prop_reachable_matches_delivery =
   QCheck.Test.make ~name:"reachable agrees with deliver_pending" ~count:100
     QCheck.(pair int64 (int_range 5 40))
@@ -299,7 +396,7 @@ let prop_reachable_matches_delivery =
       Net.set_manual net true;
       let ok = ref true in
       for _ = 1 to steps do
-        (match Dq_util.Rng.int rng 7 with
+        (match Dq_util.Rng.int rng 10 with
         | 0 ->
           Net.cut net ~src:(Dq_util.Rng.int rng nodes) ~dst:(Dq_util.Rng.int rng nodes)
         | 1 ->
@@ -308,6 +405,22 @@ let prop_reachable_matches_delivery =
         | 3 -> Net.heal net
         | 4 -> Net.crash net (Dq_util.Rng.int rng nodes)
         | 5 -> Net.recover net (Dq_util.Rng.int rng nodes)
+        | 6 -> Net.crash_amnesia net (Dq_util.Rng.int rng nodes)
+        | 7 ->
+          Net.degrade_node net
+            (Dq_util.Rng.int rng nodes)
+            ~delay_ms:(Dq_util.Rng.float rng 50.)
+            ~loss:(Dq_util.Rng.float rng 1.)
+        | 8 -> Net.clear_degrade net (Dq_util.Rng.int rng nodes)
+        | 9 ->
+          let src = Dq_util.Rng.int rng nodes in
+          let dst = Dq_util.Rng.int rng nodes in
+          if src <> dst then begin
+            Net.flap_link net ~src ~dst ~up_ms:5. ~down_ms:5.
+              ~until_ms:(Engine.now engine +. 40.);
+            (* let a few flap phases elapse so probes see both states *)
+            Engine.run ~until:(Engine.now engine +. Dq_util.Rng.float rng 60.) engine
+          end
         | _ -> ());
         (* After every mutation, a probe on each ordered pair of live
            nodes must be delivered exactly when the directed link is
@@ -365,6 +478,22 @@ let () =
           Alcotest.test_case "old incarnation timer" `Quick
             test_timer_from_old_incarnation_skipped;
           Alcotest.test_case "timer fires" `Quick test_timer_fires_normally;
+        ] );
+      ( "amnesia",
+        [
+          Alcotest.test_case "fail-stop not wiped" `Quick test_failstop_recovery_not_wiped;
+          Alcotest.test_case "amnesia wiped" `Quick test_amnesia_recovery_wiped;
+          Alcotest.test_case "wipe pending across fail-stop" `Quick
+            test_wipe_pending_across_failstop;
+          Alcotest.test_case "wipe consumed by recovery" `Quick test_wipe_consumed_by_recovery;
+        ] );
+      ( "gray degradation",
+        [
+          Alcotest.test_case "introspection" `Quick test_degrade_introspection;
+          Alcotest.test_case "adds delay both directions" `Quick
+            test_degrade_adds_delay_both_directions;
+          Alcotest.test_case "loss without unreachability" `Quick
+            test_degrade_loss_without_unreachability;
         ] );
       ( "partitions",
         [

@@ -46,6 +46,7 @@ let random_message rng =
         volume = Rng.int rng 2;
         t0 = float_of_int (Rng.int rng 1000);
         want = (if Rng.bool rng then Some (random_key rng) else None);
+        epoch = Rng.int rng 3;
       }
   | 4 -> M.Vol_renew_ack { volume = Rng.int rng 2; upto = random_lc rng }
   | 5 -> M.Inval_ack { key = random_key rng; lc = random_lc rng }
@@ -61,7 +62,9 @@ let random_message rng =
         delayed = List.init (Rng.int rng 3) (fun _ -> (random_key rng, random_lc rng));
         grant = (if Rng.bool rng then Some (random_grant rng) else None);
       }
-  | 9 -> M.Vols_renew_req { volumes = [ 0; 1 ]; t0 = float_of_int (Rng.int rng 1000) }
+  | 9 ->
+    M.Vols_renew_req
+      { volumes = [ (0, Rng.int rng 3); (1, 0) ]; t0 = float_of_int (Rng.int rng 1000) }
   | 10 ->
     M.Vols_renew_reply
       {

@@ -125,7 +125,7 @@ let test_iqs_vol_renewal_carries_delayed_invals () =
   (* Grant node 1 a volume lease, let it expire, then write: the
      invalidation must be queued as delayed and delivered with node 1's
      next renewal. *)
-  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 0.; want = None });
+  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 0.; want = None; epoch = 0 });
   Iqs.handle iqs ~src:1 (M.Obj_renew_req { key; t0 = 0. });
   flush w;
   (* Advance past the 1 s lease. *)
@@ -144,7 +144,7 @@ let test_iqs_vol_renewal_carries_delayed_invals () =
     (List.length direct_invals_to_1);
   (* The renewal delivers it... *)
   w.sent := [];
-  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 2_000.; want = None });
+  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 2_000.; want = None; epoch = 0 });
   flush w;
   (match
      List.filter_map
@@ -164,7 +164,7 @@ let test_iqs_epoch_advances_on_overflow () =
   let w = make_world () in
   let config = { w.config with Config.max_delayed = 2 } in
   let iqs = Iqs.create ~net:w.net ~clock:(Clock.perfect w.engine) ~config ~me:0 in
-  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 0.; want = None });
+  Iqs.handle iqs ~src:1 (M.Vol_renew_req { volume = 0; t0 = 0.; want = None; epoch = 0 });
   (* Install callbacks on three objects. *)
   let keys = List.init 3 (fun i -> Key.make ~volume:0 ~index:i) in
   List.iter (fun k -> Iqs.handle iqs ~src:1 (M.Obj_renew_req { key = k; t0 = 0. })) keys;
