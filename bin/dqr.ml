@@ -211,7 +211,7 @@ let run_custom protocol seed ops servers clients write_ratio locality objects ve
   match Registry.find protocol with
   | None ->
     Printf.eprintf "unknown protocol %S (%s)\n" protocol
-      (String.concat ", " Registry.known_names)
+      (String.concat ", " (Registry.known_names ()))
   | Some builder ->
     let engine = Dq_sim.Engine.create ~seed () in
     if verbose then Dq_sim.Sim_log.setup ~level:Logs.Debug engine;
@@ -536,6 +536,181 @@ let overhead_cmd =
   Cmd.v (Cmd.info "overhead" ~doc:"Analytical communication-overhead model")
     Term.(const overhead $ n_iqs $ n_oqs $ w)
 
+(* --- quorum-opt ------------------------------------------------------------ *)
+
+module Qs = Dq_quorum.Quorum_system
+module Strategy = Dq_quorum.Strategy
+module Optimizer = Dq_quorum.Optimizer
+
+(* Expand a per-node parameter: one value is replicated to all nodes, a
+   comma list must name every node. *)
+let per_node ~what ~n = function
+  | [ v ] -> Array.make n v
+  | vs when List.length vs = n -> Array.of_list vs
+  | vs ->
+    Printf.eprintf "quorum-opt: --%s needs 1 or %d values (got %d)\n" what n
+      (List.length vs);
+    exit 2
+
+let votes_label votes =
+  Printf.sprintf "[%s]" (String.concat "," (List.map (fun (_, v) -> string_of_int v) votes))
+
+let print_frontier (result : Optimizer.result) =
+  Printf.printf "searched %d quorum systems%s; frontier has %d point(s)\n"
+    result.Optimizer.candidates
+    (if result.Optimizer.truncated then " (truncated)" else "")
+    (List.length result.Optimizer.frontier);
+  let t =
+    Table.create
+      ~header:
+        [ "votes"; "r"; "w"; "kind"; "load"; "capacity"; "latency"; "ft";
+          "read unavail"; "write unavail" ]
+  in
+  List.iter
+    (fun (pt : Optimizer.point) ->
+      let m = pt.Optimizer.metrics in
+      Table.add_row t
+        [
+          votes_label pt.Optimizer.votes;
+          string_of_int pt.Optimizer.read_votes;
+          string_of_int pt.Optimizer.write_votes;
+          pt.Optimizer.kind;
+          Printf.sprintf "%.4f" m.Optimizer.load;
+          Printf.sprintf "%.2f" m.Optimizer.capacity;
+          Printf.sprintf "%.1f" m.Optimizer.latency_ms;
+          string_of_int m.Optimizer.fault_tolerance;
+          Render.scientific m.Optimizer.read_unavailability;
+          Render.scientific m.Optimizer.write_unavailability;
+        ])
+    result.Optimizer.frontier;
+  Table.print t
+
+(* Re-base the winning system and strategies from optimizer node ids
+   (0..n-1) onto the scenario topology's server ids, then register a
+   "dqvl-opt" protocol: optimized weighted IQS (with its explicit
+   read/write strategies) and the paper's read-one/write-all OQS. *)
+let register_applied (winner : Optimizer.point) ~n =
+  let make_config servers =
+    if List.length servers < n then
+      invalid_arg
+        (Printf.sprintf
+           "quorum-opt --apply: scenario has %d servers but the topology was \
+            optimized for %d nodes"
+           (List.length servers) n);
+    let mapped = Array.of_list (List.filteri (fun i _ -> i < n) servers) in
+    let iqs =
+      Qs.weighted ~name:"iqs-opt"
+        ~members:(List.map (fun (id, v) -> (mapped.(id), v)) winner.Optimizer.votes)
+        ~read:winner.Optimizer.read_votes ~write:winner.Optimizer.write_votes
+    in
+    let remap strategy mode =
+      match Strategy.distribution strategy with
+      | None -> None
+      | Some dist ->
+        Some
+          (Strategy.explicit iqs mode
+             (List.map (fun (q, p) -> (List.map (fun id -> mapped.(id)) q, p)) dist))
+    in
+    let config =
+      {
+        (Dq_core.Config.dqvl ~servers ()) with
+        Dq_core.Config.iqs;
+        oqs = Qs.rowa servers;
+        iqs_read_strategy = remap winner.Optimizer.read_strategy Qs.Read;
+        iqs_write_strategy = remap winner.Optimizer.write_strategy Qs.Write;
+      }
+    in
+    Dq_core.Config.validate config;
+    config
+  in
+  Registry.register (Registry.dqvl_custom ~name:"dqvl-opt" make_config)
+
+let quorum_opt n ps latencies read_fraction max_votes out apply scenario_name seed =
+  let fail_prob = per_node ~what:"p" ~n ps in
+  let latency = per_node ~what:"latency" ~n latencies in
+  let nodes =
+    List.init n (fun id ->
+        { Optimizer.id; fail_prob = fail_prob.(id); latency_ms = latency.(id) })
+  in
+  let result = Optimizer.search ~read_fraction ~max_votes ~nodes () in
+  print_frontier result;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Optimizer.to_json result);
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    out;
+  if apply then begin
+    match Optimizer.winner result with
+    | None ->
+      Printf.eprintf "quorum-opt: empty frontier, nothing to apply\n";
+      exit 1
+    | Some winner ->
+      Printf.printf "applying %s r=%d w=%d (%s) to scenario %s (smoke)\n"
+        (votes_label winner.Optimizer.votes)
+        winner.Optimizer.read_votes winner.Optimizer.write_votes winner.Optimizer.kind
+        scenario_name;
+      register_applied winner ~n;
+      let scenario = find_scenario scenario_name in
+      let now_s = Unix.gettimeofday in
+      let outcome =
+        Scenario.run_protocol ~now_s ~smoke:true ~seed scenario ~protocol:"dqvl-opt"
+      in
+      print_outcomes [ outcome ]
+  end
+
+let quorum_opt_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Node count.") in
+  let p =
+    Arg.(
+      value & opt (list float) [ 0.01 ]
+      & info [ "p"; "fail-probs" ] ~docv:"P,..."
+          ~doc:"Per-node failure probability: one value for all nodes, or one per node.")
+  in
+  let latency =
+    Arg.(
+      value & opt (list float) [ 10. ]
+      & info [ "latency" ] ~docv:"MS,..."
+          ~doc:"Per-node latency in ms: one value for all nodes, or one per node.")
+  in
+  let read_fraction =
+    Arg.(
+      value & opt float 0.9
+      & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of operations that are reads.")
+  in
+  let max_votes =
+    Arg.(
+      value & opt int 3
+      & info [ "max-votes" ] ~docv:"V" ~doc:"Largest per-node vote weight searched.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the frontier JSON (schema quorum-opt-1) to $(docv).")
+  in
+  let apply =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:
+            "Run the winning system as the DQVL input quorum system in a smoke bench \
+             scenario (protocol name dqvl-opt).")
+  in
+  let scenario =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "scenario" ] ~docv:"SCENARIO" ~doc:"Scenario used by $(b,--apply).")
+  in
+  Cmd.v
+    (Cmd.info "quorum-opt"
+       ~doc:
+         "Search weighted quorum systems and read/write strategies for a \
+          load/latency/fault-tolerance Pareto frontier")
+    Term.(
+      const quorum_opt $ n $ p $ latency $ read_fraction $ max_votes $ out $ apply
+      $ scenario $ seed_arg)
+
 (* --- load / bandwidth ------------------------------------------------------ *)
 
 let load_study seed ops service_ms =
@@ -574,6 +749,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            fig_cmd; ablation_cmd; run_cmd; bench_cmd; avail_cmd; overhead_cmd; load_cmd;
-            bandwidth_cmd;
+            fig_cmd; ablation_cmd; run_cmd; bench_cmd; avail_cmd; overhead_cmd;
+            quorum_opt_cmd; load_cmd; bandwidth_cmd;
           ]))

@@ -62,3 +62,52 @@ let unavailability protocol ~p ~w =
   ((1. -. w) *. read_unavailability protocol ~p) +. (w *. write_unavailability protocol ~p)
 
 let availability protocol ~p ~w = 1. -. unavailability protocol ~p ~w
+
+(* Heterogeneous per-node failure probabilities: the quorum-backed
+   protocols route through {!Av.unavailability_p} (exact 2^n
+   enumeration); the structureless baselines take the probability of
+   the specific node/set they depend on. *)
+
+let hetero_fail_all ~n ~p =
+  let acc = ref 1. in
+  for id = 0 to n - 1 do
+    acc := !acc *. p id
+  done;
+  !acc
+
+let hetero_fail_any ~n ~p =
+  let live = ref 1. in
+  for id = 0 to n - 1 do
+    live := !live *. (1. -. p id)
+  done;
+  1. -. !live
+
+let read_unavailability_p protocol ~p =
+  match protocol with
+  | Dqvl { iqs; oqs } ->
+    Float.max
+      (Av.unavailability_p oqs ~mode:Av.Read ~p)
+      (Av.unavailability_p iqs ~mode:Av.Read ~p)
+  | Majority { n } -> Av.unavailability_p (Qs.majority (members_of n)) ~mode:Av.Read ~p
+  | Rowa { n } -> hetero_fail_all ~n ~p
+  | Rowa_async_stale { n } -> hetero_fail_all ~n ~p
+  | Rowa_async_no_stale -> p 0
+  | Primary_backup -> p 0
+  | Custom { read; _ } -> Av.unavailability_p read ~mode:Av.Read ~p
+
+let write_unavailability_p protocol ~p =
+  match protocol with
+  | Dqvl { iqs; _ } ->
+    Float.max
+      (Av.unavailability_p iqs ~mode:Av.Write ~p)
+      (Av.unavailability_p iqs ~mode:Av.Read ~p)
+  | Majority { n } -> Av.unavailability_p (Qs.majority (members_of n)) ~mode:Av.Write ~p
+  | Rowa { n } -> hetero_fail_any ~n ~p
+  | Rowa_async_stale { n } -> hetero_fail_all ~n ~p
+  | Rowa_async_no_stale -> p 0
+  | Primary_backup -> p 0
+  | Custom { write; _ } -> Av.unavailability_p write ~mode:Av.Write ~p
+
+let unavailability_p protocol ~p ~w =
+  ((1. -. w) *. read_unavailability_p protocol ~p)
+  +. (w *. write_unavailability_p protocol ~p)

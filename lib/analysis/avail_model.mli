@@ -43,4 +43,16 @@ val unavailability : protocol -> p:float -> w:float -> float
 
 val availability : protocol -> p:float -> w:float -> float
 
+val read_unavailability_p : protocol -> p:(int -> float) -> float
+(** Heterogeneous variant: [p id] is node [id]'s failure probability
+    (ids [0 .. n-1]). Quorum-backed protocols use the exact 2^n
+    enumeration of {!Dq_quorum.Availability.unavailability_p}; for the
+    structureless baselines, [Primary_backup] and
+    [Rowa_async_no_stale] depend on node 0 (the primary / the replica
+    holding the latest write). *)
+
+val write_unavailability_p : protocol -> p:(int -> float) -> float
+
+val unavailability_p : protocol -> p:(int -> float) -> w:float -> float
+
 val name : protocol -> string

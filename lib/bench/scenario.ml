@@ -192,7 +192,7 @@ let run_protocol ?now_s ?(wan_scale = 1.) ?write_ratio ~smoke ~seed (scenario : 
     | None ->
       invalid_arg
         (Printf.sprintf "Scenario.run: unknown protocol %S (known: %s)" protocol
-           (String.concat ", " Registry.known_names))
+           (String.concat ", " (Registry.known_names ())))
   in
   let wan_scale = scenario.wan_scale *. wan_scale in
   let spec =

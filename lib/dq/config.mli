@@ -10,6 +10,22 @@
 type t = {
   iqs : Dq_quorum.Quorum_system.t;  (** input quorum system, over server ids *)
   oqs : Dq_quorum.Quorum_system.t;  (** output quorum system, over server ids *)
+  iqs_read_strategy : Dq_quorum.Strategy.t option;
+      (** quorum-selection strategy for IQS reads (the write path's
+          lc-read phase and renewal targeting). [None] — the default in
+          {!dqvl} and {!basic} — uses the legacy sampler, which is
+          bit-identical to pre-strategy behavior; [Some s] (typically
+          from {!Dq_quorum.Optimizer} or {!Dq_quorum.Strategy.explicit})
+          samples [s] verbatim. Must be built over [iqs] (the very same
+          value) with mode [Read]. *)
+  iqs_write_strategy : Dq_quorum.Strategy.t option;
+      (** same, for IQS writes (impose and write phase 2) *)
+  oqs_read_strategy : Dq_quorum.Strategy.t option;
+      (** same, for OQS reads (the front-end read path) *)
+  oqs_write_strategy : Dq_quorum.Strategy.t option;
+      (** same, for OQS writes (reserved — the OQS write path runs
+          through invalidation fan-out, not QRPC quorum selection, so
+          this is validated but currently unused) *)
   use_volume_leases : bool;
       (** [true] for DQVL (Section 3.2); [false] for the basic
           dual-quorum protocol (Section 3.1), in which OQS copies are
@@ -64,7 +80,9 @@ type t = {
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical parameters (non-positive
-    lease, drift outside [0, 1), margin >= lease, ...). *)
+    lease, drift outside [0, 1), margin >= lease, a strategy whose
+    system or mode does not match the quorum system it is configured
+    for, ...). *)
 
 val dqvl :
   servers:int list ->

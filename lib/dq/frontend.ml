@@ -73,7 +73,8 @@ let impose t ~key ~value ~lc ~on_done ~on_fail =
       ~on_quorum:(fun _ ->
         Hashtbl.remove t.pending op;
         on_done ~value ~lc)
-      ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
+      ~prefer:t.me ?tracker:t.tracker ?strategy:t.config.iqs_write_strategy
+      ~timeout_ms:t.config.retry_timeout_ms
       ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op;
@@ -102,7 +103,8 @@ let read t ~key ~on_done ~on_fail =
           if t.config.atomic_reads then impose t ~key ~value ~lc ~on_done ~on_fail
           else on_done ~value ~lc
         | None -> () (* a quorum always has at least one reply *))
-      ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
+      ~prefer:t.me ?tracker:t.tracker ?strategy:t.config.oqs_read_strategy
+      ~timeout_ms:t.config.retry_timeout_ms
       ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op;
@@ -134,7 +136,8 @@ let write t ~key ~value ~on_done ~on_fail =
         ~on_quorum:(fun _replies ->
           Hashtbl.remove t.pending op2;
           on_done ~lc:wlc)
-        ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
+        ~prefer:t.me ?tracker:t.tracker ?strategy:t.config.iqs_write_strategy
+        ~timeout_ms:t.config.retry_timeout_ms
         ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
         ~on_give_up:(fun () ->
           Hashtbl.remove t.pending op2;
@@ -150,7 +153,8 @@ let write t ~key ~value ~on_done ~on_fail =
         Hashtbl.remove t.pending op1;
         let max_lc = List.fold_left (fun acc (_, lc) -> Lc.max acc lc) Lc.zero replies in
         phase2 max_lc)
-      ~prefer:t.me ?tracker:t.tracker ~timeout_ms:t.config.retry_timeout_ms
+      ~prefer:t.me ?tracker:t.tracker ?strategy:t.config.iqs_read_strategy
+      ~timeout_ms:t.config.retry_timeout_ms
       ~backoff:t.config.retry_backoff ?max_rounds:t.config.max_rounds
       ~on_give_up:(fun () ->
         Hashtbl.remove t.pending op1;

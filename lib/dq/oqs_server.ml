@@ -238,7 +238,8 @@ let start_ensure t key =
   let attempt ~round:_ =
     let volume = Key.volume key in
     let quorum =
-      Dq_rpc.Qrpc.pick_read_targets ~rng:t.rng ~system:t.config.iqs ~prefer:t.me ()
+      Dq_rpc.Qrpc.pick_read_targets ?strategy:t.config.iqs_read_strategy ~rng:t.rng
+        ~system:t.config.iqs ~prefer:t.me ()
     in
     let visit i =
       let in_quorum = List.mem i quorum in

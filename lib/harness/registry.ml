@@ -166,10 +166,17 @@ let grid ~rows ~cols =
         base_instance engine topology ?faults (Dq_proto.Base_cluster.Custom_quorum system));
   }
 
+(* Session-registered builders (e.g. the quorum-opt --apply winner):
+   consulted before the static table, so a registered name can also
+   shadow a built-in. *)
+let registered : (string, builder) Hashtbl.t = Hashtbl.create 4
+
+let register builder = Hashtbl.replace registered builder.name builder
+
 (* By-name lookup shared by the CLIs and the bench scenario registry.
    "dqvl-paper" is the evaluation configuration (short on-demand
    leases); plain "dqvl" keeps the builder's defaults. *)
-let find = function
+let find_static = function
   | "dqvl" -> Some (dqvl ())
   | "dqvl-paper" -> Some (dqvl ~volume_lease_ms:1_000. ~proactive_renew:false ())
   | "dq-basic" -> Some dq_basic
@@ -181,8 +188,14 @@ let find = function
   | "rowa-async" -> Some (rowa_async ())
   | _ -> None
 
-let known_names =
-  [
+let find name =
+  match Hashtbl.find_opt registered name with
+  | Some builder -> Some builder
+  | None -> find_static name
+
+let known_names () =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) registered [])
+  @ [
     "dqvl";
     "dqvl-paper";
     "dq-basic";

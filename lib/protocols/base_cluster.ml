@@ -90,7 +90,7 @@ let sync_ok protocol ~servers ~me =
     | Base_frontend.Forward _ | Base_frontend.Local_session _ ->
       fun present -> Qs.is_read_quorum (Qs.majority servers) ~present)
 
-let install_server t ~servers ~retry_timeout_ms id =
+let install_server t ~servers ~retry_timeout_ms ?read_strategy ?write_strategy id =
   let replica =
     Replica.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
       ~mode:(replica_mode t.protocol ~servers ~me:id)
@@ -99,9 +99,10 @@ let install_server t ~servers ~retry_timeout_ms id =
       ~retry_timeout_ms ()
   in
   let frontend =
-    Base_frontend.create ~net:t.net ~rng:(Engine.split_rng t.engine) ~me:id
+    Base_frontend.create ?read_strategy ?write_strategy ~net:t.net
+      ~rng:(Engine.split_rng t.engine) ~me:id
       ~style:(frontend_style t.protocol ~servers ~me:id)
-      ~retry_timeout_ms
+      ~retry_timeout_ms ()
   in
   Hashtbl.replace t.replicas id replica;
   Hashtbl.replace t.frontends id frontend;
@@ -142,7 +143,8 @@ let install_client t id =
         | Some (`Read _) | None -> ())
       | _ -> ())
 
-let create engine topology ?faults ?(retry_timeout_ms = 400.) protocol =
+let create engine topology ?faults ?(retry_timeout_ms = 400.) ?read_strategy
+    ?write_strategy protocol =
   let net = Net.create engine topology ?faults ~classify:Base_msg.classify ~size_of:Base_msg.size_of () in
   let t =
     {
@@ -155,7 +157,8 @@ let create engine topology ?faults ?(retry_timeout_ms = 400.) protocol =
     }
   in
   let servers = Topology.servers topology in
-  List.iter (install_server t ~servers ~retry_timeout_ms) servers;
+  List.iter (install_server t ~servers ~retry_timeout_ms ?read_strategy ?write_strategy)
+    servers;
   List.iter (install_client t) (Topology.clients topology);
   t
 

@@ -32,10 +32,16 @@ val create :
   Dq_net.Topology.t ->
   ?faults:Dq_net.Net.fault_model ->
   ?retry_timeout_ms:float ->
+  ?read_strategy:Dq_quorum.Strategy.t ->
+  ?write_strategy:Dq_quorum.Strategy.t ->
   protocol ->
   t
 (** Servers are the topology's server nodes; [Custom_quorum] may name a
-    subset of them. *)
+    subset of them. [read_strategy]/[write_strategy] override quorum
+    selection for two-phase protocols when built over the protocol's own
+    quorum system (pass the same {!Dq_quorum.Quorum_system.t} value to
+    [Custom_quorum] and to {!Dq_quorum.Strategy.explicit}); see
+    {!Base_frontend.create}. *)
 
 val api : t -> Dq_intf.Replication.api
 

@@ -1,6 +1,7 @@
 open Dq_storage
 module Net = Dq_net.Net
 module Qs = Dq_quorum.Quorum_system
+module Strategy = Dq_quorum.Strategy
 module Qrpc = Dq_rpc.Qrpc
 
 type style =
@@ -22,6 +23,8 @@ type t = {
   rng : Dq_util.Rng.t;
   me : int;
   style : style;
+  read_strategy : Strategy.t option;
+  write_strategy : Strategy.t option;
   retry_timeout_ms : float;
   mutable next_op : int;
   mutable last_issued : Lc.t;
@@ -32,13 +35,15 @@ type t = {
          issue two distinct writes for one client operation *)
 }
 
-let create ~net ~rng ~me ~style ~retry_timeout_ms =
+let create ?read_strategy ?write_strategy ~net ~rng ~me ~style ~retry_timeout_ms () =
   {
     net;
     bus = Dq_sim.Engine.telemetry (Net.engine net);
     rng;
     me;
     style;
+    read_strategy;
+    write_strategy;
     retry_timeout_ms;
     next_op = 0;
     last_issued = Lc.zero;
@@ -70,6 +75,16 @@ let target_system t =
   | Local_session { replica } ->
     Qs.threshold ~name:"local" ~members:[ replica ] ~read:1 ~write:1
 
+(* A configured strategy applies only to calls against the quorum system
+   it was built over (the Two_phase system); forwarding and local-session
+   styles build fresh single-node systems per call and keep the legacy
+   path. *)
+let strategy_for t ~system mode =
+  let candidate = match mode with Qrpc.Read -> t.read_strategy | Qrpc.Write -> t.write_strategy in
+  match candidate with
+  | Some s when Strategy.system s == system -> Some s
+  | Some _ | None -> None
+
 (* ABD read-impose: push the value the read is about to return to a
    write quorum, so no later read can observe an older version. The
    write-back reuses the ordinary timestamped write path and is
@@ -82,8 +97,8 @@ let impose t ~system ~key ~value ~lc ~on_done =
       ~on_quorum:(fun _ ->
         Hashtbl.remove t.pending op;
         on_done ~value ~lc)
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
-      ~tag:"base.impose" ()
+      ~prefer:t.me ?strategy:(strategy_for t ~system Qrpc.Write)
+      ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.impose" ()
   in
   Hashtbl.replace t.pending op (Write call)
 
@@ -118,8 +133,8 @@ let read_with_floor t ~key ~floor ~on_done =
           else
             (* Wait for propagation, then look again. *)
             ignore (timer t ~delay_ms:(t.retry_timeout_ms /. 2.) poll))
-        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
-        ~tag:"base.read_floor" ()
+        ~prefer:t.me ?strategy:(strategy_for t ~system Qrpc.Read)
+        ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.read_floor" ()
     in
     Hashtbl.replace t.pending op (Read call)
   in
@@ -150,8 +165,8 @@ let read ?(floor = Lc.zero) t ~key ~on_done =
           if atomic then impose t ~system ~key ~value ~lc ~on_done
           else on_done ~value ~lc
         | None -> ())
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
-      ~tag:"base.read" ()
+      ~prefer:t.me ?strategy:(strategy_for t ~system Qrpc.Read)
+      ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.read" ()
   in
   Hashtbl.replace t.pending op (Read call)
 
@@ -167,8 +182,8 @@ let write_two_phase t ~system ~key ~value ~on_done =
         ~on_quorum:(fun _ ->
           Hashtbl.remove t.pending op2;
           on_done ~lc:wlc)
-        ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
-        ~tag:"base.write" ()
+        ~prefer:t.me ?strategy:(strategy_for t ~system Qrpc.Write)
+        ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.write" ()
     in
     Hashtbl.replace t.pending op2 (Write call)
   in
@@ -179,8 +194,8 @@ let write_two_phase t ~system ~key ~value ~on_done =
         Hashtbl.remove t.pending op1;
         let max_lc = List.fold_left (fun acc (_, lc) -> Lc.max acc lc) Lc.zero replies in
         phase2 max_lc)
-      ~prefer:t.me ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me
-      ~tag:"base.lc_read" ()
+      ~prefer:t.me ?strategy:(strategy_for t ~system Qrpc.Read)
+      ~timeout_ms:t.retry_timeout_ms ~bus:t.bus ~node:t.me ~tag:"base.lc_read" ()
   in
   Hashtbl.replace t.pending op1 (Lc_read call)
 

@@ -30,12 +30,21 @@ type style =
 type t
 
 val create :
+  ?read_strategy:Dq_quorum.Strategy.t ->
+  ?write_strategy:Dq_quorum.Strategy.t ->
   net:Base_msg.t Dq_net.Net.t ->
   rng:Dq_util.Rng.t ->
   me:int ->
   style:style ->
   retry_timeout_ms:float ->
+  unit ->
   t
+(** A strategy applies only to QRPC calls against the very quorum
+    system it was built over (physical equality) — in practice the
+    [Two_phase] system; [Forward] and [Local_session] build fresh
+    single-node systems per call and always use the legacy sampler.
+    Omitted strategies keep target selection bit-identical to
+    pre-strategy behavior. *)
 
 val read : ?floor:Lc.t -> t -> key:Key.t -> on_done:(value:string -> lc:Lc.t -> unit) -> unit
 (** [floor] (default {!Lc.zero}) is honoured by [Local_session]

@@ -1,4 +1,4 @@
-type mode = Read | Write
+type mode = Quorum_system.mode = Read | Write
 
 let predicate qs mode =
   match mode with
@@ -30,16 +30,18 @@ let bit_index_table members =
     fun id -> Hashtbl.find tbl id
   end
 
-(* Exact enumeration over live/dead states of the members. [want_failure]
-   selects whether we accumulate the probability of states with no quorum
-   (unavailability) or with a quorum (availability). *)
-let enumerate qs mode ~p ~want_failure =
+(* Exact enumeration over live/dead states of the members, with a
+   per-member failure probability. [want_failure] selects whether we
+   accumulate the probability of states with no quorum (unavailability)
+   or with a quorum (availability). *)
+let enumerate qs ~mode ~p ~want_failure =
   let member_array = Array.of_list (Quorum_system.members qs) in
   let n = Array.length member_array in
   if n > 24 then invalid_arg "Availability: quorum system too large for enumeration";
   let holds = predicate qs mode in
   let index_of = bit_index_table member_array in
-  let q = 1. -. p in
+  let fail = Array.map p member_array in
+  let live = Array.map (fun pf -> 1. -. pf) fail in
   let acc = ref 0. in
   for mask = 0 to (1 lsl n) - 1 do
     let present id = mask land (1 lsl index_of id) <> 0 in
@@ -47,12 +49,16 @@ let enumerate qs mode ~p ~want_failure =
     if has_quorum <> want_failure then begin
       let prob = ref 1. in
       for i = 0 to n - 1 do
-        prob := !prob *. (if mask land (1 lsl i) <> 0 then q else p)
+        prob := !prob *. (if mask land (1 lsl i) <> 0 then live.(i) else fail.(i))
       done;
       acc := !acc +. !prob
     end
   done;
   !acc
+
+let unavailability_p qs ~mode ~p = enumerate qs ~mode ~p ~want_failure:true
+
+let availability_p qs ~mode ~p = enumerate qs ~mode ~p ~want_failure:false
 
 let is_uniform_threshold qs mode =
   match Quorum_system.counting_thresholds qs with
@@ -70,7 +76,7 @@ let unavailability qs ~mode ~p =
     | Some (n, k) ->
       (* Up-count X ~ Binomial(n, 1-p); unavailable iff X < k. *)
       Dq_util.Combin.binomial_tail_le ~n ~p:(1. -. p) (k - 1)
-    | None -> enumerate qs mode ~p ~want_failure:true
+    | None -> enumerate qs ~mode ~p:(fun _ -> p) ~want_failure:true
 
 let availability qs ~mode ~p =
   if p <= 0. then 1.
@@ -78,7 +84,7 @@ let availability qs ~mode ~p =
   else
     match is_uniform_threshold qs mode with
     | Some (n, k) -> Dq_util.Combin.binomial_tail_ge ~n ~p:(1. -. p) k
-    | None -> enumerate qs mode ~p ~want_failure:false
+    | None -> enumerate qs ~mode ~p:(fun _ -> p) ~want_failure:false
 
 let min_availability qs ~p =
   Float.min (availability qs ~mode:Read ~p) (availability qs ~mode:Write ~p)

@@ -8,7 +8,7 @@
     so values down to 1e-300 carry full relative precision — the paper
     plots unavailability on a log scale. *)
 
-type mode = Read | Write
+type mode = Quorum_system.mode = Read | Write
 
 val availability : Quorum_system.t -> mode:mode -> p:float -> float
 (** Probability that a quorum of live nodes exists. *)
@@ -17,6 +17,20 @@ val unavailability : Quorum_system.t -> mode:mode -> p:float -> float
 (** [1 - availability], computed in probability space. Threshold systems
     use closed-form binomial tails; other systems are evaluated by exact
     enumeration over the 2^n live/dead states (requires [size <= 24]). *)
+
+val enumerate :
+  Quorum_system.t -> mode:mode -> p:(int -> float) -> want_failure:bool -> float
+(** The exact enumeration itself, generalized to a {e per-node} failure
+    probability [p id] — the oracle the {!Optimizer}'s frontier is
+    cross-checked against. Sums, over all 2^n live/dead states, the
+    probability of states without ([want_failure:true]) or with
+    ([want_failure:false]) a [mode] quorum. Requires [size <= 24]. *)
+
+val unavailability_p : Quorum_system.t -> mode:mode -> p:(int -> float) -> float
+(** [enumerate ~want_failure:true]: unavailability under heterogeneous
+    per-node failure probabilities. *)
+
+val availability_p : Quorum_system.t -> mode:mode -> p:(int -> float) -> float
 
 val unavailability_mc :
   Quorum_system.t -> mode:mode -> p:float -> rng:Dq_util.Rng.t -> samples:int -> float

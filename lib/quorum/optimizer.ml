@@ -1,0 +1,402 @@
+module Qs = Quorum_system
+
+type node = { id : int; fail_prob : float; latency_ms : float }
+
+type metrics = {
+  load : float;
+  capacity : float;
+  latency_ms : float;
+  fault_tolerance : int;
+  read_unavailability : float;
+  write_unavailability : float;
+}
+
+type point = {
+  system : Qs.t;
+  votes : (int * int) list;
+  read_votes : int;
+  write_votes : int;
+  kind : string;
+  read_strategy : Strategy.t;
+  write_strategy : Strategy.t;
+  metrics : metrics;
+}
+
+type result = {
+  nodes : node list;
+  read_fraction : float;
+  max_votes : int;
+  candidates : int;
+  truncated : bool;
+  frontier : point list;
+}
+
+(* --- Candidate generation ------------------------------------------------- *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* All vote vectors in [1, max_votes]^n with gcd 1 (scaled copies define
+   the same quorum sets), in odometer order for determinism. *)
+let vote_vectors ~n ~max_votes =
+  let v = Array.make n 1 in
+  let out = ref [] in
+  let rec next i =
+    if i < 0 then false
+    else if v.(i) < max_votes then begin
+      v.(i) <- v.(i) + 1;
+      Array.fill v (i + 1) (n - i - 1) 1;
+      true
+    end
+    else next (i - 1)
+  in
+  let continue = ref true in
+  while !continue do
+    if Array.fold_left gcd 0 v = 1 then out := Array.copy v :: !out;
+    continue := next (n - 1)
+  done;
+  List.rev !out
+
+let signature ~read_quorums ~write_quorums =
+  let part qs =
+    String.concat "|" (List.map (fun q -> String.concat "," (List.map string_of_int q)) qs)
+  in
+  part read_quorums ^ "#" ^ part write_quorums
+
+(* --- Strategy optimization ------------------------------------------------ *)
+
+(* Minimize the worst-node load over joint (read, write) strategies —
+   a zero-sum game between the strategy player (columns: quorums) and
+   an adversary picking the busiest node. Solved by multiplicative
+   weights on the adversary side with exact best responses, then
+   averaging the responses into a mixed strategy; deterministic, and
+   within O(sqrt(log n / T)) of the LP optimum. *)
+let load_optimal_strategies ~read_fraction ~members ~read_quorums ~write_quorums =
+  let n = Array.length members in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.replace idx id i) members;
+  let indices q = List.map (Hashtbl.find idx) q in
+  let rq = Array.of_list (List.map indices read_quorums) in
+  let wq = Array.of_list (List.map indices write_quorums) in
+  let rounds = 600 in
+  let eta = Float.sqrt (8. *. Float.log (float_of_int (max 2 n)) /. float_of_int rounds) in
+  let weights = Array.make n 1. in
+  let counts_r = Array.make (Array.length rq) 0. in
+  let counts_w = Array.make (Array.length wq) 0. in
+  let best_response quorums =
+    let best = ref 0 and best_score = ref Float.infinity in
+    Array.iteri
+      (fun qi q ->
+        let score = List.fold_left (fun acc i -> acc +. weights.(i)) 0. q in
+        if score < !best_score then begin
+          best := qi;
+          best_score := score
+        end)
+      quorums;
+    !best
+  in
+  for _ = 1 to rounds do
+    let ri = best_response rq and wi = best_response wq in
+    counts_r.(ri) <- counts_r.(ri) +. 1.;
+    counts_w.(wi) <- counts_w.(wi) +. 1.;
+    let bump coeff q =
+      List.iter (fun i -> weights.(i) <- weights.(i) *. Float.exp (eta *. coeff)) q
+    in
+    bump read_fraction rq.(ri);
+    bump (1. -. read_fraction) wq.(wi);
+    (* Renormalize so long runs cannot overflow. *)
+    let wmax = Array.fold_left Float.max 0. weights in
+    if wmax > 1e100 then Array.iteri (fun i w -> weights.(i) <- w /. wmax) weights
+  done;
+  let to_dist quorums counts =
+    let qs = Array.of_list quorums in
+    let total = Array.fold_left ( +. ) 0. counts in
+    let out = ref [] in
+    Array.iteri (fun i c -> if c > 0. then out := (qs.(i), c /. total) :: !out) counts;
+    List.rev !out
+  in
+  (to_dist read_quorums counts_r, to_dist write_quorums counts_w)
+
+(* Deterministic point mass on the quorum whose slowest member is
+   fastest (first in enumeration order on ties). *)
+let latency_optimal ~latency quorums =
+  let worst q = List.fold_left (fun m id -> Float.max m (latency id)) 0. q in
+  let best =
+    List.fold_left
+      (fun acc q ->
+        match acc with
+        | Some (_, b) when b <= worst q -> acc
+        | Some _ | None -> Some (q, worst q))
+      None quorums
+  in
+  match best with Some (q, _) -> [ (q, 1.) ] | None -> invalid_arg "Optimizer: no quorums"
+
+(* --- Objective evaluation ------------------------------------------------- *)
+
+(* P(no minimal quorum fully live), from the quorum list itself — an
+   independent path from Availability.enumerate's predicate walk, which
+   the frontier is cross-checked against. *)
+let unavailability_from_quorums ~nodes ~quorums =
+  let n = Array.length nodes in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri (fun i nd -> Hashtbl.replace idx nd.id i) nodes;
+  let masks =
+    List.map
+      (List.fold_left (fun m id -> m lor (1 lsl Hashtbl.find idx id)) 0)
+      quorums
+  in
+  let acc = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    if not (List.exists (fun q -> q land mask = q) masks) then begin
+      let prob = ref 1. in
+      for i = 0 to n - 1 do
+        prob :=
+          !prob *. (if mask land (1 lsl i) <> 0 then 1. -. nodes.(i).fail_prob
+                    else nodes.(i).fail_prob)
+      done;
+      acc := !acc +. !prob
+    end
+  done;
+  !acc
+
+(* Fewest failures that wipe out every quorum: enough votes must die to
+   drop the survivors below the threshold, and the cheapest way (in
+   node count) is to kill the largest votes first. *)
+let fault_tolerance ~votes ~total ~threshold =
+  let sorted = List.sort (fun a b -> Int.compare b a) (List.map snd votes) in
+  let target = total - threshold + 1 in
+  let rec kill acc count = function
+    | _ when acc >= target -> count
+    | [] -> count (* unreachable: total >= target *)
+    | v :: rest -> kill (acc + v) (count + 1) rest
+  in
+  kill 0 0 sorted - 1
+
+let evaluate ~node_arr ~read_fraction ~latency ~system ~votes ~read_votes ~write_votes
+    ~read_quorums ~write_quorums ~kind dists =
+  let read_dist, write_dist = dists in
+  let read_strategy = Strategy.explicit system Qs.Read read_dist in
+  let write_strategy = Strategy.explicit system Qs.Write write_dist in
+  let load =
+    List.fold_left
+      (fun acc id ->
+        Float.max acc
+          ((read_fraction *. Strategy.node_load read_strategy id)
+          +. ((1. -. read_fraction) *. Strategy.node_load write_strategy id)))
+      0. (Qs.members system)
+  in
+  let latency_ms =
+    (read_fraction *. Strategy.expected_latency read_strategy ~latency_ms:latency)
+    +. ((1. -. read_fraction) *. Strategy.expected_latency write_strategy ~latency_ms:latency)
+  in
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 votes in
+  let ft_read = fault_tolerance ~votes ~total ~threshold:read_votes in
+  let ft_write = fault_tolerance ~votes ~total ~threshold:write_votes in
+  let metrics =
+    {
+      load;
+      capacity = 1. /. load;
+      latency_ms;
+      fault_tolerance = min ft_read ft_write;
+      read_unavailability = unavailability_from_quorums ~nodes:node_arr ~quorums:read_quorums;
+      write_unavailability =
+        unavailability_from_quorums ~nodes:node_arr ~quorums:write_quorums;
+    }
+  in
+  { system; votes; read_votes; write_votes; kind; read_strategy; write_strategy; metrics }
+
+(* --- Pareto filtering ----------------------------------------------------- *)
+
+let dominates a b =
+  a.metrics.load <= b.metrics.load
+  && a.metrics.latency_ms <= b.metrics.latency_ms
+  && a.metrics.fault_tolerance >= b.metrics.fault_tolerance
+  && (a.metrics.load < b.metrics.load
+     || a.metrics.latency_ms < b.metrics.latency_ms
+     || a.metrics.fault_tolerance > b.metrics.fault_tolerance)
+
+let pareto points =
+  List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+
+(* --- Search --------------------------------------------------------------- *)
+
+let search ?(read_fraction = 0.9) ?(max_votes = 3) ?(max_systems = 20_000) ~nodes () =
+  (match nodes with [] -> invalid_arg "Optimizer.search: no nodes" | _ :: _ -> ());
+  if List.length nodes > Qs.enumeration_bound then
+    invalid_arg "Optimizer.search: too many nodes to enumerate quorums";
+  List.iter
+    (fun nd ->
+      if nd.fail_prob < 0. || nd.fail_prob >= 1. then
+        invalid_arg "Optimizer.search: fail_prob must be in [0, 1)";
+      if nd.latency_ms < 0. then invalid_arg "Optimizer.search: negative latency")
+    nodes;
+  if read_fraction < 0. || read_fraction > 1. then
+    invalid_arg "Optimizer.search: read_fraction must be in [0, 1]";
+  if max_votes < 1 then invalid_arg "Optimizer.search: max_votes must be >= 1";
+  let node_arr = Array.of_list nodes in
+  let n = Array.length node_arr in
+  let latency =
+    let tbl = Hashtbl.create (2 * n) in
+    List.iter (fun nd -> Hashtbl.replace tbl nd.id nd.latency_ms) nodes;
+    Hashtbl.find tbl
+  in
+  let members = Array.map (fun nd -> nd.id) node_arr in
+  let seen = Hashtbl.create 1024 in
+  let candidates = ref 0 in
+  let truncated = ref false in
+  let points = ref [] in
+  let consider votes_arr read_votes write_votes =
+    if !candidates >= max_systems then truncated := true
+    else begin
+      let votes = List.mapi (fun i v -> (members.(i), v)) (Array.to_list votes_arr) in
+      let name =
+        Printf.sprintf "wv[%s]r%dw%d"
+          (String.concat "," (List.map (fun (_, v) -> string_of_int v) votes))
+          read_votes write_votes
+      in
+      let system = Qs.weighted ~name ~members:votes ~read:read_votes ~write:write_votes in
+      let read_quorums = Qs.read_quorums system in
+      let write_quorums = Qs.write_quorums system in
+      let key = signature ~read_quorums ~write_quorums in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        incr candidates;
+        let eval =
+          evaluate ~node_arr ~read_fraction ~latency ~system ~votes ~read_votes
+            ~write_votes ~read_quorums ~write_quorums
+        in
+        let load_opt =
+          eval ~kind:"load-optimal"
+            (load_optimal_strategies ~read_fraction ~members ~read_quorums ~write_quorums)
+        in
+        let lat_opt =
+          eval ~kind:"latency-optimal"
+            (latency_optimal ~latency read_quorums, latency_optimal ~latency write_quorums)
+        in
+        points := load_opt :: lat_opt :: !points
+      end
+    end
+  in
+  List.iter
+    (fun votes_arr ->
+      let total = Array.fold_left ( + ) 0 votes_arr in
+      for write_votes = (total / 2) + 1 to total do
+        for read_votes = total - write_votes + 1 to total do
+          consider votes_arr read_votes write_votes
+        done
+      done)
+    (vote_vectors ~n ~max_votes);
+  let frontier = pareto !points in
+  let frontier =
+    List.sort
+      (fun a b ->
+        match Float.compare a.metrics.load b.metrics.load with
+        | 0 -> (
+          match Float.compare a.metrics.latency_ms b.metrics.latency_ms with
+          | 0 -> (
+            match String.compare (Qs.name a.system) (Qs.name b.system) with
+            | 0 -> String.compare a.kind b.kind
+            | c -> c)
+          | c -> c)
+        | c -> c)
+      frontier
+  in
+  { nodes; read_fraction; max_votes; candidates = !candidates; truncated = !truncated;
+    frontier }
+
+let winner ?(min_fault_tolerance = 1) result =
+  let eligible =
+    List.filter
+      (fun p -> p.metrics.fault_tolerance >= min_fault_tolerance)
+      result.frontier
+  in
+  let pool = match eligible with [] -> result.frontier | _ :: _ -> eligible in
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some best
+        when best.metrics.load < p.metrics.load
+             || (best.metrics.load = p.metrics.load
+                && best.metrics.latency_ms <= p.metrics.latency_ms) ->
+        acc
+      | Some _ | None -> Some p)
+    None pool
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let json_float x =
+  (* Shortest representation that round-trips; JSON has no infinities. *)
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let strategy_json buf strategy =
+  match Strategy.distribution strategy with
+  | None -> Buffer.add_string buf "null"
+  | Some dist ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i (q, p) ->
+        if i > 0 then Buffer.add_char buf ',';
+        buf_addf buf "{\"quorum\":[%s],\"prob\":%s}"
+          (String.concat "," (List.map string_of_int q))
+          (json_float p))
+      dist;
+    Buffer.add_char buf ']'
+
+let point_json buf ~check p =
+  let m = p.metrics in
+  buf_addf buf "{\"name\":%S,\"kind\":%S,\"votes\":[" (Qs.name p.system) p.kind;
+  List.iteri
+    (fun i (id, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_addf buf "[%d,%d]" id v)
+    p.votes;
+  buf_addf buf "],\"read_votes\":%d,\"write_votes\":%d," p.read_votes p.write_votes;
+  Buffer.add_string buf "\"read_strategy\":";
+  strategy_json buf p.read_strategy;
+  Buffer.add_string buf ",\"write_strategy\":";
+  strategy_json buf p.write_strategy;
+  buf_addf buf ",\"load\":%s,\"capacity\":%s,\"latency_ms\":%s,\"fault_tolerance\":%d"
+    (json_float m.load) (json_float m.capacity) (json_float m.latency_ms)
+    m.fault_tolerance;
+  buf_addf buf ",\"read_unavailability\":%s,\"write_unavailability\":%s"
+    (json_float m.read_unavailability)
+    (json_float m.write_unavailability);
+  let check_read, check_write = check p in
+  buf_addf buf ",\"check_read_unavailability\":%s,\"check_write_unavailability\":%s}"
+    (json_float check_read) (json_float check_write)
+
+let to_json result =
+  (* The check fields re-derive each point's availability through
+     Availability.enumerate (predicate walk) rather than the
+     optimizer's own quorum-list path; validate_quorum_opt.py asserts
+     they agree. *)
+  let p_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun nd -> Hashtbl.replace tbl nd.id nd.fail_prob) result.nodes;
+    Hashtbl.find tbl
+  in
+  let check p =
+    ( Availability.unavailability_p p.system ~mode:Qs.Read ~p:p_of,
+      Availability.unavailability_p p.system ~mode:Qs.Write ~p:p_of )
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"quorum-opt-1\",\"nodes\":[";
+  List.iteri
+    (fun i nd ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_addf buf "{\"id\":%d,\"fail_prob\":%s,\"latency_ms\":%s}" nd.id
+        (json_float nd.fail_prob) (json_float nd.latency_ms))
+    result.nodes;
+  buf_addf buf "],\"read_fraction\":%s,\"max_votes\":%d,\"candidates\":%d,\"truncated\":%b,"
+    (json_float result.read_fraction)
+    result.max_votes result.candidates result.truncated;
+  Buffer.add_string buf "\"frontier\":[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      point_json buf ~check p)
+    result.frontier;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

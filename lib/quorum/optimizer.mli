@@ -1,0 +1,85 @@
+(** The quorum-system optimizer: search weighted systems and strategies
+    along the load / latency / fault-tolerance Pareto frontier.
+
+    The recipe of {e Read-Write Quorum Systems Made Practical}
+    (Whittaker et al.), specialized to this repo: candidates are
+    Gifford-weighted systems (vote vectors in [1, max_votes]^n,
+    deduplicated up to vote scaling and identical quorum sets, with
+    every intersecting read/write threshold pair); each candidate gets
+    a load-optimal strategy pair (a multiplicative-weights solution of
+    the min-max node-load game, deterministic) and a latency-optimal
+    pair (point mass on the quorum whose slowest member is fastest);
+    each (system, strategy) point is scored and the non-dominated set
+    is the frontier. Everything is deterministic — no RNG, no wall
+    clock — so frontiers are directly comparable across runs and in
+    golden tests. *)
+
+type node = { id : int; fail_prob : float; latency_ms : float }
+
+type metrics = {
+  load : float;
+      (** worst-node access probability under the read/write mix:
+          max_i [fr * load_r(i) + (1-fr) * load_w(i)] *)
+  capacity : float;  (** [1 / load] *)
+  latency_ms : float;
+      (** read-fraction-weighted expectation of the sampled quorum's
+          slowest member latency *)
+  fault_tolerance : int;
+      (** most node failures that still leave both a read and a write
+          quorum alive *)
+  read_unavailability : float;
+      (** computed from the enumerated minimal-quorum list — an
+          independent path from {!Availability.enumerate}, which the
+          JSON output cross-checks against *)
+  write_unavailability : float;
+}
+
+type point = {
+  system : Quorum_system.t;
+  votes : (int * int) list;  (** (node id, votes) *)
+  read_votes : int;
+  write_votes : int;
+  kind : string;  (** ["load-optimal"] or ["latency-optimal"] *)
+  read_strategy : Strategy.t;
+  write_strategy : Strategy.t;
+  metrics : metrics;
+}
+
+type result = {
+  nodes : node list;
+  read_fraction : float;
+  max_votes : int;
+  candidates : int;  (** distinct quorum systems evaluated *)
+  truncated : bool;  (** true when [max_systems] cut the search short *)
+  frontier : point list;
+      (** non-dominated points (lower load, lower latency, higher fault
+          tolerance), sorted by load then latency *)
+}
+
+val search :
+  ?read_fraction:float ->
+  ?max_votes:int ->
+  ?max_systems:int ->
+  nodes:node list ->
+  unit ->
+  result
+(** Defaults: [read_fraction 0.9], [max_votes 3], [max_systems 20_000].
+    Requires 1 to {!Quorum_system.enumeration_bound} nodes, failure
+    probabilities in [0, 1), non-negative latencies. *)
+
+val winner : ?min_fault_tolerance:int -> result -> point option
+(** The [--apply] pick: highest capacity among frontier points with at
+    least [min_fault_tolerance] (default 1), ties broken by latency;
+    falls back to the whole frontier when none qualifies. [None] only
+    for an empty frontier. *)
+
+val dominates : point -> point -> bool
+(** Pareto dominance on (load, latency, fault tolerance) — exported for
+    the frontier-invariant tests. *)
+
+val to_json : result -> string
+(** The [quorum-opt] JSON document (schema ["quorum-opt-1"]): inputs,
+    search coverage, and one object per frontier point carrying its
+    strategies, metrics, and [check_read_unavailability] /
+    [check_write_unavailability] fields recomputed through
+    {!Availability.enumerate} as the cross-check oracle. *)

@@ -1,3 +1,5 @@
+type mode = Read | Write
+
 type spec =
   | Threshold of { read : int; write : int }
   | Grid of { rows : int; cols : int }
@@ -59,6 +61,11 @@ let is_write_quorum t ~present =
     all_columns_covered t ~rows ~cols ~present && some_full_column t ~rows ~cols ~present
   | Weighted { votes; write; _ } -> votes_present t ~votes ~present >= write
 
+let is_quorum t mode ~present =
+  match mode with
+  | Read -> is_read_quorum t ~present
+  | Write -> is_write_quorum t ~present
+
 let present_of_list ids =
   let set = List.sort_uniq Int.compare ids in
   fun id -> List.mem id set
@@ -66,6 +73,91 @@ let present_of_list ids =
 let is_read_quorum_list t ids = is_read_quorum t ~present:(present_of_list ids)
 
 let is_write_quorum_list t ids = is_write_quorum t ~present:(present_of_list ids)
+
+let is_quorum_list t mode ids =
+  match mode with
+  | Read -> is_read_quorum_list t ids
+  | Write -> is_write_quorum_list t ids
+
+(* --- Enumeration --------------------------------------------------------- *)
+
+let enumeration_bound = 16
+
+(* Map member id -> bit index, for mask-based enumeration. *)
+let bit_index t =
+  let tbl = Hashtbl.create (2 * Array.length t.members) in
+  Array.iteri (fun i id -> Hashtbl.replace tbl id i) t.members;
+  fun id -> Hashtbl.find tbl id
+
+let members_of_mask t mask =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if mask land (1 lsl i) <> 0 then t.members.(i) :: acc else acc)
+  in
+  collect (Array.length t.members - 1) []
+
+(* Minimal satisfying sets of a monotone predicate over the members.
+   All our quorum predicates are monotone (adding responders never
+   destroys a quorum), so a satisfying mask is minimal iff dropping any
+   single member breaks it. Masks ascend, so the result is ordered by
+   the bit pattern of member indices — stable across runs. *)
+let minimal_sets t holds =
+  let n = Array.length t.members in
+  if n > enumeration_bound then
+    invalid_arg
+      (Printf.sprintf "Quorum_system: %d members exceed the enumeration bound (%d)" n
+         enumeration_bound);
+  let index_of = bit_index t in
+  let satisfies mask =
+    holds ~present:(fun id -> mask land (1 lsl index_of id) <> 0)
+  in
+  let out = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    if satisfies mask then begin
+      let minimal = ref true in
+      let i = ref 0 in
+      while !minimal && !i < n do
+        if mask land (1 lsl !i) <> 0 && satisfies (mask land lnot (1 lsl !i)) then
+          minimal := false;
+        incr i
+      done;
+      if !minimal then out := members_of_mask t mask :: !out
+    end
+  done;
+  List.rev !out
+
+let read_quorums t = minimal_sets t (fun ~present -> is_read_quorum t ~present)
+
+let write_quorums t = minimal_sets t (fun ~present -> is_write_quorum t ~present)
+
+let quorums t mode = match mode with Read -> read_quorums t | Write -> write_quorums t
+
+(* --- Generalized intersection checking ----------------------------------- *)
+
+(* The single predicate every construction (threshold, majority, ROWA,
+   grid, weighted — and later masking/coded variants) must satisfy:
+   every read quorum overlaps every write quorum in at least
+   [rw_overlap] members, and write quorums pairwise overlap in at least
+   [ww_overlap]. Plain regular/atomic registers need overlap 1; masking
+   (Byzantine) quorum systems will instantiate it with 2f+1. *)
+let check_intersection ?(rw_overlap = 1) ?(ww_overlap = 1) ~read_quorums ~write_quorums ()
+    =
+  let overlap a b =
+    List.length (List.filter (fun x -> List.exists (Int.equal x) b) a)
+  in
+  let bad_rw =
+    List.exists
+      (fun r -> List.exists (fun w -> overlap r w < rw_overlap) write_quorums)
+      read_quorums
+  in
+  if bad_rw then Error "a read quorum misses a write quorum"
+  else
+    let bad_ww =
+      List.exists
+        (fun w1 -> List.exists (fun w2 -> overlap w1 w2 < ww_overlap) write_quorums)
+        write_quorums
+    in
+    if bad_ww then Error "two write quorums are disjoint" else Ok ()
 
 (* Fewest members whose votes reach [target]: take the biggest votes. *)
 let min_weighted_members votes target =
@@ -85,6 +177,9 @@ let min_write_size t =
   | Threshold { write; _ } -> write
   | Grid { rows; cols } -> rows + cols - 1
   | Weighted { votes; write; _ } -> min_weighted_members votes write
+
+let min_quorum_size t mode =
+  match mode with Read -> min_read_size t | Write -> min_write_size t
 
 (* Accumulate members in random order until their votes reach [target]. *)
 let choose_weighted t ~votes ~target rng =
@@ -122,6 +217,9 @@ let choose_write t rng =
         (List.init cols Fun.id)
     in
     full @ cover
+
+let choose t mode rng =
+  match mode with Read -> choose_read t rng | Write -> choose_write t rng
 
 let threshold ~name ~members ~read ~write =
   let n = List.length members in
@@ -177,31 +275,13 @@ let weighted ~name ~members ~read ~write =
   { name; members = Array.of_list ids; spec = Weighted { votes; read; write } }
 
 let validate t =
-  let n = size t in
-  let present_of_mask mask id =
-    (* Position of id in members. *)
-    let rec index i = if t.members.(i) = id then i else index (i + 1) in
-    mask land (1 lsl index 0) <> 0
-  in
-  if n > 12 then Ok () (* exhaustive check too large; construction invariants hold *)
-  else begin
-    let reads = ref [] and writes = ref [] in
-    for mask = 0 to (1 lsl n) - 1 do
-      let present = present_of_mask mask in
-      if is_read_quorum t ~present then reads := mask :: !reads;
-      if is_write_quorum t ~present then writes := mask :: !writes
-    done;
-    let intersects a b = a land b <> 0 in
-    let rw_ok =
-      List.for_all (fun r -> List.for_all (fun w -> intersects r w) !writes) !reads
-    in
-    let ww_ok =
-      List.for_all (fun w1 -> List.for_all (fun w2 -> intersects w1 w2) !writes) !writes
-    in
-    if not rw_ok then Error "a read quorum misses a write quorum"
-    else if not ww_ok then Error "two write quorums are disjoint"
-    else Ok ()
-  end
+  if size t > enumeration_bound then
+    Ok () (* exhaustive check too large; construction invariants hold *)
+  else
+    (* Checking the minimal quorums suffices: the predicates are
+       monotone, so every quorum contains a minimal one and any overlap
+       shortfall already shows up between two minimal quorums. *)
+    check_intersection ~read_quorums:(read_quorums t) ~write_quorums:(write_quorums t) ()
 
 let pp ppf t =
   Format.fprintf ppf "%s{" t.name;

@@ -2,18 +2,26 @@
 
     A quorum system is defined over a list of member node ids. The
     fundamental operations are the two predicates — does a set of
-    responders contain a read (write) quorum? — plus randomized selection
-    of a minimal quorum, which QRPC uses to pick message targets.
+    responders contain a read (write) quorum? — plus the {e explicit}
+    view of the system: the enumerated antichain of minimal quorums
+    ({!read_quorums}, {!write_quorums}), which {!Strategy} turns into
+    probability distributions and {!Optimizer} searches over.
 
     Constructions provided (all from the paper and its references):
     threshold (Gifford-style voting with read/write thresholds),
-    majority, ROWA (read-one/write-all), and the grid protocol of
-    Cheung, Ahamad and Ammar. The dual-quorum protocol composes two of
-    these: an input quorum system (IQS, typically majority) and an
-    output quorum system (OQS, typically read-one/write-all over the
-    edge servers). *)
+    majority, ROWA (read-one/write-all), weighted voting, and the grid
+    protocol of Cheung, Ahamad and Ammar. The dual-quorum protocol
+    composes two of these: an input quorum system (IQS, typically
+    majority) and an output quorum system (OQS, typically
+    read-one/write-all over the edge servers).
+
+    All quorum predicates are monotone: adding responders never
+    destroys a quorum. The enumeration and strategy machinery rely on
+    this. *)
 
 type t
+
+type mode = Read | Write
 
 val name : t -> string
 
@@ -28,19 +36,84 @@ val is_read_quorum : t -> present:(int -> bool) -> bool
 
 val is_write_quorum : t -> present:(int -> bool) -> bool
 
+val is_quorum : t -> mode -> present:(int -> bool) -> bool
+(** [is_read_quorum] or [is_write_quorum], selected by [mode]. *)
+
 val is_read_quorum_list : t -> int list -> bool
 
 val is_write_quorum_list : t -> int list -> bool
+
+val is_quorum_list : t -> mode -> int list -> bool
 
 val min_read_size : t -> int
 (** Cardinality of the smallest read quorum. *)
 
 val min_write_size : t -> int
 
+val min_quorum_size : t -> mode -> int
+
+(** {2 Enumeration}
+
+    The explicit representation: the antichain of {e minimal} quorums
+    (no proper subset of a listed set is itself a quorum). Every quorum
+    of the system is a superset of a listed one, so intersection
+    properties of the full system follow from the minimal sets. *)
+
+val enumeration_bound : int
+(** Largest member count the exhaustive enumeration accepts (16). *)
+
+val read_quorums : t -> int list list
+(** All minimal read quorums, each sorted in member order, in a
+    deterministic order. Raises [Invalid_argument] when
+    [size t > enumeration_bound]. *)
+
+val write_quorums : t -> int list list
+
+val quorums : t -> mode -> int list list
+
+val check_intersection :
+  ?rw_overlap:int ->
+  ?ww_overlap:int ->
+  read_quorums:int list list ->
+  write_quorums:int list list ->
+  unit ->
+  (unit, string) result
+(** The generalized intersection predicate every construction must
+    instantiate: each read quorum overlaps each write quorum in at
+    least [rw_overlap] members (default 1) and write quorums pairwise
+    overlap in at least [ww_overlap] (default 1). Regular/atomic
+    register protocols need overlap 1; masking (Byzantine) quorum
+    systems will instantiate it with [2f+1], erasure-coded ones with
+    their reconstruction threshold. *)
+
+(** {2 Randomized selection}
+
+    These are the {e legacy} samplers, kept as the default
+    {!Strategy}'s sampling path (bit-identical RNG streams). Their
+    distributions are construction-specific and {b not} uniform over
+    minimal quorums in general:
+
+    - threshold: uniform over all minimal (size-[read]/[write]) quorums;
+    - grid read: one uniform row pick per column — uniform over minimal
+      read quorums;
+    - grid write: a uniform full column plus one uniform row pick per
+      remaining column (the sampled set may contain a second full
+      column, so outcomes are not exactly uniform over distinct sets);
+    - weighted: a uniform random permutation is accumulated until the
+      vote target is reached, which over-selects high-vote members
+      relative to the uniform distribution over minimal quorums and can
+      return non-minimal sets.
+
+    For an unbiased choice use [Strategy.uniform], which samples
+    uniformly over the enumerated minimal quorums. *)
+
 val choose_read : t -> Dq_util.Rng.t -> int list
-(** A uniformly random minimal read quorum. *)
+(** A random read quorum, drawn per the construction-specific
+    distribution documented above. *)
 
 val choose_write : t -> Dq_util.Rng.t -> int list
+
+val choose : t -> mode -> Dq_util.Rng.t -> int list
 
 (** {2 Constructions} *)
 
@@ -71,11 +144,13 @@ val grid : rows:int -> cols:int -> int list -> t
 val counting_thresholds : t -> (int * int) option
 (** [Some (read, write)] iff the system is counting-based: any [read]
     members form a read quorum and any [write] members a write quorum.
-    Grid systems return [None]. Lets {!Availability} use closed forms. *)
+    Grid and weighted systems return [None]. Lets {!Availability} use
+    closed forms. *)
 
 val validate : t -> (unit, string) result
-(** Exhaustively check (for [size t <= 12]) or spot-check the
-    intersection properties: every read quorum intersects every write
-    quorum, and write quorums pairwise intersect. Used in tests. *)
+(** Exhaustively check (for [size t <= enumeration_bound]) the
+    intersection properties via {!check_intersection} over the
+    enumerated minimal quorums; larger systems rely on their
+    construction invariants. Used in tests. *)
 
 val pp : Format.formatter -> t -> unit

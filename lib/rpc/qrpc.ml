@@ -1,6 +1,9 @@
 module Qs = Dq_quorum.Quorum_system
+module Strategy = Dq_quorum.Strategy
 
 type quorum_mode = Read | Write
+
+let qs_mode = function Read -> Qs.Read | Write -> Qs.Write
 
 type 'rep t = {
   system : Qs.t;
@@ -15,50 +18,54 @@ let replies t = Hashtbl.fold (fun src rep acc -> (src, rep) :: acc) t.replies []
    member (the paper's prototype contacts the local node first and fills
    the rest of the quorum randomly). With a [tracker], counting systems
    instead take the historically fastest members ("track which nodes
-   have responded quickly in the past and first try sending to them"). *)
-let pick_targets ?tracker ~rng ~system ~mode ~prefer () =
-  let tracked =
-    match tracker, Qs.counting_thresholds system with
-    | Some tracker, Some (read, write) ->
-      let k = match mode with Read -> read | Write -> write in
-      let members =
-        match prefer with
-        | Some node when Qs.mem system node ->
-          node :: List.filter (fun m -> m <> node) (Qs.members system)
-        | Some _ | None -> Qs.members system
-      in
-      let ranked =
-        match prefer with
-        | Some node when Qs.mem system node ->
-          node :: Peer_tracker.rank tracker (List.filter (fun m -> m <> node) members)
-        | Some _ | None -> Peer_tracker.rank tracker members
-      in
-      Some (List.filteri (fun i _ -> i < k) ranked)
-    | _ -> None
+   have responded quickly in the past and first try sending to them").
+   An explicit [strategy] overrides both: its distribution is the
+   configured policy, so the sample is used as-is — no prefer swap, no
+   latency ranking. *)
+let pick_targets ?tracker ?strategy ~rng ~system ~mode ~prefer () =
+  let strategy =
+    match strategy with Some s -> s | None -> Strategy.default system (qs_mode mode)
   in
-  match tracked with
-  | Some targets -> targets
-  | None -> (
-    let base =
-      match mode with
-      | Read -> Qs.choose_read system rng
-      | Write -> Qs.choose_write system rng
+  if not (Strategy.is_default strategy) then Strategy.sample strategy rng
+  else
+    let tracked =
+      match tracker, Qs.counting_thresholds system with
+      | Some tracker, Some (read, write) ->
+        let k = match mode with Read -> read | Write -> write in
+        let members =
+          match prefer with
+          | Some node when Qs.mem system node ->
+            node :: List.filter (fun m -> m <> node) (Qs.members system)
+          | Some _ | None -> Qs.members system
+        in
+        let ranked =
+          match prefer with
+          | Some node when Qs.mem system node ->
+            node :: Peer_tracker.rank tracker (List.filter (fun m -> m <> node) members)
+          | Some _ | None -> Peer_tracker.rank tracker members
+        in
+        Some (List.filteri (fun i _ -> i < k) ranked)
+      | _ -> None
     in
-    match prefer with
-    | Some node when Qs.mem system node && not (List.mem node base) -> (
-      match Qs.counting_thresholds system with
-      | Some _ ->
-        (* Counting system: swapping any chosen member for [node] keeps a
-           valid quorum. *)
-        (match base with [] -> [ node ] | _ :: rest -> node :: rest)
-      | None -> base (* structured quorums: keep the valid random choice *))
-    | Some _ | None -> base)
+    match tracked with
+    | Some targets -> targets
+    | None -> (
+      let base = Strategy.sample strategy rng in
+      match prefer with
+      | Some node when Qs.mem system node && not (List.mem node base) -> (
+        match Qs.counting_thresholds system with
+        | Some _ ->
+          (* Counting system: swapping any chosen member for [node] keeps a
+             valid quorum. *)
+          (match base with [] -> [ node ] | _ :: rest -> node :: rest)
+        | None -> base (* structured quorums: keep the valid random choice *))
+      | Some _ | None -> base)
 
-let pick_read_targets ?tracker ~rng ~system ~prefer () =
-  pick_targets ?tracker ~rng ~system ~mode:Read ~prefer:(Some prefer) ()
+let pick_read_targets ?tracker ?strategy ~rng ~system ~prefer () =
+  pick_targets ?tracker ?strategy ~rng ~system ~mode:Read ~prefer:(Some prefer) ()
 
-let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?timeout_ms ?backoff
-    ?max_rounds ?on_give_up ?bus ?node ?tag () =
+let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?strategy
+    ?timeout_ms ?backoff ?max_rounds ?on_give_up ?bus ?node ?tag () =
   let t = { system; replies = Hashtbl.create 8; tracker; retry = None } in
   let attempt ~round =
     (* First try a minimal quorum; a retransmission means some target is
@@ -66,7 +73,7 @@ let call ~timer ~rng ~system ~mode ~send ~on_quorum ?prefer ?tracker ?timeout_ms
        replied (the paper's "more aggressive implementation might send
        to all nodes in system"). *)
     let targets =
-      if round = 0 then pick_targets ?tracker ~rng ~system ~mode ~prefer ()
+      if round = 0 then pick_targets ?tracker ?strategy ~rng ~system ~mode ~prefer ()
       else List.filter (fun m -> not (Hashtbl.mem t.replies m)) (Qs.members system)
     in
     List.iter

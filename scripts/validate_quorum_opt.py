@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate a `dqr quorum-opt` frontier JSON (schema "quorum-opt-1").
+
+Checks:
+  - document structure: inputs (nodes with id/fail_prob/latency_ms,
+    read_fraction, max_votes), search coverage (candidates, truncated)
+    and a non-empty frontier;
+  - per point: votes/thresholds, explicit read and write strategies
+    whose probabilities are non-negative and sum to 1, and the full
+    metrics block;
+  - the availability cross-check invariant: the optimizer's own
+    quorum-list unavailability must match the independently computed
+    check_{read,write}_unavailability fields (Availability.enumerate)
+    to 1e-9 on every point;
+  - the Pareto invariant: no frontier point dominates another on
+    (load, latency, fault tolerance).
+
+Usage: validate_quorum_opt.py FRONTIER.json [...]
+Exits non-zero with one message per problem.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def require(doc, path, key, types):
+    if key not in doc:
+        err(path, f"missing key '{key}'")
+        return None
+    v = doc[key]
+    if not isinstance(v, types):
+        names = "/".join(t.__name__ for t in types) if isinstance(types, tuple) else types.__name__
+        err(path, f"'{key}' should be {names}, got {type(v).__name__}")
+        return None
+    return v
+
+
+NUM = (int, float)
+
+POINT_METRICS = (
+    "load", "capacity", "latency_ms", "read_unavailability",
+    "write_unavailability", "check_read_unavailability",
+    "check_write_unavailability",
+)
+
+
+def check_strategy(point, path, key):
+    dist = require(point, path, key, list)
+    if dist is None:
+        return
+    if not dist:
+        err(path, f"'{key}' is empty")
+        return
+    total = 0.0
+    for i, entry in enumerate(dist):
+        epath = f"{path}.{key}[{i}]"
+        if not isinstance(entry, dict):
+            err(epath, "should be an object")
+            continue
+        quorum = require(entry, epath, "quorum", list)
+        prob = require(entry, epath, "prob", NUM)
+        if quorum is not None and not quorum:
+            err(epath, "empty quorum")
+        if prob is not None:
+            if prob < 0:
+                err(epath, f"negative probability {prob}")
+            total += prob
+    if abs(total - 1.0) > 1e-9:
+        err(path, f"'{key}' probabilities sum to {total}, not 1")
+
+
+def dominates(a, b):
+    """Pareto dominance on (load down, latency down, fault tolerance up)."""
+    no_worse = (
+        a["load"] <= b["load"]
+        and a["latency_ms"] <= b["latency_ms"]
+        and a["fault_tolerance"] >= b["fault_tolerance"]
+    )
+    better = (
+        a["load"] < b["load"]
+        or a["latency_ms"] < b["latency_ms"]
+        or a["fault_tolerance"] > b["fault_tolerance"]
+    )
+    return no_worse and better
+
+
+def check_point(point, path):
+    require(point, path, "name", str)
+    kind = require(point, path, "kind", str)
+    if kind is not None and kind not in ("load-optimal", "latency-optimal"):
+        err(path, f"unknown kind '{kind}'")
+    votes = require(point, path, "votes", list)
+    if votes is not None:
+        for v in votes:
+            if not (isinstance(v, list) and len(v) == 2 and all(isinstance(x, int) for x in v)):
+                err(path, f"votes entries should be [node, votes] pairs, got {v!r}")
+                break
+    for key in ("read_votes", "write_votes", "fault_tolerance"):
+        v = require(point, path, key, int)
+        if key != "fault_tolerance" and v is not None and v <= 0:
+            err(path, f"'{key}' should be positive, got {v}")
+    for key in POINT_METRICS:
+        require(point, path, key, NUM)
+    check_strategy(point, path, "read_strategy")
+    check_strategy(point, path, "write_strategy")
+    for side in ("read", "write"):
+        reported = point.get(f"{side}_unavailability")
+        checked = point.get(f"check_{side}_unavailability")
+        if isinstance(reported, NUM) and isinstance(checked, NUM):
+            if abs(reported - checked) > 1e-9:
+                err(
+                    path,
+                    f"{side} unavailability {reported} disagrees with the "
+                    f"Availability.enumerate cross-check {checked}",
+                )
+
+
+def check_doc(doc, path):
+    schema = require(doc, path, "schema", str)
+    if schema is not None and schema != "quorum-opt-1":
+        err(path, f"unknown schema '{schema}'")
+        return
+    nodes = require(doc, path, "nodes", list)
+    if nodes is not None:
+        if not nodes:
+            err(path, "no nodes")
+        for i, node in enumerate(nodes):
+            npath = f"{path}.nodes[{i}]"
+            if not isinstance(node, dict):
+                err(npath, "should be an object")
+                continue
+            require(node, npath, "id", int)
+            p = require(node, npath, "fail_prob", NUM)
+            if p is not None and not (0 <= p < 1):
+                err(npath, f"fail_prob {p} outside [0, 1)")
+            lat = require(node, npath, "latency_ms", NUM)
+            if lat is not None and lat < 0:
+                err(npath, f"negative latency {lat}")
+    rf = require(doc, path, "read_fraction", NUM)
+    if rf is not None and not (0 <= rf <= 1):
+        err(path, f"read_fraction {rf} outside [0, 1]")
+    require(doc, path, "max_votes", int)
+    require(doc, path, "candidates", int)
+    require(doc, path, "truncated", bool)
+    frontier = require(doc, path, "frontier", list)
+    if frontier is None:
+        return
+    if not frontier:
+        err(path, "empty frontier")
+        return
+    for i, point in enumerate(frontier):
+        ppath = f"{path}.frontier[{i}]"
+        if not isinstance(point, dict):
+            err(ppath, "should be an object")
+            continue
+        check_point(point, ppath)
+    # Pareto invariant over the reported metrics.
+    complete = [
+        p for p in frontier
+        if isinstance(p, dict)
+        and all(isinstance(p.get(k), NUM) for k in ("load", "latency_ms"))
+        and isinstance(p.get("fault_tolerance"), int)
+    ]
+    for i, a in enumerate(complete):
+        for j, b in enumerate(complete):
+            if i != j and dominates(a, b):
+                err(
+                    path,
+                    f"frontier[{i}] ({a.get('name')}/{a.get('kind')}) dominates "
+                    f"frontier[{j}] ({b.get('name')}/{b.get('kind')})",
+                )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            err(path, str(e))
+            continue
+        check_doc(doc, path)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"{len(argv) - 1} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,149 @@
+(* The quorum-system optimizer: golden frontier on the reference 5-node
+   heterogeneous topology, the oracle cross-check (every frontier
+   point's reported unavailability must match the independent
+   Availability.enumerate walk), the Pareto non-dominance invariant,
+   and determinism. *)
+
+module Qs = Dq_quorum.Quorum_system
+module Strategy = Dq_quorum.Strategy
+module Av = Dq_quorum.Availability
+module Opt = Dq_quorum.Optimizer
+
+(* Three fast, reliable nodes and two slow, flaky ones — the asymmetric
+   edge topology the optimizer exists for. *)
+let nodes =
+  [
+    { Opt.id = 0; fail_prob = 0.01; latency_ms = 10. };
+    { Opt.id = 1; fail_prob = 0.01; latency_ms = 10. };
+    { Opt.id = 2; fail_prob = 0.01; latency_ms = 10. };
+    { Opt.id = 3; fail_prob = 0.05; latency_ms = 80. };
+    { Opt.id = 4; fail_prob = 0.05; latency_ms = 80. };
+  ]
+
+let memo = lazy (Opt.search ~read_fraction:0.9 ~max_votes:3 ~nodes ())
+
+let search () = Lazy.force memo
+
+let test_golden_frontier () =
+  let result = search () in
+  Alcotest.(check int) "candidates" 5587 result.Opt.candidates;
+  Alcotest.(check bool) "not truncated" false result.Opt.truncated;
+  Alcotest.(check int) "frontier size" 16 (List.length result.Opt.frontier);
+  (* The two ends of the frontier: lowest-load point first, and the
+     plain majority latency-optimal point closing the list. *)
+  let first = List.hd result.Opt.frontier in
+  Alcotest.(check string) "first point" "wv[1,1,1,1,1]r1w5" (Qs.name first.Opt.system);
+  Alcotest.(check string) "first kind" "load-optimal" first.Opt.kind;
+  Alcotest.check (Alcotest.float 1e-9) "first load" 0.28 first.Opt.metrics.Opt.load;
+  let last = List.nth result.Opt.frontier 15 in
+  Alcotest.(check string) "last point" "wv[1,1,1,1,1]r3w3" (Qs.name last.Opt.system);
+  Alcotest.(check string) "last kind" "latency-optimal" last.Opt.kind;
+  Alcotest.(check int) "last fault tolerance" 2 last.Opt.metrics.Opt.fault_tolerance;
+  Alcotest.check (Alcotest.float 1e-9) "last latency" 10. last.Opt.metrics.Opt.latency_ms
+
+(* Oracle: the optimizer computes unavailability from its own
+   minimal-quorum lists; Availability.enumerate walks all 2^n live/dead
+   states of the predicate. The two paths must agree on every frontier
+   point. *)
+let test_availability_oracle () =
+  let result = search () in
+  let p id = (List.nth nodes id).Opt.fail_prob in
+  List.iter
+    (fun (pt : Opt.point) ->
+      let name = Qs.name pt.Opt.system in
+      Alcotest.check (Alcotest.float 1e-12)
+        (name ^ " read unavailability")
+        (Av.unavailability_p pt.Opt.system ~mode:Av.Read ~p)
+        pt.Opt.metrics.Opt.read_unavailability;
+      Alcotest.check (Alcotest.float 1e-12)
+        (name ^ " write unavailability")
+        (Av.unavailability_p pt.Opt.system ~mode:Av.Write ~p)
+        pt.Opt.metrics.Opt.write_unavailability)
+    result.Opt.frontier
+
+let test_pareto_invariant () =
+  let result = search () in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (a == b) then
+            Alcotest.(check bool)
+              (Qs.name a.Opt.system ^ " does not dominate " ^ Qs.name b.Opt.system)
+              false (Opt.dominates a b))
+        result.Opt.frontier)
+    result.Opt.frontier
+
+let test_deterministic () =
+  (* A genuinely fresh second search (not the memoized one). *)
+  let fresh = Opt.search ~read_fraction:0.9 ~max_votes:3 ~nodes () in
+  Alcotest.(check string) "two searches agree" (Opt.to_json (search ()))
+    (Opt.to_json fresh)
+
+let test_strategies_are_valid () =
+  let result = search () in
+  List.iter
+    (fun (pt : Opt.point) ->
+      let check_strategy s mode =
+        match Strategy.distribution s with
+        | None -> Alcotest.fail "optimizer strategies are explicit"
+        | Some dist ->
+          let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+          Alcotest.check (Alcotest.float 1e-9) "probs sum to 1" 1. total;
+          List.iter
+            (fun (q, _) ->
+              Alcotest.(check bool) "support is a quorum" true
+                (Qs.is_quorum_list pt.Opt.system mode q))
+            dist
+      in
+      check_strategy pt.Opt.read_strategy Qs.Read;
+      check_strategy pt.Opt.write_strategy Qs.Write)
+    result.Opt.frontier
+
+let test_winner () =
+  let result = search () in
+  match Opt.winner result with
+  | None -> Alcotest.fail "non-empty frontier has a winner"
+  | Some w ->
+    Alcotest.(check bool) "winner tolerates a failure" true
+      (w.Opt.metrics.Opt.fault_tolerance >= 1);
+    (* Highest capacity among fault-tolerant frontier points. *)
+    List.iter
+      (fun (pt : Opt.point) ->
+        if pt.Opt.metrics.Opt.fault_tolerance >= 1 then
+          Alcotest.(check bool) "winner capacity maximal" true
+            (w.Opt.metrics.Opt.capacity >= pt.Opt.metrics.Opt.capacity -. 1e-12))
+      result.Opt.frontier
+
+(* The heterogeneous enumeration collapses to the homogeneous closed
+   forms when every node gets the same probability. *)
+let test_hetero_matches_homogeneous () =
+  let qs = Qs.majority (List.init 5 Fun.id) in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun p ->
+          Alcotest.check (Alcotest.float 1e-15) "uniform p agrees"
+            (Av.unavailability qs ~mode ~p)
+            (Av.unavailability_p qs ~mode ~p:(fun _ -> p)))
+        [ 0.01; 0.1; 0.5 ])
+    [ Av.Read; Av.Write ]
+
+let () =
+  Alcotest.run "quorum_opt"
+    [
+      ( "optimizer",
+        [
+          Alcotest.test_case "golden frontier" `Quick test_golden_frontier;
+          Alcotest.test_case "availability oracle" `Quick test_availability_oracle;
+          Alcotest.test_case "pareto invariant" `Quick test_pareto_invariant;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "strategies valid" `Quick test_strategies_are_valid;
+          Alcotest.test_case "winner" `Quick test_winner;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "hetero vs homogeneous" `Quick
+            test_hetero_matches_homogeneous;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Quorum-selection strategies: golden RNG streams pinning the default
+   (implicit) strategy to the pre-strategy samplers, QCheck properties
+   that every sample from every strategy kind is a valid quorum and
+   that strategy supports keep the intersection properties, and the
+   exact load/latency computations on hand-checkable systems. *)
+
+module Qs = Dq_quorum.Quorum_system
+module Strategy = Dq_quorum.Strategy
+module Rng = Dq_util.Rng
+
+let members n = List.init n Fun.id
+
+let majority9 () = Qs.majority (members 9)
+
+let rowa5 () = Qs.rowa (members 5)
+
+let grid3x3 () = Qs.grid ~rows:3 ~cols:3 (members 9)
+
+let weighted5 () =
+  Qs.weighted ~name:"w" ~members:[ (0, 3); (1, 2); (2, 1); (3, 1); (4, 1) ] ~read:4
+    ~write:5
+
+let quorum = Alcotest.(list int)
+
+(* Golden streams captured from the pre-strategy samplers: the default
+   strategy must replay them bit-for-bit — same quorums from the same
+   seeds, drawing the same number of RNG values. *)
+let golden_streams =
+  [
+    ( "majority9.read", majority9 (), Qs.Read, 42L,
+      [ [ 0; 8; 3; 7; 2 ]; [ 3; 4; 8; 7; 2 ]; [ 7; 2; 8; 3; 1 ];
+        [ 8; 6; 1; 2; 5 ]; [ 7; 3; 4; 1; 5 ]; [ 0; 4; 7; 1; 6 ] ] );
+    ( "majority9.write", majority9 (), Qs.Write, 43L,
+      [ [ 7; 6; 3; 4; 2 ]; [ 0; 1; 7; 6; 2 ]; [ 7; 3; 1; 5; 2 ];
+        [ 0; 4; 6; 1; 2 ]; [ 3; 4; 1; 8; 2 ]; [ 2; 0; 4; 8; 1 ] ] );
+    ( "rowa5.read", rowa5 (), Qs.Read, 44L,
+      [ [ 4 ]; [ 2 ]; [ 3 ]; [ 3 ]; [ 1 ]; [ 2 ] ] );
+    ( "rowa5.write", rowa5 (), Qs.Write, 45L,
+      [ [ 3; 0; 1; 2; 4 ]; [ 4; 1; 2; 0; 3 ]; [ 3; 2; 1; 0; 4 ] ] );
+    ( "grid3x3.read", grid3x3 (), Qs.Read, 46L,
+      [ [ 0; 4; 5 ]; [ 0; 7; 2 ]; [ 6; 1; 5 ]; [ 3; 4; 5 ]; [ 6; 1; 8 ];
+        [ 0; 1; 2 ] ] );
+    ( "grid3x3.write", grid3x3 (), Qs.Write, 47L,
+      [ [ 2; 5; 8; 3; 4 ]; [ 0; 3; 6; 1; 5 ]; [ 1; 4; 7; 0; 2 ];
+        [ 0; 3; 6; 4; 8 ]; [ 1; 4; 7; 6; 8 ]; [ 2; 5; 8; 0; 1 ] ] );
+    ( "weighted.read", weighted5 (), Qs.Read, 48L,
+      [ [ 0; 2 ]; [ 2; 3; 1 ]; [ 1; 2; 3 ]; [ 0; 4 ]; [ 0; 1 ]; [ 0; 1 ];
+        [ 0; 2 ]; [ 0; 1 ] ] );
+    ( "weighted.write", weighted5 (), Qs.Write, 49L,
+      [ [ 2; 0; 1 ]; [ 4; 3; 1; 0 ]; [ 4; 2; 0 ]; [ 4; 0; 1 ]; [ 3; 1; 0 ];
+        [ 0; 4; 2 ]; [ 2; 4; 3; 1 ]; [ 4; 0; 1 ] ] );
+  ]
+
+let test_golden_legacy_choose () =
+  List.iter
+    (fun (label, qs, mode, seed, expected) ->
+      let rng = Rng.create seed in
+      List.iter
+        (fun want -> Alcotest.check quorum label want (Qs.choose qs mode rng))
+        expected)
+    golden_streams
+
+let test_golden_default_strategy () =
+  List.iter
+    (fun (label, qs, mode, seed, expected) ->
+      let strategy = Strategy.default qs mode in
+      let rng = Rng.create seed in
+      List.iter
+        (fun want ->
+          Alcotest.check quorum (label ^ " via default strategy") want
+            (Strategy.sample strategy rng))
+        expected)
+    golden_streams
+
+(* Read and write draws interleave on one RNG; the default strategy
+   must consume exactly the same number of draws per sample as the
+   legacy samplers, or everything downstream desynchronizes. *)
+let test_golden_interleaved () =
+  let qs = majority9 () in
+  let expected =
+    [
+      ([ 3; 7; 4; 1; 0 ], [ 4; 0; 2; 6; 3 ]);
+      ([ 0; 6; 8; 1; 2 ], [ 7; 0; 1; 5; 6 ]);
+      ([ 2; 1; 4; 0; 8 ], [ 5; 3; 0; 8; 6 ]);
+      ([ 6; 8; 4; 7; 5 ], [ 1; 7; 2; 4; 0 ]);
+    ]
+  in
+  let run sample_read sample_write =
+    let rng = Rng.create 7L in
+    List.iteri
+      (fun i (want_r, want_w) ->
+        let tag = Printf.sprintf "pair %d" i in
+        Alcotest.check quorum (tag ^ " read") want_r (sample_read rng);
+        Alcotest.check quorum (tag ^ " write") want_w (sample_write rng))
+      expected
+  in
+  run (Qs.choose_read qs) (Qs.choose_write qs);
+  let sr = Strategy.default_read qs and sw = Strategy.default_write qs in
+  run (Strategy.sample sr) (Strategy.sample sw)
+
+(* --- QCheck: every sample is a quorum, for every strategy kind -------- *)
+
+let constructions () =
+  [
+    majority9 ();
+    rowa5 ();
+    grid3x3 ();
+    weighted5 ();
+    Qs.threshold ~name:"t" ~members:(members 7) ~read:3 ~write:5;
+  ]
+
+let prop_default_samples_are_quorums =
+  QCheck.Test.make ~name:"default strategy samples satisfy predicates" ~count:200
+    QCheck.(pair (int_range 0 4) int64)
+    (fun (i, seed) ->
+      let qs = List.nth (constructions ()) i in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun mode ->
+          let s = Strategy.default qs mode in
+          List.for_all Fun.id
+            (List.init 5 (fun _ -> Qs.is_quorum_list qs mode (Strategy.sample s rng))))
+        [ Qs.Read; Qs.Write ])
+
+let prop_uniform_samples_are_quorums =
+  QCheck.Test.make ~name:"uniform strategy samples are minimal quorums" ~count:200
+    QCheck.(pair (int_range 0 4) int64)
+    (fun (i, seed) ->
+      let qs = List.nth (constructions ()) i in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun mode ->
+          let s = Strategy.uniform qs mode in
+          List.for_all Fun.id
+            (List.init 5 (fun _ ->
+                 let q = Strategy.sample s rng in
+                 Qs.is_quorum_list qs mode q
+                 (* uniform samples come from the minimal-quorum
+                    antichain: dropping any member breaks the quorum *)
+                 && List.for_all
+                      (fun dropped ->
+                        not
+                          (Qs.is_quorum_list qs mode
+                             (List.filter (fun x -> x <> dropped) q)))
+                      q)))
+        [ Qs.Read; Qs.Write ])
+
+(* Explicit strategies with arbitrary positive weights over the
+   enumerated quorums: samples still land in the support. *)
+let prop_explicit_samples_are_quorums =
+  QCheck.Test.make ~name:"explicit strategy samples satisfy predicates" ~count:200
+    QCheck.(triple (int_range 0 4) int64 (list_of_size Gen.(return 8) (float_range 0.01 10.)))
+    (fun (i, seed, weights) ->
+      let qs = List.nth (constructions ()) i in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun mode ->
+          let quorums = Qs.quorums qs mode in
+          let weighted =
+            List.mapi
+              (fun j q ->
+                (q, List.nth weights (j mod List.length weights)))
+              quorums
+          in
+          let s = Strategy.explicit qs mode weighted in
+          List.for_all Fun.id
+            (List.init 5 (fun _ -> Qs.is_quorum_list qs mode (Strategy.sample s rng))))
+        [ Qs.Read; Qs.Write ])
+
+(* The support of any explicit strategy pair keeps the intersection
+   properties: read x write and write x write supports pairwise
+   intersect, across every construction. *)
+let prop_supports_intersect =
+  QCheck.Test.make ~name:"strategy supports pairwise intersect" ~count:50
+    QCheck.(int_range 0 4)
+    (fun i ->
+      let qs = List.nth (constructions ()) i in
+      let support mode = Option.get (Strategy.support (Strategy.uniform qs mode)) in
+      let reads = support Qs.Read and writes = support Qs.Write in
+      match
+        Qs.check_intersection ~read_quorums:reads ~write_quorums:writes ()
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
+(* --- Exact computations ------------------------------------------------ *)
+
+let test_uniform_math () =
+  (* majority over 3 nodes: minimal read quorums are the three pairs,
+     each with probability 1/3; every node sits in two of them. *)
+  let qs = Qs.majority (members 3) in
+  let s = Strategy.uniform_read qs in
+  let close = Alcotest.float 1e-12 in
+  Alcotest.check close "node load" (2. /. 3.) (Strategy.node_load s 0);
+  Alcotest.check close "load" (2. /. 3.) (Strategy.load s);
+  Alcotest.check close "capacity" 1.5 (Strategy.capacity s);
+  Alcotest.check close "expected size" 2. (Strategy.expected_size s);
+  (* latencies 10, 20, 30: quorum maxima are 20, 30, 30. *)
+  let latency_ms id = float_of_int ((id + 1) * 10) in
+  Alcotest.check close "expected latency"
+    ((20. +. 30. +. 30.) /. 3.)
+    (Strategy.expected_latency s ~latency_ms)
+
+let test_explicit_point_mass () =
+  let qs = Qs.majority (members 3) in
+  let s = Strategy.explicit qs Qs.Read [ ([ 0; 1 ], 1.) ] in
+  let close = Alcotest.float 1e-12 in
+  Alcotest.check close "member load" 1. (Strategy.node_load s 0);
+  Alcotest.check close "non-member load" 0. (Strategy.node_load s 2);
+  Alcotest.check close "load" 1. (Strategy.load s);
+  let rng = Rng.create 1L in
+  for _ = 1 to 10 do
+    Alcotest.check quorum "point mass sample" [ 0; 1 ] (Strategy.sample s rng)
+  done
+
+let test_explicit_validation () =
+  let qs = Qs.majority (members 3) in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-quorum rejected" true
+    (raises (fun () -> ignore (Strategy.explicit qs Qs.Read [ ([ 0 ], 1.) ])));
+  Alcotest.(check bool) "empty rejected" true
+    (raises (fun () -> ignore (Strategy.explicit qs Qs.Read [])));
+  Alcotest.(check bool) "zero mass rejected" true
+    (raises (fun () -> ignore (Strategy.explicit qs Qs.Read [ ([ 0; 1 ], 0.) ])));
+  Alcotest.(check bool) "negative rejected" true
+    (raises (fun () -> ignore (Strategy.explicit qs Qs.Read [ ([ 0; 1 ], -1.) ])))
+
+let test_default_has_no_distribution () =
+  let qs = Qs.majority (members 3) in
+  let s = Strategy.default_read qs in
+  Alcotest.(check bool) "is default" true (Strategy.is_default s);
+  Alcotest.(check bool) "no distribution" true
+    (Option.is_none (Strategy.distribution s));
+  Alcotest.(check bool) "load raises" true
+    (try ignore (Strategy.load s); false with Invalid_argument _ -> true)
+
+let test_distribution_normalized () =
+  let qs = Qs.majority (members 3) in
+  let s = Strategy.explicit qs Qs.Read [ ([ 0; 1 ], 3.); ([ 1; 2 ], 1.) ] in
+  match Strategy.distribution s with
+  | None -> Alcotest.fail "explicit strategy has a distribution"
+  | Some dist ->
+    let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+    Alcotest.check (Alcotest.float 1e-12) "probs sum to 1" 1. total;
+    Alcotest.check (Alcotest.float 1e-12) "normalized" 0.75
+      (List.assoc [ 0; 1 ] dist)
+
+(* --- Enumeration and the generalized intersection predicate ------------ *)
+
+let test_enumeration_majority () =
+  let qs = Qs.majority (members 3) in
+  Alcotest.(check (list (list int))) "read quorums"
+    [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]
+    (Qs.read_quorums qs)
+
+let test_enumeration_minimality () =
+  List.iter
+    (fun qs ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun q ->
+              Alcotest.(check bool) (Qs.name qs ^ " quorum") true
+                (Qs.is_quorum_list qs mode q);
+              List.iter
+                (fun dropped ->
+                  Alcotest.(check bool) (Qs.name qs ^ " minimal") false
+                    (Qs.is_quorum_list qs mode
+                       (List.filter (fun x -> x <> dropped) q)))
+                q)
+            (Qs.quorums qs mode))
+        [ Qs.Read; Qs.Write ])
+    (constructions ())
+
+let test_check_intersection_overlap () =
+  (* Pairs {0,1}/{1,2} overlap in exactly one member: fine at the
+     default overlap 1, rejected when two are required (the masking /
+     erasure-coded instantiation hook). *)
+  let reads = [ [ 0; 1 ]; [ 1; 2 ] ] and writes = [ [ 0; 1 ]; [ 1; 2 ] ] in
+  (match Qs.check_intersection ~read_quorums:reads ~write_quorums:writes () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "overlap 2 rejected" true
+    (Result.is_error
+       (Qs.check_intersection ~rw_overlap:2 ~read_quorums:reads ~write_quorums:writes ()));
+  Alcotest.(check bool) "ww overlap 2 rejected" true
+    (Result.is_error
+       (Qs.check_intersection ~ww_overlap:2 ~read_quorums:reads ~write_quorums:writes ()));
+  Alcotest.(check bool) "disjoint writes rejected" true
+    (Result.is_error
+       (Qs.check_intersection ~read_quorums:[ [ 0; 1 ] ]
+          ~write_quorums:[ [ 0; 1 ]; [ 2; 3 ] ] ()))
+
+let () =
+  Alcotest.run "quorum_strategy"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "legacy choose streams" `Quick test_golden_legacy_choose;
+          Alcotest.test_case "default strategy streams" `Quick
+            test_golden_default_strategy;
+          Alcotest.test_case "interleaved draws" `Quick test_golden_interleaved;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_default_samples_are_quorums;
+            prop_uniform_samples_are_quorums;
+            prop_explicit_samples_are_quorums;
+            prop_supports_intersect;
+          ] );
+      ( "math",
+        [
+          Alcotest.test_case "uniform exact" `Quick test_uniform_math;
+          Alcotest.test_case "point mass" `Quick test_explicit_point_mass;
+          Alcotest.test_case "explicit validation" `Quick test_explicit_validation;
+          Alcotest.test_case "default has no distribution" `Quick
+            test_default_has_no_distribution;
+          Alcotest.test_case "distribution normalized" `Quick
+            test_distribution_normalized;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "majority quorums" `Quick test_enumeration_majority;
+          Alcotest.test_case "minimality" `Quick test_enumeration_minimality;
+          Alcotest.test_case "intersection overlaps" `Quick
+            test_check_intersection_overlap;
+        ] );
+    ]
