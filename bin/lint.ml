@@ -3,12 +3,16 @@
    conventions the reproduction's trustworthiness rests on: no
    polymorphic compare on hot paths (R1), no ambient randomness (R2),
    no wall clock in simulation code (R3), telemetry publishes guarded
-   by Bus.subscribed (R4), and no captured-state mutation inside
-   domain-pool workers (R5). See DESIGN.md section 9. *)
+   by Bus.subscribed (R4), no captured-state mutation inside
+   domain-pool workers (R5), no raw engine timers in node-scoped code
+   (R6), no hash-ordered fold results escaping (R7), no partial
+   functions (R8), and no silent message drops (R9). See DESIGN.md
+   section 9. *)
 
 module Diagnostic = Dq_lint.Diagnostic
 module Rules = Dq_lint.Rules
 module Engine = Dq_lint.Engine
+module Sarif = Dq_lint.Sarif
 open Cmdliner
 
 let list_rules () =
@@ -48,8 +52,14 @@ let select_rules spec =
     | [] -> Ok (List.filter_map Rules.find keys)
     | m -> Error (Printf.sprintf "unknown rule(s): %s" (String.concat ", " m)))
 
-let run build_dir json_out allowlist_file rules_spec all_scopes show_rules
-    quiet paths =
+let emit out contents =
+  match out with
+  | None -> ()
+  | Some "-" -> print_string contents
+  | Some f -> write_file f contents
+
+let run build_dir json_out sarif_out cache_file jobs allowlist_file rules_spec
+    ignore_scopes all_scopes show_rules quiet paths =
   if show_rules then begin
     list_rules ();
     0
@@ -67,6 +77,7 @@ let run build_dir json_out allowlist_file rules_spec all_scopes show_rules
         2
       end
       else begin
+        ignore all_scopes;
         let allowlist =
           match allowlist_file with
           | None -> []
@@ -75,24 +86,28 @@ let run build_dir json_out allowlist_file rules_spec all_scopes show_rules
         let cfg =
           {
             Engine.rules;
-            ignore_scopes = all_scopes;
+            ignore_scopes;
             exclude_paths =
-              (if all_scopes then []
+              (if ignore_scopes then []
                else Engine.default_config.exclude_paths);
             allowlist;
           }
         in
-        let diags, errors = Engine.lint_build_dir ~paths cfg build_dir in
+        let jobs = if jobs = 0 then Dq_par.Pool.default_jobs () else jobs in
+        let diags, errors, stats =
+          Engine.lint_build_dir ~paths ~jobs ?cache_file cfg build_dir
+        in
         List.iter (fun e -> Printf.eprintf "dqr-lint: warning: %s\n" e) errors;
         if not quiet then
           List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
-        (match json_out with
-        | None -> ()
-        | Some "-" -> print_string (Diagnostic.list_to_json diags)
-        | Some f -> write_file f (Diagnostic.list_to_json diags));
+        emit json_out (Diagnostic.list_to_json ~rules diags);
+        emit sarif_out (Sarif.to_string ~version:Engine.version ~rules diags);
         let n = List.length diags in
         if not quiet then
-          Printf.printf "dqr-lint: %d finding%s\n" n (if n = 1 then "" else "s");
+          Printf.printf
+            "dqr-lint: %d finding%s (%d cmts: %d analyzed, %d cached)\n" n
+            (if n = 1 then "" else "s")
+            stats.Engine.cmts stats.Engine.analyzed stats.Engine.cache_hits;
         if n > 0 then 1 else 0
       end
 
@@ -107,7 +122,36 @@ let cmd =
     Arg.(
       value & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the findings as JSON to $(docv) ('-' for stdout).")
+          ~doc:
+            "Write the findings as schema-2 JSON to $(docv) ('-' for \
+             stdout).")
+  in
+  let sarif_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:
+            "Write the findings as SARIF 2.1.0 to $(docv) ('-' for stdout), \
+             for code-scanning upload.")
+  in
+  let cache_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Incremental cache: skip re-analyzing .cmt files whose content \
+             digest is unchanged since the last run with the same \
+             configuration. Reports are byte-identical with or without the \
+             cache.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan the per-cmt analysis across $(docv) domains via \
+             Dq_par.Pool (0 = DQ_JOBS or the core count). Results are \
+             independent of $(docv).")
   in
   let allowlist =
     Arg.(
@@ -123,13 +167,25 @@ let cmd =
       & info [ "rules" ] ~docv:"LIST"
           ~doc:"Comma-separated rule ids or names to run (default: all).")
   in
+  let ignore_scopes =
+    Arg.(
+      value & flag
+      & info [ "ignore-scopes" ]
+          ~doc:
+            "Debug aid: run every rule on every file, ignoring both the \
+             per-rule directory scoping and the default exclusions (so the \
+             intentionally-violating lint fixtures flag too).")
+  in
   let all_scopes =
     Arg.(
       value & flag
       & info [ "all-scopes" ]
           ~doc:
-            "Ignore per-directory scoping (and the default exclusions) and \
-             run every rule everywhere.")
+            "Lint every scope of the tree (lib/, bin/, test/, bench/). This \
+             is also the default; the flag is kept for compatibility. \
+             Per-rule directory scoping is part of each rule's definition — \
+             a rule outside its scope is vacuous, not violated; use \
+             $(b,--ignore-scopes) to override scoping for rule debugging.")
   in
   let list_rules =
     Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule table.")
@@ -144,13 +200,14 @@ let cmd =
           ~doc:"Project-relative path prefixes to restrict the lint to.")
   in
   Cmd.v
-    (Cmd.info "dqr-lint" ~version:"1.0.0"
+    (Cmd.info "dqr-lint" ~version:Dq_lint.Engine.version
        ~doc:
          "Typedtree linter for the dual-quorum reproduction: determinism, \
-          hot-path purity and domain-safety invariants, machine-checked from \
-          the .cmt artifacts dune already builds")
+          hot-path purity, domain-safety and protocol-lifecycle invariants, \
+          machine-checked from the .cmt artifacts dune already builds")
     Term.(
-      const run $ build_dir $ json_out $ allowlist $ rules $ all_scopes
-      $ list_rules $ quiet $ paths)
+      const run $ build_dir $ json_out $ sarif_out $ cache_file $ jobs
+      $ allowlist $ rules $ ignore_scopes $ all_scopes $ list_rules $ quiet
+      $ paths)
 
 let () = exit (Cmd.eval' cmd)

@@ -523,7 +523,7 @@ let handle t ~src msg =
     | Message.Sync_resp { session; volume; max_volume; global_lc; objects } ->
       handle_sync_resp t ~src ~session ~volume ~max_volume ~global_lc ~objects
         ~bytes:(Message.size_of msg)
-    | _ -> ())
+    | _ -> () [@dqr.lint.allow "R9"])
 
 let on_recover t ~wiped =
   t.loops <- Hashtbl.create 16;

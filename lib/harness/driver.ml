@@ -66,7 +66,7 @@ let pick_server rng topology ~redirect ~up ~client ~use_closest =
       let distant = List.filter (fun s -> s <> closest) servers in
       match distant with
       | [] -> closest
-      | _ -> List.nth distant (Dq_util.Rng.int rng (List.length distant))
+      | _ :: _ -> Option.value (Dq_util.Rng.choose rng distant) ~default:closest
     end
   in
   (* Request redirection (paper, Section 2): route to an available front
@@ -76,7 +76,7 @@ let pick_server rng topology ~redirect ~up ~client ~use_closest =
   else
     match List.filter up (Topology.servers topology) with
     | [] -> preferred
-    | alive -> List.nth alive (Dq_util.Rng.int rng (List.length alive))
+    | alive -> Option.value (Dq_util.Rng.choose rng alive) ~default:preferred
 
 let run_with_events engine topology (api : R.api) config ~events ~on_net_event =
   Spec.validate config.spec;

@@ -113,11 +113,15 @@ let execute ~config scenario ~next_choice =
         if choice < n_pending then Net.deliver_pending net choice
         else if can_step && choice = n_pending then ignore (Engine.step engine)
         else begin
-          let victim = List.nth crashable (choice - n_pending - n_step) in
-          decr crashes_left;
-          api.R.crash_server victim;
-          (* Recover after a while of virtual time so the run can finish. *)
-          ignore (Engine.schedule engine ~delay:5_000. (fun () -> api.R.recover_server victim))
+          match List.nth_opt crashable (choice - n_pending - n_step) with
+          | None -> () (* unreachable: choice < width *)
+          | Some victim ->
+            decr crashes_left;
+            api.R.crash_server victim;
+            (* Recover after a while of virtual time so the run can finish. *)
+            ignore
+              (Engine.schedule engine ~delay:5_000. (fun () ->
+                   api.R.recover_server victim))
         end;
         loop ()
       end

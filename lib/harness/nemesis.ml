@@ -286,7 +286,7 @@ let rec generate rng cls ~n_servers =
       let sub_classes =
         [ Partitions; Crashes; Amnesia; Gray_failure; Degraded_links; Flapping; Clock_skew ]
       in
-      let pick () = List.nth sub_classes (Rng.int rng (List.length sub_classes)) in
+      let pick () = Option.value (Rng.choose rng sub_classes) ~default:Partitions in
       (* two independent single-episode programs of random classes,
          offset so their fault windows overlap *)
       let a = generate_one rng (pick ()) ~n_servers ~base:2_000. in

@@ -150,6 +150,12 @@ let new_old_inversions ops =
         sorted;
       !acc)
     by_key []
+  (* key-group order is hash order; sort so the report is a function of
+     the history alone (R7) *)
+  |> List.sort (fun a b ->
+         match Int.compare a.first_read.History.id b.first_read.History.id with
+         | 0 -> Int.compare a.second_read.History.id b.second_read.History.id
+         | c -> c)
 
 let is_atomic ops =
   is_regular ops

@@ -1,0 +1,47 @@
+(* The incremental-analysis cache: a Marshal'd table from .cmt content
+   digest to the diagnostics that cmt produced, guarded by a config
+   fingerprint (rules, scoping, allowlist, exclusions, engine version).
+   Any mismatch — different config, different engine, corrupt or missing
+   file — degrades to an empty cache; the cache can only skip work,
+   never change a report. *)
+
+type entry = { src : string; diags : Diagnostic.t list }
+
+type t = { fingerprint : string; table : (string, entry) Hashtbl.t }
+
+(* Bump whenever the on-disk layout changes: a stale magic reads as a
+   cold cache, not a crash. *)
+let magic = "dqr-lint-cache-v2"
+
+let empty fingerprint = { fingerprint; table = Hashtbl.create 16 }
+
+let load ~file ~fingerprint =
+  match open_in_bin file with
+  | exception Sys_error _ -> empty fingerprint
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match
+          (Marshal.from_channel ic : string * string * (string * entry) array)
+        with
+        | exception _ -> empty fingerprint
+        | m, fp, entries ->
+          if not (String.equal m magic && String.equal fp fingerprint) then
+            empty fingerprint
+          else begin
+            let table = Hashtbl.create (max 16 (2 * Array.length entries)) in
+            Array.iter (fun (k, e) -> Hashtbl.replace table k e) entries;
+            { fingerprint; table }
+          end)
+
+let find t key = Hashtbl.find_opt t.table key
+
+let save ~file ~fingerprint entries =
+  match open_out_bin file with
+  | exception Sys_error _ -> ()
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Marshal.to_channel oc (magic, fingerprint, Array.of_list entries) [])

@@ -1,0 +1,27 @@
+(** Incremental-analysis cache for {!Engine.lint_build_dir}: maps a
+    [.cmt] content digest to the diagnostics it produced, keyed by a
+    config fingerprint so a rule/allowlist/engine change invalidates
+    everything at once. Lookups never change a report — a full run and a
+    warm-cache run are byte-identical by construction. *)
+
+type entry = {
+  src : string;  (** project-relative source path; [""] = nothing lintable *)
+  diags : Diagnostic.t list;
+}
+
+type t
+
+val empty : string -> t
+(** [empty fingerprint] — a cold cache. *)
+
+val load : file:string -> fingerprint:string -> t
+(** Load from disk; a missing, corrupt, foreign-version or
+    foreign-config file yields a cold cache (never raises). *)
+
+val find : t -> string -> entry option
+(** Look up by hex content digest of a [.cmt]. *)
+
+val save : file:string -> fingerprint:string -> (string * entry) list -> unit
+(** Persist this run's [(digest, entry)] pairs, replacing the file;
+    entries for deleted cmts age out naturally. IO errors are ignored
+    (the cache is advisory). *)

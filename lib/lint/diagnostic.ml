@@ -54,10 +54,30 @@ let to_json d =
     {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
     (escape d.rule) (escape d.file) d.line d.col (escape d.message)
 
-let list_to_json ds =
+(* Schema 2: the envelope carries the rule table that produced the
+   report (id, name, summary, scope, per-rule finding count), so a
+   consumer can render or gate per rule without re-deriving the
+   catalogue. [rules] is the configured rule list, in catalogue order. *)
+let list_to_json ~(rules : Rules.t list) ds =
+  let count_for id =
+    List.length (List.filter (fun d -> String.equal d.rule id) ds)
+  in
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "{\"version\":1,\"count\":%d,\"diagnostics\":[" (List.length ds));
+    (Printf.sprintf "{\"version\":2,\"count\":%d,\"rules\":["
+       (List.length ds));
+  List.iteri
+    (fun i (r : Rules.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  {\"id\":\"%s\",\"name\":\"%s\",\"summary\":\"%s\",\
+            \"scope\":\"%s\",\"findings\":%d}"
+           (escape r.id) (escape r.name) (escape r.summary)
+           (escape r.scope_doc) (count_for r.id)))
+    rules;
+  (match rules with [] -> () | _ :: _ -> Buffer.add_char b '\n');
+  Buffer.add_string b "],\"diagnostics\":[";
   List.iteri
     (fun i d ->
       if i > 0 then Buffer.add_char b ',';

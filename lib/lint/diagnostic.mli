@@ -21,9 +21,16 @@ val compare : t -> t -> int
 val to_string : t -> string
 (** ["file:line:col: [rule] message"] — the human-readable form. *)
 
+val escape : string -> string
+(** Minimal JSON string escaping (ASCII rule ids, paths and prose);
+    shared with the {!Sarif} emitter. *)
+
 val to_json : t -> string
 (** One finding as a JSON object on a single line. *)
 
-val list_to_json : t list -> string
-(** The report envelope: [{"version":1,"count":N,"diagnostics":[...]}],
-    pretty-printed with one finding per line. *)
+val list_to_json : rules:Rules.t list -> t list -> string
+(** The schema-2 report envelope:
+    [{"version":2,"count":N,"rules":[{id,name,summary,scope,findings}..],
+    "diagnostics":[...]}], pretty-printed with one rule/finding per
+    line. [rules] is the configured rule table; [findings] is the
+    per-rule diagnostic count. *)

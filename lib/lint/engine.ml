@@ -40,12 +40,7 @@ let contains_substring ~sub s =
     !found
   end
 
-let split_words s =
-  String.split_on_char ',' s
-  |> List.concat_map (String.split_on_char ' ')
-  |> List.filter_map (fun w ->
-         let w = String.trim w in
-         if String.equal w "" then None else Some w)
+let split_words = Suppress.split_words
 
 let parse_allowlist contents =
   String.split_on_char '\n' contents
@@ -61,30 +56,11 @@ let parse_allowlist contents =
          | rule :: path :: _ -> Some (rule, path))
 
 (* ------------------------------------------------------------------ *)
-(* Suppression attributes                                              *)
+(* Suppression attributes (parsing shared with Flow via Suppress)      *)
 
-let allow_attr = "dqr.lint.allow"
+let allows_of_attributes = Suppress.allows_of_attributes
 
-let allows_of_attributes (attrs : attributes) : string list =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if not (String.equal a.attr_name.txt allow_attr) then []
-      else
-        match a.attr_payload with
-        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
-          match e.pexp_desc with
-          | Pexp_constant (Pconst_string (s, _, _)) -> (
-            match split_words s with [] -> [ "*" ] | ws -> ws)
-          | _ -> [ "*" ])
-        | _ -> [ "*" ])
-    attrs
-
-let allow_matches rule keys =
-  List.exists
-    (fun k ->
-      String.equal k "*" || String.equal k rule.Rules.id
-      || String.equal k rule.Rules.name)
-    keys
+let allow_matches = Suppress.allow_matches
 
 (* ------------------------------------------------------------------ *)
 (* Type inspection (best effort: the env rebuilt from the summary may
@@ -173,6 +149,13 @@ let generic_compare_fns =
   ]
 
 let wall_clock_names = [ "Unix.gettimeofday"; "Unix.time"; "Stdlib.Sys.time" ]
+
+(* R8: partial stdlib functions whose failure the types allow. Array.get
+   is deliberately absent — [a.(i)] desugars to the same ident, so the
+   rule would ban every array read; bounds discipline on arrays stays a
+   review concern. *)
+let partial_fn_names =
+  [ "Stdlib.Option.get"; "Stdlib.List.hd"; "Stdlib.List.nth" ]
 
 let ref_write_names = [ "Stdlib.:="; "Stdlib.incr"; "Stdlib.decr" ]
 
@@ -379,6 +362,24 @@ let check_ident ctx e p =
       "%s reads the host clock; simulation code must take time from the \
        virtual Clock"
       n;
+  (* R6: raw engine timer in node-scoped code. Net.timer wraps the same
+     schedule in an incarnation check (lib/net/net.ml), so callbacks
+     armed before a crash/amnesia restart are dropped on recovery. *)
+  if
+    ends_with ~suffix:"Engine.schedule" n
+    || ends_with ~suffix:"Engine.schedule_at" n
+  then
+    report ctx "R6" ~loc:e.exp_loc
+      "%s arms a raw engine timer with no incarnation guard; node-scoped \
+       callbacks must go through Net.timer so crash/amnesia recovery drops \
+       them instead of letting them fire into the node's next life"
+      n;
+  (* R8: partial functions *)
+  if mem partial_fn_names n then
+    report ctx "R8" ~loc:e.exp_loc
+      "%s raises on inputs its type allows; use a total pattern instead \
+       (match, List.nth_opt, Option.value, Rng.choose)"
+      n;
   (* R1: polymorphic compare/equality/hash at a non-immediate type *)
   let primitive = mem comparison_primitives n in
   if primitive || mem generic_compare_fns n then begin
@@ -397,6 +398,119 @@ let check_ident ctx e p =
           n
           (type_to_string env subject)
   end
+
+(* ------------------------------------------------------------------ *)
+(* R9 helpers: silent message drops                                    *)
+
+(* Is this a message/payload variant? Heuristic on the (expanded) type
+   constructor's path: the protocol layers name their wire types
+   [Message.t] / [Base_msg.t] / [type msg = ...], and that convention is
+   exactly what the rule protects — adding a constructor to a wire type
+   must not be silently swallowed by an old wildcard arm. *)
+let msgish_type env ty =
+  let ty = expand env ty in
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) ->
+    let n = String.lowercase_ascii (Path.name p) in
+    contains_substring ~sub:"msg" n || contains_substring ~sub:"message" n
+  | _ -> false
+
+let is_wildcard_pat (p : computation general_pattern) =
+  match p.pat_desc with
+  | Tpat_value v -> (
+    match (v :> value general_pattern).pat_desc with
+    | Tpat_any | Tpat_var _ -> true
+    | _ -> false)
+  | _ -> false
+
+let is_unit_const e =
+  match e.exp_desc with
+  | Texp_construct (_, cd, []) -> String.equal cd.cstr_name "()"
+  | _ -> false
+
+let check_match_drops ctx scrut cases =
+  let candidates =
+    List.filter
+      (fun c ->
+        is_wildcard_pat c.c_lhs
+        && Option.is_none c.c_guard
+        && is_unit_const c.c_rhs
+        (* the annotation sits on the arm's [()] body, which the allow
+           stack hasn't reached yet at match-visit time *)
+        && not (Suppress.allows_rule c.c_rhs.exp_attributes "R9"))
+      cases
+  in
+  match candidates with
+  | [] -> ()
+  | _ :: _ ->
+    let env = rebuild_env scrut.exp_env in
+    if msgish_type env scrut.exp_type then
+      List.iter
+        (fun c ->
+          report ctx "R9" ~loc:c.c_lhs.pat_loc
+            "wildcard arm silently drops messages of type %s; name the \
+             constructors, emit a telemetry drop event, or annotate the \
+             deliberate drop with [@dqr.lint.allow \"R9\"]"
+            (type_to_string env scrut.exp_type))
+        candidates
+
+(* ------------------------------------------------------------------ *)
+(* R7 point check: ordered accumulation through Hashtbl.iter            *)
+
+let contains_cons e =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_construct (_, cd, _) when String.equal cd.cstr_name "::" ->
+            found := true
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* [Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl] is the fold escape
+   in imperative clothing: the captured ref accumulates in hash order.
+   The Flow pass can't see it (the "result" leaves through a ref, not a
+   tail position), so it's a point check here. *)
+let check_iter_accumulator ctx args =
+  match
+    List.find_map
+      (fun (lbl, a) ->
+        match (lbl, a) with
+        | Asttypes.Nolabel, Some f -> (
+          match f.exp_desc with Texp_function _ -> Some f | _ -> None)
+        | _ -> None)
+      args
+  with
+  | None -> ()
+  | Some closure ->
+    let locals = bound_idents_within closure in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun sub e ->
+            (match e.exp_desc with
+            | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, aargs)
+              when String.equal (Path.name p) "Stdlib.:=" -> (
+              match first_nolabel_arg aargs with
+              | Some tgt
+                when is_captured locals (head_of tgt) && contains_cons e ->
+                report ctx "R7" ~loc:e.exp_loc
+                  "Hashtbl.iter conses into a captured ref in hash order; \
+                   use Hashtbl.fold and sort the result before it escapes"
+              | _ -> ())
+            | _ -> ());
+            Tast_iterator.default_iterator.expr sub e);
+      }
+    in
+    it.expr it closure
 
 let check_expr_node ctx e =
   match e.exp_desc with
@@ -430,7 +544,10 @@ let check_expr_node ctx e =
       | Some closure ->
         check_worker_closure ctx ~race:(if pool then pool_race else pdes_race) closure
       | None -> ()
-    end
+    end;
+    (* R7 point check: ordered accumulation through Hashtbl.iter *)
+    if ends_with ~suffix:"Hashtbl.iter" (Path.name p) then
+      check_iter_accumulator ctx args
   | _ -> ()
 
 let make_iterator ctx =
@@ -455,6 +572,7 @@ let make_iterator ctx =
           if guarded then decr ctx.guard_depth;
           Option.iter (sub.expr sub) eelse
         | Texp_match (scrut, cases, _) ->
+          check_match_drops ctx scrut cases;
           sub.expr sub scrut;
           List.iter
             (fun c ->
@@ -511,6 +629,11 @@ let run_file cfg src str =
     in
     let it = make_iterator ctx in
     it.structure it str;
+    (* R7 escape analysis: a separate function-level pass (see Flow).
+       Rule activation, allowlists and dedup all flow through [report]. *)
+    Flow.check
+      ~report:(fun ~loc msg -> report ctx "R7" ~loc "%s" msg)
+      str;
     List.sort_uniq D.compare !(ctx.diags)
 
 (* ------------------------------------------------------------------ *)
@@ -575,36 +698,129 @@ let rec walk_dir dir acc =
         else acc)
       acc entries
 
-let lint_build_dir ?(paths = []) cfg build_dir =
+let path_selected paths src =
+  match paths with
+  | [] -> true
+  | _ :: _ ->
+    List.exists
+      (fun p ->
+        let p = Rules.normalize p in
+        String.equal p src || starts_with ~prefix:(p ^ "/") src
+        || starts_with ~prefix:p src)
+      paths
+
+(* Bumped with any behavior change to the rules or the engine: it keys
+   the incremental cache, so an upgraded linter never serves findings
+   computed by its predecessor. *)
+let version = "2.0.0"
+
+type stats = { cmts : int; analyzed : int; cache_hits : int }
+
+(* Everything a cached entry's validity depends on besides the cmt
+   bytes themselves. *)
+let config_fingerprint cfg =
+  let b = Buffer.create 256 in
+  Buffer.add_string b version;
+  Buffer.add_char b '|';
+  List.iter
+    (fun (r : Rules.t) ->
+      Buffer.add_string b r.id;
+      Buffer.add_char b ',')
+    cfg.rules;
+  Buffer.add_string b (if cfg.ignore_scopes then "|noscope|" else "|scoped|");
+  List.iter
+    (fun (rule, sub) ->
+      Buffer.add_string b rule;
+      Buffer.add_char b '=';
+      Buffer.add_string b sub;
+      Buffer.add_char b ',')
+    cfg.allowlist;
+  Buffer.add_char b '|';
+  List.iter
+    (fun p ->
+      Buffer.add_string b p;
+      Buffer.add_char b ',')
+    cfg.exclude_paths;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+type outcome =
+  | Done of { digest : string; entry : Cache.entry; fresh : bool }
+  | Broken of string
+
+(* compiler-libs' load path, env and Envaux caches are process-global
+   and not domain-safe, so the typed analysis itself is serialized; the
+   per-cmt digest and unmarshalling fan out across the pool, which is
+   where a warm-cache run spends its time. *)
+let analysis_mutex = Mutex.create ()
+
+let process_cmt cfg cache root cmt_path =
+  match Digest.file cmt_path with
+  | exception e ->
+    Broken (Printf.sprintf "%s: %s" cmt_path (Printexc.to_string e))
+  | digest -> (
+    let digest = Digest.to_hex digest in
+    match Cache.find cache digest with
+    | Some entry -> Done { digest; entry; fresh = false }
+    | None -> (
+      match Cmt_format.read_cmt cmt_path with
+      | exception e ->
+        Broken (Printf.sprintf "%s: %s" cmt_path (Printexc.to_string e))
+      | cmt -> (
+        match (source_of_cmt cmt, cmt.cmt_annots) with
+        | Some src, Implementation str when not (excluded cfg src) ->
+          Mutex.protect analysis_mutex (fun () ->
+              setup_load_path ~root cmt;
+              let entry = { Cache.src; diags = run_file cfg src str } in
+              Done { digest; entry; fresh = true })
+        | _ ->
+          (* nothing lintable (interface-only cmt, excluded path, mli):
+             cache the emptiness so reruns skip the unmarshal too *)
+          Done
+            { digest; entry = { Cache.src = ""; diags = [] }; fresh = true })))
+
+let lint_build_dir ?(paths = []) ?(jobs = 1) ?cache_file cfg build_dir =
   let cmts = List.rev (walk_dir build_dir []) in
+  let fingerprint = config_fingerprint cfg in
+  let cache =
+    match cache_file with
+    | None -> Cache.empty fingerprint
+    | Some f -> Cache.load ~file:f ~fingerprint
+  in
+  let process path = process_cmt cfg cache build_dir path in
+  let outcomes =
+    if jobs = 1 then List.map process cmts
+    else
+      Dq_par.Pool.with_pool ~jobs (fun pool ->
+          Dq_par.Pool.map ~chunk_size:4 pool process cmts)
+  in
   let seen = Hashtbl.create 128 in
   let diags = ref [] in
   let errors = ref [] in
+  let entries = ref [] in
+  let analyzed = ref 0 in
+  let hits = ref 0 in
   List.iter
-    (fun cmt_path ->
-      (* Peek at the source path cheaply enough: read_cmt is the only
-         way, so dedupe after the read but before the analysis. *)
-      match Cmt_format.read_cmt cmt_path with
-      | exception e ->
-        errors :=
-          Printf.sprintf "%s: %s" cmt_path (Printexc.to_string e) :: !errors
-      | cmt -> (
-        match (source_of_cmt cmt, cmt.cmt_annots) with
-        | Some src, Implementation str
-          when (not (Hashtbl.mem seen src))
-               && (not (excluded cfg src))
-               && (match paths with
-                  | [] -> true
-                  | _ :: _ ->
-                    List.exists
-                      (fun p ->
-                        let p = Rules.normalize p in
-                        String.equal p src || starts_with ~prefix:(p ^ "/") src
-                        || starts_with ~prefix:p src)
-                      paths) ->
+    (fun outcome ->
+      match outcome with
+      | Broken msg -> errors := msg :: !errors
+      | Done { digest; entry; fresh } ->
+        entries := (digest, entry) :: !entries;
+        if fresh then incr analyzed else incr hits;
+        let src = entry.Cache.src in
+        if
+          (not (String.equal src ""))
+          && (not (Hashtbl.mem seen src))
+          && path_selected paths src
+        then begin
+          (* several executables may recompile the same source; first
+             cmt in walk order wins, as before *)
           Hashtbl.add seen src ();
-          setup_load_path ~root:build_dir cmt;
-          diags := run_file cfg src str @ !diags
-        | _ -> ()))
-    cmts;
-  (List.sort_uniq D.compare !diags, List.rev !errors)
+          diags := entry.Cache.diags @ !diags
+        end)
+    outcomes;
+  (match cache_file with
+  | None -> ()
+  | Some f -> Cache.save ~file:f ~fingerprint (List.rev !entries));
+  ( List.sort_uniq D.compare !diags,
+    List.rev !errors,
+    { cmts = List.length cmts; analyzed = !analyzed; cache_hits = !hits } )

@@ -29,8 +29,18 @@ type config = {
 
 val default_config : config
 
+val version : string
+(** Engine version, advertised in reports and SARIF and folded into the
+    incremental-cache fingerprint. *)
+
 val parse_allowlist : string -> (string * string) list
 (** Parse allowlist file contents (not a path). *)
+
+type stats = {
+  cmts : int;  (** [.cmt] artifacts visited *)
+  analyzed : int;  (** read and analyzed this run (cache misses) *)
+  cache_hits : int;  (** served from the incremental cache *)
+}
 
 val lint_cmt :
   ?root:string -> config -> string -> (Diagnostic.t list, string) result
@@ -40,10 +50,24 @@ val lint_cmt :
     looked up. [Error] means the artifact could not be loaded. *)
 
 val lint_build_dir :
-  ?paths:string list -> config -> string -> Diagnostic.t list * string list
+  ?paths:string list ->
+  ?jobs:int ->
+  ?cache_file:string ->
+  config ->
+  string ->
+  Diagnostic.t list * string list * stats
 (** [lint_build_dir ~paths config build_dir] walks [build_dir]
     recursively for [.cmt] files, lints each compilation unit once
     (several executables may recompile the same source — findings are
-    deduplicated), and returns sorted diagnostics plus load errors.
-    [paths] filters findings to files under the given project-relative
-    prefixes. *)
+    deduplicated), and returns sorted diagnostics, load errors, and run
+    stats. [paths] filters findings to files under the given
+    project-relative prefixes.
+
+    [jobs] (default 1) fans the per-cmt work across a {!Dq_par.Pool};
+    the typed analysis itself serializes on a process-global lock
+    (compiler-libs' env caches are not domain-safe) while digesting and
+    unmarshalling parallelize, and results are order-independent of
+    [jobs] by construction. [cache_file] enables the incremental cache:
+    entries are keyed by cmt content digest under a config+engine
+    fingerprint, so only changed cmts re-analyze and a warm run's report
+    is byte-identical to a cold one. *)

@@ -1,0 +1,312 @@
+(* R7 "ordered-fold": the escape/domination analysis.
+
+   A [Hashtbl.fold] builds its result in hash order — deterministic for a
+   fixed binary and insertion history, but not a property of the data, so
+   it breaks bit-for-bit replay the moment the table's insertion order
+   shifts (merge order, recovery order, a stdlib bump). The rule: a fold
+   result may escape the enclosing function only if it is (a) dominated
+   by a deterministic sort, or (b) accumulated commutatively (counts,
+   sums, min/max — any order-insensitive combine), so hash order cannot
+   be observed downstream.
+
+   The analysis is a tail-position walk per module-level binding:
+
+   - [classify] follows the "result spine" of a function body — through
+     lets, sequences, branches and [|>]/[@@] pipelines — and decides
+     whether the value reaching the tail is a raw fold result.
+   - Let-bound raw results are tracked by identifier; let-bound local
+     *functions* get a one-bit summary (does calling it return a raw
+     fold result?), which makes the check cross-function: a helper's raw
+     fold flags at the call site that lets it escape, and is forgiven
+     when every escape point sorts it.
+   - Sorts ([List.sort] and friends) launder; [List.rev] propagates
+     (reversed hash order is still hash order); tuples, records and
+     unknown calls are opaque — embedding a fold result in a bigger
+     value or feeding it to a consumer is not, by itself, an escape.
+
+   Escaping [Hashtbl.iter] accumulation (consing into a captured ref) is
+   a point check and lives in {!Engine}. *)
+
+open Typedtree
+
+type origin = { loc : Location.t; via : string option }
+
+(* What an in-scope identifier is known to be. *)
+type info =
+  | Raw_value of origin  (* bound to a raw (unsorted) fold result *)
+  | Raw_helper of origin  (* a local function returning a raw fold result *)
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+let any_suffix names n = List.exists (fun s -> ends_with ~suffix:s n) names
+
+let is_fold n = ends_with ~suffix:"Hashtbl.fold" n
+
+let is_sort n =
+  any_suffix
+    [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
+    n
+
+(* Reversed hash order is still hash order. *)
+let is_order_preserving n = ends_with ~suffix:"List.rev" n
+
+let positional args =
+  List.filter_map
+    (fun (lbl, a) ->
+      match (lbl, a) with Asttypes.Nolabel, Some e -> Some e | _ -> None)
+    args
+
+let mem_id ids id = List.exists (Ident.same id) ids
+
+let find_info env id =
+  List.find_map
+    (fun (i, info) -> if Ident.same i id then Some info else None)
+    env
+
+(* ------------------------------------------------------------------ *)
+(* Commutative accumulators                                            *)
+
+(* Does [e] mention any of the accumulator identifiers at all? *)
+let mentions ids e =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) when mem_id ids id ->
+            found := true
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let commutative_ops = [ "+"; "+."; "*"; "*."; "land"; "lor"; "lxor"; "||"; "&&" ]
+
+(* [max]/[min] accepted from any module (Float.max, Int.max, a domain
+   Lc.max): the naming convention implies an associative-commutative
+   combine. The bare polymorphic Stdlib.max is R1's problem, not ours. *)
+let is_comm_op p =
+  let last = Path.last p in
+  List.exists (String.equal last) commutative_ops
+  || String.equal last "max" || String.equal last "min"
+
+(* Structural commutativity of a fold body w.r.t. the accumulator
+   identifiers [ids]: the result must be [acc] itself (componentwise for
+   tuple accumulators), a constant, or an acc-rooted combination through
+   a commutative operator whose other operand is acc-free — reached only
+   through acc-free conditions and bindings. Anything else (notably
+   [x :: acc]) is order-sensitive. *)
+let rec commutative ids e =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> mem_id ids id
+  | Texp_constant _ -> true
+  | Texp_construct (_, _, []) -> true
+  | Texp_tuple es -> List.for_all (commutative ids) es
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when is_comm_op p -> (
+    match positional args with
+    | [ a; b ] ->
+      (commutative ids a && not (mentions ids b))
+      || (commutative ids b && not (mentions ids a))
+    | _ -> false)
+  | Texp_ifthenelse (c, t, Some e2) ->
+    (not (mentions ids c)) && commutative ids t && commutative ids e2
+  | Texp_ifthenelse (c, t, None) -> (not (mentions ids c)) && commutative ids t
+  | Texp_match (s, cases, _) ->
+    (not (mentions ids s))
+    && List.for_all
+         (fun c ->
+           (match c.c_guard with
+           | None -> true
+           | Some g -> not (mentions ids g))
+           && commutative ids c.c_rhs)
+         cases
+  | Texp_let (_, vbs, body) ->
+    List.for_all (fun vb -> not (mentions ids vb.vb_expr)) vbs
+    && commutative ids body
+  | Texp_sequence (e1, e2) -> (not (mentions ids e1)) && commutative ids e2
+  | Texp_open (_, body) -> commutative ids body
+  | _ -> false
+
+(* Accumulator idents from the fold callback's third parameter: a plain
+   variable or a tuple of variables. Anything fancier defeats the
+   commutativity check and the fold counts as order-sensitive. *)
+let rec acc_pattern_ids (p : value general_pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, _) -> Some [ id ]
+  | Tpat_alias (inner, id, _) ->
+    Option.map (fun ids -> id :: ids) (acc_pattern_ids inner)
+  | Tpat_any -> Some []
+  | Tpat_tuple ps ->
+    List.fold_left
+      (fun acc p ->
+        match (acc, acc_pattern_ids p) with
+        | Some acc, Some ids -> Some (acc @ ids)
+        | _ -> None)
+      (Some []) ps
+  | _ -> None
+
+(* Peel [n] single-case function layers off a callback literal. *)
+let rec take_params n acc e =
+  if n = 0 then Some (List.rev acc, e)
+  else
+    match e.exp_desc with
+    | Texp_function { cases = [ { c_lhs; c_rhs; c_guard = None } ]; _ } ->
+      take_params (n - 1) (c_lhs :: acc) c_rhs
+    | _ -> None
+
+let fold_is_commutative args =
+  match positional args with
+  | cb :: _tbl :: _init :: _ -> (
+    match take_params 3 [] cb with
+    | Some ([ _k; _v; accp ], body) -> (
+      match acc_pattern_ids accp with
+      | Some ids -> commutative ids body
+      | None -> false)
+    | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The tail-position classification                                    *)
+
+let allows_r7 attrs = Suppress.allows_rule attrs "R7"
+
+(* Does [e], in tail position, evaluate to a raw fold result? *)
+let rec classify env e : origin option =
+  if allows_r7 e.exp_attributes then None
+  else
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+      match find_info env id with
+      | Some (Raw_value o) -> Some o
+      | _ -> None)
+    | Texp_let (_, vbs, body) -> classify (bind env vbs) body
+    | Texp_sequence (_, e2) -> classify env e2
+    | Texp_open (_, body) -> classify env body
+    | Texp_ifthenelse (_, t, Some e2) -> (
+      match classify env t with Some o -> Some o | None -> classify env e2)
+    | Texp_ifthenelse (_, t, None) -> classify env t
+    | Texp_match (_, cases, _) ->
+      List.find_map (fun c -> classify env c.c_rhs) cases
+    | Texp_apply (f, args) -> classify_apply env e.exp_loc f args
+    | _ -> None
+
+and classify_apply env loc f args =
+  match f.exp_desc with
+  | Texp_ident (p, _, _) -> (
+    let n = Path.name p in
+    if String.equal n "Stdlib.|>" then
+      match positional args with
+      | [ a; fn ] -> pipe_apply env loc fn a
+      | _ -> None
+    else if String.equal n "Stdlib.@@" then
+      match positional args with
+      | [ fn; a ] -> pipe_apply env loc fn a
+      | _ -> None
+    else if is_sort n then None
+    else if is_order_preserving n then
+      match positional args with [ a ] -> classify env a | _ -> None
+    else if is_fold n then
+      if fold_is_commutative args then None else Some { loc; via = None }
+    else
+      match p with
+      | Path.Pident id -> (
+        match find_info env id with
+        | Some (Raw_helper o) -> Some o
+        | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* [a |> f] / [f @@ a]: re-associate into an application of [f]'s head
+   so a trailing sort still launders and a trailing helper still flags. *)
+and pipe_apply env loc fn a =
+  match fn.exp_desc with
+  | Texp_ident _ -> classify_apply env loc fn [ (Asttypes.Nolabel, Some a) ]
+  | Texp_apply (g, gargs) -> (
+    match g.exp_desc with
+    | Texp_ident _ ->
+      classify_apply env loc g (gargs @ [ (Asttypes.Nolabel, Some a) ])
+    | _ -> None)
+  | _ -> None
+
+(* Every tail expression of a (possibly curried, possibly multi-case)
+   function literal; a non-function value is its own tail. *)
+and fn_tails e =
+  match e.exp_desc with
+  | Texp_function { cases; _ } -> List.concat_map (fun c -> fn_tails c.c_rhs) cases
+  | _ -> [ e ]
+
+and summarize env fexpr =
+  List.find_map (classify env) (fn_tails fexpr)
+
+and bind env vbs =
+  List.fold_left
+    (fun env vb ->
+      if allows_r7 vb.vb_attributes then env
+      else
+        match vb.vb_pat.pat_desc with
+        | Tpat_var (id, _) -> (
+          match vb.vb_expr.exp_desc with
+          | Texp_function _ -> (
+            match summarize env vb.vb_expr with
+            | Some o ->
+              (id, Raw_helper { o with via = Some (Ident.name id) }) :: env
+            | None -> env)
+          | _ -> (
+            match classify env vb.vb_expr with
+            | Some o -> (id, Raw_value o) :: env
+            | None -> env))
+        | _ -> env)
+    env vbs
+
+(* ------------------------------------------------------------------ *)
+(* Module-level walk                                                   *)
+
+let message o =
+  match o.via with
+  | None ->
+    "Hashtbl.fold result escapes the enclosing function in hash order; \
+     sort it deterministically before it escapes, or accumulate \
+     commutatively (count/sum/min/max)"
+  | Some h ->
+    Printf.sprintf
+      "Hashtbl.fold result escapes in hash order via local helper '%s'; \
+       sort it at the escape point or inside the helper" h
+
+let check_binding ~report vb =
+  List.iter
+    (fun tail ->
+      match classify [] tail with
+      | Some o -> report ~loc:o.loc (message o)
+      | None -> ())
+    (fn_tails vb.vb_expr)
+
+let rec check_structure ~report (str : structure) =
+  List.iter (check_item ~report) str.str_items
+
+and check_item ~report item =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+    List.iter
+      (fun vb ->
+        if not (allows_r7 vb.vb_attributes) then check_binding ~report vb)
+      vbs
+  | Tstr_module mb -> check_module ~report mb.mb_expr
+  | Tstr_recmodule mbs ->
+    List.iter (fun mb -> check_module ~report mb.mb_expr) mbs
+  | _ -> ()
+
+and check_module ~report me =
+  match me.mod_desc with
+  | Tmod_structure s -> check_structure ~report s
+  | Tmod_constraint (me, _, _, _) -> check_module ~report me
+  | Tmod_functor (_, me) -> check_module ~report me
+  | _ -> ()
+
+let check ~report str = check_structure ~report str

@@ -83,7 +83,62 @@ let r5 =
     scope_doc = "everywhere except lib/par (the pool itself)";
   }
 
-let all = [ r1; r2; r3; r4; r5 ]
+(* R6 covers the node-scoped protocol layers. Net.timer (lib/net/net.ml)
+   wraps Engine.schedule with an incarnation check, so callbacks armed
+   before a crash/amnesia restart are dropped instead of firing into the
+   node's next life. Raw Engine scheduling bypasses that guard. The
+   harness layers (nemesis, churn, driver, ...) schedule *off-node*
+   orchestration on purpose and stay out of scope. *)
+let r6 =
+  {
+    id = "R6";
+    name = "no-raw-timer";
+    summary =
+      "node-scoped code must arm timers via Net.timer (incarnation-guarded); \
+       raw Engine.schedule/schedule_at survives crash+recovery as a zombie \
+       callback";
+    applies = (fun p -> under [ "lib/dq"; "lib/protocols"; "lib/rpc" ] p);
+    scope_doc = "lib/dq, lib/protocols and lib/rpc (node-scoped code)";
+  }
+
+let r7 =
+  {
+    id = "R7";
+    name = "ordered-fold";
+    summary =
+      "a Hashtbl.fold/iter whose accumulated result escapes the enclosing \
+       function leaks hash order; sort it deterministically or accumulate \
+       commutatively (counts, sums, max) before it escapes";
+    applies = (fun p -> under [ "lib" ] p);
+    scope_doc = "lib/ (every library subtree)";
+  }
+
+let r8 =
+  {
+    id = "R8";
+    name = "no-partial-functions";
+    summary =
+      "Option.get, List.hd and List.nth raise on inputs the type system \
+       can't rule out; use total patterns (match, List.nth_opt, Rng.choose) \
+       so protocol code fails closed, not with Failure";
+    applies = (fun p -> under [ "lib" ] p);
+    scope_doc = "lib/ (every library subtree)";
+  }
+
+let r9 =
+  {
+    id = "R9";
+    name = "no-silent-drop";
+    summary =
+      "a wildcard '_ -> ()' arm matching on a message/payload variant \
+       silently ignores every future constructor; name the constructors, \
+       emit a telemetry drop, or annotate the deliberate drop with \
+       [@dqr.lint.allow \"R9\"]";
+    applies = (fun p -> under [ "lib/dq"; "lib/protocols" ] p);
+    scope_doc = "lib/dq and lib/protocols (message dispatch)";
+  }
+
+let all = [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
 
 let find key =
   List.find_opt (fun r -> String.equal r.id key || String.equal r.name key) all

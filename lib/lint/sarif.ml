@@ -1,0 +1,66 @@
+(* SARIF 2.1.0 emitter, so CI findings land as GitHub code-scanning
+   annotations. Hand-rolled like the schema-2 JSON report: one run, one
+   driver, the configured rule table, one result per diagnostic. The
+   only representational shift is columns — SARIF regions are 1-based
+   where the compiler (and our Diagnostic.col) is 0-based. *)
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let esc = Diagnostic.escape
+
+let rule_index rules id =
+  let rec go i = function
+    | [] -> None
+    | (r : Rules.t) :: rest ->
+      if String.equal r.id id then Some i else go (i + 1) rest
+  in
+  go 0 rules
+
+let add_rule b i (r : Rules.t) =
+  if i > 0 then Buffer.add_char b ',';
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n          {\"id\":\"%s\",\"name\":\"%s\",\
+        \"shortDescription\":{\"text\":\"%s\"},\
+        \"defaultConfiguration\":{\"level\":\"error\"},\
+        \"properties\":{\"scope\":\"%s\"}}"
+       (esc r.id) (esc r.name) (esc r.summary) (esc r.scope_doc))
+
+let add_result b rules i (d : Diagnostic.t) =
+  if i > 0 then Buffer.add_char b ',';
+  let index =
+    match rule_index rules d.rule with
+    | Some i -> Printf.sprintf "\"ruleIndex\":%d," i
+    | None -> ""
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n        {\"ruleId\":\"%s\",%s\"level\":\"error\",\
+        \"message\":{\"text\":\"%s\"},\
+        \"locations\":[{\"physicalLocation\":{\
+        \"artifactLocation\":{\"uri\":\"%s\"},\
+        \"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+       (esc d.rule) index (esc d.message) (esc d.file) d.line (d.col + 1))
+
+let to_string ~version ~rules diags =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"$schema\": \"%s\",\n  \"version\": \"2.1.0\",\n"
+       schema_uri);
+  Buffer.add_string b "  \"runs\": [\n    {\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"tool\": {\n        \"driver\": {\n\
+        \          \"name\": \"dqr-lint\",\n\
+        \          \"version\": \"%s\",\n\
+        \          \"rules\": [" (esc version));
+  List.iteri (fun i r -> add_rule b i r) rules;
+  (match rules with [] -> () | _ :: _ -> Buffer.add_string b "\n          ");
+  Buffer.add_string b "]\n        }\n      },\n";
+  Buffer.add_string b "      \"columnKind\": \"utf16CodeUnits\",\n";
+  Buffer.add_string b "      \"results\": [";
+  List.iteri (fun i d -> add_result b rules i d) diags;
+  (match diags with [] -> () | _ :: _ -> Buffer.add_string b "\n      ");
+  Buffer.add_string b "]\n    }\n  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** SARIF 2.1.0 output: one run, the configured rule table as
+    [tool.driver.rules], one [result] per diagnostic with a 1-based
+    region (our {!Diagnostic.t.col} is 0-based, SARIF columns start at
+    1). Suitable for [github/codeql-action/upload-sarif]. *)
+
+val to_string :
+  version:string -> rules:Rules.t list -> Diagnostic.t list -> string
+(** [to_string ~version ~rules diags] — the full SARIF document;
+    [version] is the tool version advertised in [tool.driver].
+    Deterministic: same inputs, same bytes. *)

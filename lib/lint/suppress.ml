@@ -1,0 +1,40 @@
+(* Shared suppression helpers: parsing [@dqr.lint.allow] payloads. Both
+   the engine's point checks and the flow analysis consult these, so
+   they live outside either. *)
+
+let allow_attr = "dqr.lint.allow"
+
+let split_words s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter_map (fun w ->
+         let w = String.trim w in
+         if String.equal w "" then None else Some w)
+
+let allows_of_attributes (attrs : Typedtree.attributes) : string list =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if not (String.equal a.attr_name.txt allow_attr) then []
+      else
+        match a.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+          match e.pexp_desc with
+          | Pexp_constant (Pconst_string (s, _, _)) -> (
+            match split_words s with [] -> [ "*" ] | ws -> ws)
+          | _ -> [ "*" ])
+        | _ -> [ "*" ])
+    attrs
+
+let allow_matches (rule : Rules.t) keys =
+  List.exists
+    (fun k ->
+      String.equal k "*" || String.equal k rule.Rules.id
+      || String.equal k rule.Rules.name)
+    keys
+
+(* [allows_rule attrs "R9"] — does this attribute list suppress the
+   given rule id (by id, name, wildcard or empty payload)? *)
+let allows_rule attrs id =
+  match Rules.find id with
+  | None -> false
+  | Some r -> allow_matches r (allows_of_attributes attrs)

@@ -348,10 +348,12 @@ let pending t = List.rev t.pending_pool
 
 let take_pending t i =
   let ordered = pending t in
-  if i < 0 || i >= List.length ordered then invalid_arg "Net: pending index out of range";
-  let entry = List.nth ordered i in
-  t.pending_pool <- List.rev (List.filteri (fun j _ -> j <> i) ordered);
-  entry
+  if i < 0 then invalid_arg "Net: pending index out of range";
+  match List.nth_opt ordered i with
+  | None -> invalid_arg "Net: pending index out of range"
+  | Some entry ->
+    t.pending_pool <- List.rev (List.filteri (fun j _ -> j <> i) ordered);
+    entry
 
 let deliver_pending t i =
   let src, dst, msg = take_pending t i in

@@ -229,13 +229,17 @@ let rec arm_gossip t replica =
              Obj_map.fold replica.items ~init:[] ~f:(fun key it acc ->
                  if it.share >= 0 then (key, it.share) :: acc else acc)
            in
-           (match List.filter (fun s -> s <> replica.me) t.servers with
-           | [] -> ()
-           | peers ->
-             let peer = List.nth peers (Dq_util.Rng.int t.rng (List.length peers)) in
+           (* the peer is drawn before [shares] is consulted, as it
+              always was: the rng stream must replay identically *)
+           (match
+              Dq_util.Rng.choose t.rng
+                (List.filter (fun s -> s <> replica.me) t.servers)
+            with
+           | None -> ()
+           | Some peer -> (
              match shares with
              | [] -> ()
-             | _ :: _ -> send t ~src:replica.me ~dst:peer (Gossip { shares }));
+             | _ :: _ -> send t ~src:replica.me ~dst:peer (Gossip { shares })));
            arm_gossip t replica
          end))
 
@@ -296,7 +300,9 @@ let create engine topology ?(gossip_ms = 500.) ?(transfer_timeout_ms = 400.) ~st
               Hashtbl.remove t.buy_callbacks (client, op);
               callback ok
             | None -> ())
-          | _ -> ()))
+          (* client stubs only consume buy replies; server-to-server
+             traffic reaching a client is dropped by design *)
+          | _ -> () [@dqr.lint.allow "R9"]))
     (Topology.clients topology);
   t
 

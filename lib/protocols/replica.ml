@@ -74,11 +74,9 @@ let rec arm_anti_entropy t ~peers ~period_ms =
     (Net.timer t.net ~node:t.me ~delay_ms:period_ms (fun () ->
          if not t.quiesced then begin
            let others = List.filter (fun p -> p <> t.me) peers in
-           (match others with
-           | [] -> ()
-           | _ ->
-             let peer = List.nth others (Dq_util.Rng.int t.rng (List.length others)) in
-             send t peer (Base_msg.Gossip { entries = entries t }));
+           (match Dq_util.Rng.choose t.rng others with
+           | None -> ()
+           | Some peer -> send t peer (Base_msg.Gossip { entries = entries t }));
            arm_anti_entropy t ~peers ~period_ms
          end))
 
@@ -189,7 +187,7 @@ let syncing_handle t ~src msg =
   (* ...but a wiped replica neither serves nor acknowledges anything —
      answering a read, a timestamp query, a write, or a peer's pull
      from an empty store could surface state loss as a quorum vote. *)
-  | _ -> ()
+  | _ -> () [@dqr.lint.allow "R9"]
 
 let active_handle t ~src msg =
   match msg with

@@ -1,10 +1,16 @@
 type peer = { mutable sent_at : float option; mutable ewma : float option }
 
-type t = { now : unit -> float; peers : (int, peer) Hashtbl.t }
+(* [observed] counts peers whose ewma went None -> Some, maintained at
+   the transition so the read is O(1) rather than a table fold. *)
+type t = {
+  now : unit -> float;
+  mutable observed : int;
+  peers : (int, peer) Hashtbl.t;
+}
 
 let alpha = 0.2
 
-let create ~now = { now; peers = Hashtbl.create 16 }
+let create ~now = { now; observed = 0; peers = Hashtbl.create 16 }
 
 let peer t id =
   match Hashtbl.find_opt t.peers id with
@@ -23,6 +29,9 @@ let note_reply t id =
   | Some sent ->
     p.sent_at <- None;
     let sample = t.now () -. sent in
+    (match p.ewma with
+    | None -> t.observed <- t.observed + 1
+    | Some _ -> ());
     p.ewma <-
       Some
         (match p.ewma with
@@ -46,7 +55,4 @@ let rank t candidates =
   in
   unexplored @ sorted
 
-let observed_peers t =
-  Hashtbl.fold
-    (fun _ p acc -> if Option.is_some p.ewma then acc + 1 else acc)
-    t.peers 0
+let observed_peers t = t.observed

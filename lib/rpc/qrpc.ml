@@ -12,7 +12,11 @@ type 'rep t = {
   mutable retry : Retry.t option;
 }
 
-let replies t = Hashtbl.fold (fun src rep acc -> (src, rep) :: acc) t.replies []
+(* Sorted by replier id: the reply table is keyed by node, and hash
+   order must not leak into quorum callbacks (R7). *)
+let replies t =
+  Hashtbl.fold (fun src rep acc -> (src, rep) :: acc) t.replies []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* Pick a quorum to contact, always including [prefer] when it is a
    member (the paper's prototype contacts the local node first and fills

@@ -52,6 +52,10 @@ let exponential t ~mean =
   (* 1. - u is in (0, 1], so log is finite. *)
   -.mean *. log (1. -. u)
 
+let choose t = function
+  | [] -> None
+  | xs -> List.nth_opt xs (int t (List.length xs))
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -40,6 +40,13 @@ val bernoulli : t -> float -> bool
 val exponential : t -> mean:float -> float
 (** [exponential t ~mean] draws from an exponential distribution. *)
 
+val choose : t -> 'a list -> 'a option
+(** [choose t xs] draws one element uniformly from [xs]. [None] on the
+    empty list, in which case the stream does not advance; otherwise it
+    consumes exactly one [int t (List.length xs)] draw — the same draw
+    the historical [List.nth xs (int t (List.length xs))] idiom made, so
+    replacing that idiom preserves replay streams bit-for-bit. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate dqr-lint report files: schema-2 JSON and SARIF 2.1.0.
+
+Sibling of validate_bench.py / validate_nemesis.py for the static
+analysis job. Each argument is sniffed by shape — a schema-2 report
+(`{"version":2,...}`) or a SARIF log (`{"version":"2.1.0",...}`) — and
+checked structurally:
+
+schema-2:
+  - version == 2, count == len(diagnostics),
+  - the rule table carries id/name/summary/scope/findings per rule,
+    with unique ids and per-rule tallies summing to count,
+  - every diagnostic names a tabled rule, with 1-based line and
+    0-based col.
+
+SARIF:
+  - version == "2.1.0" and a 2.1.0 $schema pointer,
+  - exactly one run, tool.driver has name/version and a rule array
+    with unique ids and shortDescription text,
+  - every result's ruleId is a driver rule and ruleIndex (when
+    present) agrees with it; regions are 1-based.
+
+Usage: validate_lint.py REPORT.json [REPORT.sarif ...]
+Exits non-zero with one message per problem.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def require(doc, path, key, types):
+    if key not in doc:
+        err(path, f"missing key '{key}'")
+        return None
+    v = doc[key]
+    if not isinstance(v, types):
+        names = "/".join(t.__name__ for t in types) if isinstance(types, tuple) else types.__name__
+        err(path, f"'{key}' should be {names}, got {type(v).__name__}")
+        return None
+    return v
+
+
+def check_schema2(path, doc):
+    if doc.get("version") != 2:
+        err(path, f"version should be 2, got {doc.get('version')!r}")
+    count = require(doc, path, "count", int)
+    rules = require(doc, path, "rules", list) or []
+    diags = require(doc, path, "diagnostics", list) or []
+
+    ids = set()
+    tally = 0
+    for i, r in enumerate(rules):
+        rp = f"{path}:rules[{i}]"
+        if not isinstance(r, dict):
+            err(rp, "rule entries should be objects")
+            continue
+        rid = require(r, rp, "id", str)
+        require(r, rp, "name", str)
+        require(r, rp, "summary", str)
+        require(r, rp, "scope", str)
+        findings = require(r, rp, "findings", int)
+        if rid is not None:
+            if rid in ids:
+                err(rp, f"duplicate rule id {rid!r}")
+            ids.add(rid)
+        if findings is not None:
+            if findings < 0:
+                err(rp, f"findings should be >= 0, got {findings}")
+            else:
+                tally += findings
+
+    if count is not None and count != len(diags):
+        err(path, f"count={count} but {len(diags)} diagnostics")
+    if count is not None and rules and tally != count:
+        err(path, f"per-rule findings sum to {tally}, count is {count}")
+
+    per_rule = {}
+    for i, d in enumerate(diags):
+        dp = f"{path}:diagnostics[{i}]"
+        if not isinstance(d, dict):
+            err(dp, "diagnostics should be objects")
+            continue
+        rid = require(d, dp, "rule", str)
+        require(d, dp, "file", str)
+        line = require(d, dp, "line", int)
+        col = require(d, dp, "col", int)
+        require(d, dp, "message", str)
+        if rid is not None:
+            if rules and rid not in ids:
+                err(dp, f"rule {rid!r} is not in the rule table")
+            per_rule[rid] = per_rule.get(rid, 0) + 1
+        if line is not None and line < 1:
+            err(dp, f"line should be 1-based, got {line}")
+        if col is not None and col < 0:
+            err(dp, f"col should be >= 0, got {col}")
+
+    for r in rules:
+        if isinstance(r, dict) and isinstance(r.get("id"), str) and isinstance(r.get("findings"), int):
+            actual = per_rule.get(r["id"], 0)
+            if r["findings"] != actual:
+                err(path, f"rule {r['id']} tallies {r['findings']} findings, {actual} diagnostics carry it")
+
+
+def check_sarif(path, doc):
+    if doc.get("version") != "2.1.0":
+        err(path, f"SARIF version should be '2.1.0', got {doc.get('version')!r}")
+    schema = doc.get("$schema", "")
+    if "sarif" not in schema or "2.1.0" not in schema:
+        err(path, f"$schema should point at the SARIF 2.1.0 schema, got {schema!r}")
+    runs = require(doc, path, "runs", list) or []
+    if len(runs) != 1:
+        err(path, f"expected exactly one run, got {len(runs)}")
+        return
+    run = runs[0]
+    rp = f"{path}:runs[0]"
+    driver = run.get("tool", {}).get("driver")
+    if not isinstance(driver, dict):
+        err(rp, "missing tool.driver")
+        return
+    require(driver, f"{rp}:driver", "name", str)
+    require(driver, f"{rp}:driver", "version", str)
+    rules = require(driver, f"{rp}:driver", "rules", list) or []
+    rule_ids = []
+    for i, r in enumerate(rules):
+        rrp = f"{rp}:driver.rules[{i}]"
+        if not isinstance(r, dict):
+            err(rrp, "rules should be objects")
+            continue
+        rid = require(r, rrp, "id", str)
+        require(r, rrp, "name", str)
+        short = r.get("shortDescription")
+        if not (isinstance(short, dict) and isinstance(short.get("text"), str)):
+            err(rrp, "missing shortDescription.text")
+        rule_ids.append(rid)
+    if len(set(rule_ids)) != len(rule_ids):
+        err(rp, "duplicate rule ids in tool.driver.rules")
+
+    for i, res in enumerate(run.get("results", [])):
+        sp = f"{rp}:results[{i}]"
+        if not isinstance(res, dict):
+            err(sp, "results should be objects")
+            continue
+        rid = require(res, sp, "ruleId", str)
+        if rid is not None and rule_ids and rid not in rule_ids:
+            err(sp, f"ruleId {rid!r} is not a driver rule")
+        idx = res.get("ruleIndex")
+        if idx is not None:
+            if not isinstance(idx, int) or idx < 0 or idx >= len(rule_ids):
+                err(sp, f"ruleIndex {idx!r} out of range")
+            elif rid is not None and rule_ids[idx] != rid:
+                err(sp, f"ruleIndex {idx} names {rule_ids[idx]!r}, ruleId is {rid!r}")
+        msg = res.get("message")
+        if not (isinstance(msg, dict) and isinstance(msg.get("text"), str)):
+            err(sp, "missing message.text")
+        for j, loc in enumerate(res.get("locations", [])):
+            lp = f"{sp}:locations[{j}]"
+            phys = loc.get("physicalLocation", {}) if isinstance(loc, dict) else {}
+            art = phys.get("artifactLocation", {})
+            if not isinstance(art.get("uri"), str):
+                err(lp, "missing artifactLocation.uri")
+            region = phys.get("region", {})
+            for key in ("startLine", "startColumn"):
+                v = region.get(key)
+                if not isinstance(v, int) or v < 1:
+                    err(lp, f"region.{key} should be a 1-based int, got {v!r}")
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, f"unreadable or invalid JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        err(path, "top level should be an object")
+    elif doc.get("version") == 2:
+        check_schema2(path, doc)
+    elif isinstance(doc.get("version"), str):
+        check_sarif(path, doc)
+    else:
+        err(path, f"unrecognised report: version={doc.get('version')!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    if errors:
+        for e in errors:
+            print(f"validate_lint: {e}", file=sys.stderr)
+        return 1
+    names = ", ".join(argv[1:])
+    print(f"validate_lint: OK ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,7 @@
+(* R6 fixture: raw engine scheduling. Nothing checks the node's
+   incarnation at expiry, so a crash/amnesia restart between arming and
+   firing resurrects the callback into the node's next life. *)
+
+let arm engine f = ignore (Dq_sim.Engine.schedule engine ~delay:10. f)
+
+let arm_at engine f = ignore (Dq_sim.Engine.schedule_at engine ~time:99. f)

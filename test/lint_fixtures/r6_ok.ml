@@ -1,0 +1,7 @@
+(* R6 clean twin: node-scoped timers go through Net.timer, which drops
+   the callback if the node is down or has a newer incarnation at
+   expiry. Cancelling a handle is always fine. *)
+
+let arm net ~node f = ignore (Dq_net.Net.timer net ~node ~delay_ms:10. f)
+
+let cancel handle = Dq_sim.Engine.cancel handle

@@ -1,0 +1,17 @@
+(* R7 fixture: Hashtbl.fold/iter results escaping in hash order. *)
+
+(* the raw fold is the function's result *)
+let pairs (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(* interprocedural: the fold hides in a local helper whose result
+   escapes unsorted through the enclosing function's tail *)
+let via_helper (tbl : (string, int) Hashtbl.t) =
+  let collect () = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  collect ()
+
+(* the imperative spelling: iter consing into a captured ref *)
+let listed (tbl : (string, int) Hashtbl.t) =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;
+  !acc

@@ -1,0 +1,27 @@
+(* R7 clean twin: every escaping fold result is either sorted before it
+   escapes or accumulated commutatively, so hash order is unobservable. *)
+
+(* sorted at the tail *)
+let pairs (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* commutative accumulators: sum, tuple of counts, guarded count *)
+let total (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let stats (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v (n, s) -> (n + 1, s + v)) tbl (0, 0)
+
+let positive (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> if v > 0 then acc + 1 else acc) tbl 0
+
+(* a local helper's raw fold is fine when the escape point sorts it *)
+let sorted_keys (tbl : (string, int) Hashtbl.t) =
+  let collect () = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort String.compare (collect ())
+
+(* consumed locally: the raw list never escapes *)
+let largest (tbl : (string, int) Hashtbl.t) =
+  let ks = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.fold_left (fun best k -> if String.compare k best > 0 then k else best) "" ks

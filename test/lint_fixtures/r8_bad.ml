@@ -1,0 +1,7 @@
+(* R8 fixture: partial functions whose failure the types allow. *)
+
+let first (l : int list) = List.hd l
+
+let third (l : int list) = List.nth l 2
+
+let force (o : string option) = Option.get o

@@ -1,0 +1,9 @@
+(* R8 clean twin: total spellings of the same operations. *)
+
+let first (l : int list) = match l with [] -> None | x :: _ -> Some x
+
+let third (l : int list) = List.nth_opt l 2
+
+let force o ~default = Option.value o ~default
+
+let random_peer rng (peers : int list) = Dq_util.Rng.choose rng peers

@@ -1,0 +1,15 @@
+(* R9 fixture: wildcard arms silently dropping message variants. *)
+
+module Message = struct
+  type t = Read_req of int | Write_req of int * string | Inval of int
+end
+
+let handle_read _ = ()
+
+(* a bare wildcard swallows every future constructor *)
+let dispatch (msg : Message.t) =
+  match msg with Message.Read_req op -> handle_read op | _ -> ()
+
+(* naming the binder doesn't make the drop any less silent *)
+let dispatch_named (msg : Message.t) =
+  match msg with Message.Read_req op -> handle_read op | _other -> ()

@@ -1,0 +1,28 @@
+(* R9 clean twin: every way a wildcard-looking arm is acceptable. *)
+
+module Message = struct
+  type t = Read_req of int | Write_req of int * string | Inval of int
+end
+
+let handle_read _ = ()
+
+(* constructors named explicitly: adding one is a compile error here *)
+let dispatch (msg : Message.t) =
+  match msg with
+  | Message.Read_req op -> handle_read op
+  | Message.Write_req _ | Message.Inval _ -> ()
+
+(* a deliberate drop, annotated *)
+let client_stub (msg : Message.t) =
+  match msg with
+  | Message.Read_req op -> handle_read op
+  | _ -> () [@dqr.lint.allow "R9"]
+
+(* a wildcard that records the drop is not silent *)
+let counted (dropped : int ref) (msg : Message.t) =
+  match msg with Message.Read_req op -> handle_read op | _ -> incr dropped
+
+(* non-message variants are out of scope *)
+type shape = Circle | Square | Triangle
+
+let corners (s : shape) = match s with Circle -> 0 | _ -> 3

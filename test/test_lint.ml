@@ -7,6 +7,7 @@
 module D = Dq_lint.Diagnostic
 module Rules = Dq_lint.Rules
 module Engine = Dq_lint.Engine
+module Sarif = Dq_lint.Sarif
 
 let fixture_cfg =
   { Engine.default_config with ignore_scopes = true; exclude_paths = [] }
@@ -19,6 +20,14 @@ let lint ?(cfg = fixture_cfg) name =
 
 let ids ds = List.map (fun (d : D.t) -> d.D.rule) ds
 let strings ds = List.map D.to_string ds
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h
+    && (String.equal (String.sub haystack i n) needle || go (i + 1))
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* One violating fixture per rule: expected rule ids at expected count *)
@@ -35,13 +44,20 @@ let test_bad_fixtures () =
   expect "r3_bad" "R3" 3;
   expect "r4_bad" "R4" 2;
   expect "r5_bad" "R5" 3;
-  expect "r5_post_bad" "R5" 3
+  expect "r5_post_bad" "R5" 3;
+  expect "r6_bad" "R6" 2;
+  expect "r7_bad" "R7" 3;
+  expect "r8_bad" "R8" 3;
+  expect "r9_bad" "R9" 2
 
 let test_ok_fixtures () =
   List.iter
     (fun name ->
       Alcotest.(check (list string)) (name ^ " is clean") [] (strings (lint name)))
-    [ "r1_ok"; "r2_ok"; "r3_ok"; "r4_ok"; "r5_ok"; "r5_post_ok" ]
+    [
+      "r1_ok"; "r2_ok"; "r3_ok"; "r4_ok"; "r5_ok"; "r5_post_ok"; "r6_ok";
+      "r7_ok"; "r8_ok"; "r9_ok";
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Golden diagnostics: exact file:line:col, rule id and message text   *)
@@ -93,6 +109,69 @@ let test_golden_r5_post () =
     "r5_post_bad golden" expected
     (strings (lint "r5_post_bad"))
 
+let test_golden_r6 () =
+  let msg how =
+    Printf.sprintf
+      "Dq_sim.Engine.%s arms a raw engine timer with no incarnation guard; \
+       node-scoped callbacks must go through Net.timer so crash/amnesia \
+       recovery drops them instead of letting them fire into the node's next \
+       life"
+      how
+  in
+  let expected =
+    [
+      "test/lint_fixtures/r6_bad.ml:5:27: [R6] " ^ msg "schedule";
+      "test/lint_fixtures/r6_bad.ml:7:30: [R6] " ^ msg "schedule_at";
+    ]
+  in
+  Alcotest.(check (list string)) "r6_bad golden" expected (strings (lint "r6_bad"))
+
+let test_golden_r7 () =
+  let expected =
+    [
+      "test/lint_fixtures/r7_bad.ml:5:2: [R7] Hashtbl.fold result escapes \
+       the enclosing function in hash order; sort it deterministically \
+       before it escapes, or accumulate commutatively (count/sum/min/max)";
+      "test/lint_fixtures/r7_bad.ml:10:19: [R7] Hashtbl.fold result escapes \
+       in hash order via local helper 'collect'; sort it at the escape point \
+       or inside the helper";
+      "test/lint_fixtures/r7_bad.ml:16:27: [R7] Hashtbl.iter conses into a \
+       captured ref in hash order; use Hashtbl.fold and sort the result \
+       before it escapes";
+    ]
+  in
+  Alcotest.(check (list string)) "r7_bad golden" expected (strings (lint "r7_bad"))
+
+let test_golden_r8 () =
+  let msg fn =
+    Printf.sprintf
+      "%s raises on inputs its type allows; use a total pattern instead \
+       (match, List.nth_opt, Option.value, Rng.choose)"
+      fn
+  in
+  let expected =
+    [
+      "test/lint_fixtures/r8_bad.ml:3:27: [R8] " ^ msg "Stdlib.List.hd";
+      "test/lint_fixtures/r8_bad.ml:5:27: [R8] " ^ msg "Stdlib.List.nth";
+      "test/lint_fixtures/r8_bad.ml:7:32: [R8] " ^ msg "Stdlib.Option.get";
+    ]
+  in
+  Alcotest.(check (list string)) "r8_bad golden" expected (strings (lint "r8_bad"))
+
+let test_golden_r9 () =
+  let msg =
+    "wildcard arm silently drops messages of type Message.t; name the \
+     constructors, emit a telemetry drop event, or annotate the deliberate \
+     drop with [@dqr.lint.allow \"R9\"]"
+  in
+  let expected =
+    [
+      "test/lint_fixtures/r9_bad.ml:11:57: [R9] " ^ msg;
+      "test/lint_fixtures/r9_bad.ml:15:57: [R9] " ^ msg;
+    ]
+  in
+  Alcotest.(check (list string)) "r9_bad golden" expected (strings (lint "r9_bad"))
+
 (* ------------------------------------------------------------------ *)
 (* Suppression: attributes and the allowlist file                      *)
 
@@ -130,7 +209,11 @@ let test_allowlist_filters () =
   (* Wrong rule id leaves the findings alone. *)
   Alcotest.(check int)
     "R2 allow does not touch r1_bad" 5
-    (List.length (lint ~cfg:(with_allow [ ("R2", "r1_bad") ]) "r1_bad"))
+    (List.length (lint ~cfg:(with_allow [ ("R2", "r1_bad") ]) "r1_bad"));
+  (* The new rules honour the allowlist through the same path. *)
+  Alcotest.(check int)
+    "R7 allow silences r7_bad" 0
+    (List.length (lint ~cfg:(with_allow [ ("R7", "r7_bad") ]) "r7_bad"))
 
 (* ------------------------------------------------------------------ *)
 (* Scoping: rules only fire inside their declared subtrees             *)
@@ -146,13 +229,24 @@ let test_scoping () =
   Alcotest.(check int)
     "R2 in scope under test/" 2
     (List.length (lint ~cfg:scoped "r2_bad"));
+  (* The lifecycle rules are scoped to the node-side library subtrees:
+     the same violating fixtures are vacuous under test/. *)
+  Alcotest.(check int)
+    "R6 out of scope under test/" 0
+    (List.length (lint ~cfg:scoped "r6_bad"));
+  Alcotest.(check int)
+    "R8 out of scope under test/" 0
+    (List.length (lint ~cfg:scoped "r8_bad"));
+  Alcotest.(check int)
+    "R9 out of scope under test/" 0
+    (List.length (lint ~cfg:scoped "r9_bad"));
   (* The default config excludes the fixture tree entirely. *)
   Alcotest.(check int)
     "default config skips fixtures" 0
     (List.length (lint ~cfg:Engine.default_config "r2_bad"))
 
 (* ------------------------------------------------------------------ *)
-(* JSON output shape                                                   *)
+(* Report output: schema-2 JSON envelope                               *)
 
 let test_json_shape () =
   let ds = lint "r2_bad" in
@@ -166,27 +260,168 @@ let test_json_shape () =
        bit-for-bit\"}"
       (D.to_json d)
   | [] -> Alcotest.fail "r2_bad produced no diagnostics");
-  let json = D.list_to_json ds in
-  let contains needle =
-    let n = String.length needle and h = String.length json in
-    let rec go i = i + n <= h && (String.equal (String.sub json i n) needle || go (i + 1)) in
-    go 0
-  in
-  Alcotest.(check bool) "has version" true (contains "\"version\":1");
-  Alcotest.(check bool) "has count" true (contains "\"count\":2");
+  let json = D.list_to_json ~rules:Rules.all ds in
+  let has needle = contains json needle in
+  Alcotest.(check bool) "schema version 2" true (has "\"version\":2");
+  Alcotest.(check bool) "has count" true (has "\"count\":2");
+  (* the envelope carries the full rule table with per-rule tallies *)
+  Alcotest.(check bool)
+    "rule table entry for R2 counts its findings" true
+    (has "{\"id\":\"R2\",\"name\":\"no-ambient-randomness\"");
+  Alcotest.(check bool) "R2 tally" true (has "\"findings\":2}");
+  Alcotest.(check bool)
+    "R9 present with zero findings" true
+    (has "{\"id\":\"R9\",\"name\":\"no-silent-drop\"");
   Alcotest.(check bool)
     "envelope opens" true
     (String.length json > 0 && Char.equal json.[0] '{');
   Alcotest.(check string)
-    "empty list golden"
-    "{\"version\":1,\"count\":0,\"diagnostics\":[]}\n"
-    (D.list_to_json [])
+    "empty report golden"
+    "{\"version\":2,\"count\":0,\"rules\":[],\"diagnostics\":[]}\n"
+    (D.list_to_json ~rules:[] [])
+
+(* ------------------------------------------------------------------ *)
+(* Report output: SARIF 2.1.0                                          *)
+
+let test_sarif_shape () =
+  let ds = lint "r8_bad" in
+  let sarif = Sarif.to_string ~version:Engine.version ~rules:Rules.all ds in
+  let has needle = contains sarif needle in
+  Alcotest.(check bool) "sarif version" true (has "\"version\": \"2.1.0\"");
+  Alcotest.(check bool)
+    "schema pointer" true
+    (has "sarif-schema-2.1.0.json");
+  Alcotest.(check bool) "tool name" true (has "\"name\": \"dqr-lint\"");
+  Alcotest.(check bool)
+    "tool version" true
+    (has (Printf.sprintf "\"version\": \"%s\"" Engine.version));
+  (* R8 is the 8th rule in the catalogue: ruleIndex 7 *)
+  Alcotest.(check bool)
+    "ruleId + ruleIndex" true
+    (has "\"ruleId\":\"R8\",\"ruleIndex\":7");
+  (* our columns are 0-based, SARIF's are 1-based: 27 -> 28 *)
+  Alcotest.(check bool)
+    "region is 1-based" true
+    (has "\"region\":{\"startLine\":3,\"startColumn\":28}");
+  Alcotest.(check bool)
+    "artifact uri" true
+    (has "\"uri\":\"test/lint_fixtures/r8_bad.ml\"");
+  Alcotest.(check bool)
+    "column kind" true
+    (has "\"columnKind\": \"utf16CodeUnits\"")
+
+(* Same fixture linted twice must serialize to the same bytes — the
+   report is part of the CI contract (validate_lint.py diffs it). *)
+let test_report_stability () =
+  let render () =
+    let ds = lint "r8_bad" @ lint "r7_bad" in
+    let ds = List.sort_uniq D.compare ds in
+    ( D.list_to_json ~rules:Rules.all ds,
+      Sarif.to_string ~version:Engine.version ~rules:Rules.all ds )
+  in
+  let json1, sarif1 = render () in
+  let json2, sarif2 = render () in
+  Alcotest.(check string) "schema-2 bytes stable" json1 json2;
+  Alcotest.(check string) "sarif bytes stable" sarif1 sarif2
+
+(* ------------------------------------------------------------------ *)
+(* The parallel driver and the incremental cache                       *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* A throwaway build dir holding copies of two fixture cmts, so the
+   walk/cache behavior is observable with known contents. *)
+let with_probe_dir f =
+  let dir = "lint_cache_probe" in
+  let cache = "lint_cache_probe.bin" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let cleanup () =
+    Array.iter
+      (fun n -> Sys.remove (Filename.concat dir n))
+      (Sys.readdir dir);
+    Sys.rmdir dir;
+    if Sys.file_exists cache then Sys.remove cache
+  in
+  Fun.protect ~finally:cleanup (fun () -> f ~dir ~cache)
+
+let test_cache_incremental () =
+  with_probe_dir (fun ~dir ~cache ->
+      write_file
+        (Filename.concat dir "a.cmt")
+        (read_file "lint_fixtures/r6_bad.cmt");
+      write_file
+        (Filename.concat dir "b.cmt")
+        (read_file "lint_fixtures/r8_bad.cmt");
+      let run () = Engine.lint_build_dir ~cache_file:cache fixture_cfg dir in
+      (* Cold: everything analyzes. *)
+      let ds1, errs1, st1 = run () in
+      Alcotest.(check (list string)) "no load errors" [] errs1;
+      Alcotest.(check (list string))
+        "cold findings"
+        [ "R6"; "R6"; "R8"; "R8"; "R8" ]
+        (ids ds1);
+      Alcotest.(check int) "cold: 2 cmts" 2 st1.Engine.cmts;
+      Alcotest.(check int) "cold: 2 analyzed" 2 st1.Engine.analyzed;
+      Alcotest.(check int) "cold: 0 hits" 0 st1.Engine.cache_hits;
+      (* Warm: nothing re-analyzes, the report is byte-identical. *)
+      let ds2, _, st2 = run () in
+      Alcotest.(check int) "warm: 0 analyzed" 0 st2.Engine.analyzed;
+      Alcotest.(check int) "warm: 2 hits" 2 st2.Engine.cache_hits;
+      Alcotest.(check string)
+        "warm report byte-identical"
+        (D.list_to_json ~rules:Rules.all ds1)
+        (D.list_to_json ~rules:Rules.all ds2);
+      (* Touch one cmt (its content digest changes): only it re-analyzes. *)
+      write_file
+        (Filename.concat dir "b.cmt")
+        (read_file "lint_fixtures/r9_bad.cmt");
+      let ds3, _, st3 = run () in
+      Alcotest.(check int) "touched: 1 analyzed" 1 st3.Engine.analyzed;
+      Alcotest.(check int) "touched: 1 hit" 1 st3.Engine.cache_hits;
+      Alcotest.(check (list string))
+        "touched findings"
+        [ "R6"; "R6"; "R9"; "R9" ]
+        (ids ds3);
+      (* A different config invalidates the whole cache (fingerprint):
+         stale entries are never served across configurations. *)
+      let other = { fixture_cfg with Engine.allowlist = [ ("R6", "r6") ] } in
+      let ds4, _, st4 =
+        Engine.lint_build_dir ~cache_file:cache other dir
+      in
+      Alcotest.(check int) "new config: all analyzed" 2 st4.Engine.analyzed;
+      Alcotest.(check (list string)) "allowlisted config" [ "R9"; "R9" ]
+        (ids ds4))
+
+let test_parallel_matches_serial () =
+  with_probe_dir (fun ~dir ~cache:_ ->
+      List.iter
+        (fun n ->
+          write_file
+            (Filename.concat dir (n ^ ".cmt"))
+            (read_file (Filename.concat "lint_fixtures" (n ^ ".cmt"))))
+        [ "r6_bad"; "r7_bad"; "r8_bad"; "r9_bad"; "r1_ok"; "r7_ok" ];
+      let serial, _, _ = Engine.lint_build_dir ~jobs:1 fixture_cfg dir in
+      let par, _, _ = Engine.lint_build_dir ~jobs:4 fixture_cfg dir in
+      Alcotest.(check (list string))
+        "jobs=4 report identical to jobs=1"
+        (List.map D.to_string serial)
+        (List.map D.to_string par))
 
 (* ------------------------------------------------------------------ *)
 (* Rule registry                                                       *)
 
 let test_rule_registry () =
-  Alcotest.(check int) "five rules" 5 (List.length Rules.all);
+  Alcotest.(check int) "nine rules" 9 (List.length Rules.all);
   let id_of k =
     match Rules.find k with
     | Some (r : Rules.t) -> r.Rules.id
@@ -195,9 +430,13 @@ let test_rule_registry () =
   Alcotest.(check string) "find by id" "R1" (id_of "R1");
   Alcotest.(check string) "find by name" "R3" (id_of "no-wall-clock");
   Alcotest.(check string) "find R5 by name" "R5" (id_of "domain-safety");
-  (match Rules.find "R9" with
+  Alcotest.(check string) "find R6 by name" "R6" (id_of "no-raw-timer");
+  Alcotest.(check string) "find R7 by name" "R7" (id_of "ordered-fold");
+  Alcotest.(check string) "find R8 by name" "R8" (id_of "no-partial-functions");
+  Alcotest.(check string) "find R9 by name" "R9" (id_of "no-silent-drop");
+  (match Rules.find "R10" with
   | None -> ()
-  | Some _ -> Alcotest.fail "R9 should not resolve")
+  | Some _ -> Alcotest.fail "R10 should not resolve")
 
 let () =
   Alcotest.run "lint"
@@ -209,6 +448,10 @@ let () =
           Alcotest.test_case "golden R2" `Quick test_golden_r2;
           Alcotest.test_case "golden R5" `Quick test_golden_r5;
           Alcotest.test_case "golden R5 post" `Quick test_golden_r5_post;
+          Alcotest.test_case "golden R6" `Quick test_golden_r6;
+          Alcotest.test_case "golden R7" `Quick test_golden_r7;
+          Alcotest.test_case "golden R8" `Quick test_golden_r8;
+          Alcotest.test_case "golden R9" `Quick test_golden_r9;
         ] );
       ( "suppression",
         [
@@ -220,6 +463,14 @@ let () =
         [
           Alcotest.test_case "scoping" `Quick test_scoping;
           Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "sarif shape" `Quick test_sarif_shape;
+          Alcotest.test_case "report stability" `Quick test_report_stability;
           Alcotest.test_case "rule registry" `Quick test_rule_registry;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "incremental cache" `Quick test_cache_incremental;
+          Alcotest.test_case "parallel = serial" `Quick
+            test_parallel_matches_serial;
         ] );
     ]
